@@ -1,0 +1,13 @@
+"""Ablation: Theorem 8 budget allocation vs uniform / proportional."""
+
+from repro.experiments.ablations import ablation_budget_allocation
+
+
+def test_ablation_allocation(print_rows):
+    rows = print_rows(
+        "Ablation: sanitization budget allocation strategy",
+        lambda: ablation_budget_allocation("CER", rng=91),
+    )
+    assert {row["allocation"] for row in rows} == {
+        "optimal", "uniform", "proportional",
+    }

@@ -1,0 +1,11 @@
+"""Ablation: the paper's self-attention stage in the pattern model."""
+
+from repro.experiments.ablations import ablation_attention
+
+
+def test_ablation_attention(print_rows):
+    rows = print_rows(
+        "Ablation: self-attention stage of the pattern model",
+        lambda: ablation_attention("CER", rng=93),
+    )
+    assert {row["model"] for row in rows} == {"attention+GRU", "GRU-only"}

@@ -1,0 +1,13 @@
+"""Ablation: central model vs local-DP deployment (future work, Sec. 7)."""
+
+from repro.experiments.ablations import ablation_local_dp
+
+
+def test_ablation_local_dp(print_rows):
+    rows = print_rows(
+        "Ablation: central vs local differential privacy",
+        lambda: ablation_local_dp("CER", rng=95),
+    )
+    assert {row["deployment"] for row in rows} == {
+        "central/STPT", "central/Identity", "local/LDP",
+    }

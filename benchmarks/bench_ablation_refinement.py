@@ -1,0 +1,16 @@
+"""Ablation: free post-processing refinement of releases."""
+
+from repro.experiments.ablations import ablation_refinement
+
+
+def test_ablation_refinement(print_rows):
+    rows = print_rows(
+        "Ablation: non-negativity projection (free post-processing)",
+        lambda: ablation_refinement("CA", rng=99),
+    )
+    by_release = {row["release"]: row for row in rows}
+    # projection must not hurt aggregate queries materially and should
+    # help Identity's small queries on sparse data
+    raw = by_release["Identity raw"]
+    refined = by_release["Identity + projection"]
+    assert refined["small"] <= raw["small"] * 1.05

@@ -1,0 +1,75 @@
+"""Analytical error model vs measurement (future work, Sec. 7)."""
+
+import numpy as np
+
+from repro.analysis.error_model import (
+    identity_query_error,
+    stpt_query_noise_error,
+)
+from repro.baselines.identity import Identity
+from repro.experiments.harness import build_context, run_stpt
+from repro.queries.range_query import evaluate_queries
+
+
+def run(rng=97):
+    context = build_context("CER", "uniform", rng=rng)
+    preset = context.preset
+    queries = context.workloads["random"]
+    true_answers = evaluate_queries(queries, context.test_cons)
+
+    rows = []
+    # Identity: prediction is exact (pure Laplace noise, no bias)
+    run_identity = Identity().run(
+        context.test_norm, preset.epsilon_total, rng=rng
+    )
+    measured = np.abs(
+        evaluate_queries(queries, run_identity.sanitized)
+        - evaluate_queries(queries, context.test_norm)
+    )
+    predicted = np.array([
+        identity_query_error(q, preset.t_test, preset.epsilon_total)
+        for q in queries
+    ])
+    rows.append({
+        "mechanism": "Identity",
+        "predicted_abs_err": float(predicted.mean()),
+        "measured_abs_err": float(measured.mean()),
+        "ratio": float(measured.mean() / predicted.mean()),
+    })
+
+    # STPT: the noise-only model lower-bounds the measured error; the
+    # gap is the (data-dependent) uniformity bias.
+    result, __ = run_stpt(context, rng=rng)
+    measured = np.abs(
+        evaluate_queries(queries, result.sanitized)
+        - evaluate_queries(queries, context.test_norm)
+    )
+    predicted = np.array([
+        stpt_query_noise_error(
+            q, result.partitions, result.sanitization.budgets,
+            result.sanitization.sensitivities,
+        )
+        for q in queries
+    ])
+    rows.append({
+        "mechanism": "STPT (noise only)",
+        "predicted_abs_err": float(predicted.mean()),
+        "measured_abs_err": float(measured.mean()),
+        "ratio": float(measured.mean() / max(predicted.mean(), 1e-12)),
+    })
+    return rows
+
+
+def test_error_model(print_rows):
+    rows = print_rows(
+        "Analytical error model: predicted vs measured |error| "
+        "(normalized units, random workload)",
+        run,
+    )
+    identity = rows[0]
+    # Identity's model is closed-form exact; a single noise realization
+    # over the workload still fluctuates, so allow a wide band
+    assert 0.6 < identity["ratio"] < 1.6
+    stpt = rows[1]
+    # the noise-only STPT model must be a lower bound
+    assert stpt["measured_abs_err"] >= stpt["predicted_abs_err"] * 0.9

@@ -1,0 +1,19 @@
+"""Figure 6 (CER row): STPT vs benchmarks, uniform and normal placement."""
+
+from repro.experiments.figures import figure6
+
+
+def test_figure6_cer(print_rows):
+    rows = print_rows(
+        "Figure 6: MRE (%) on CER by algorithm / distribution / query class",
+        lambda: figure6("CER", rng=6),
+    )
+    by_key = {
+        (row["distribution"], row["algorithm"]): row for row in rows
+    }
+    for distribution in ("uniform", "normal"):
+        stpt = by_key[(distribution, "STPT")]
+        identity = by_key[(distribution, "Identity")]
+        # the paper's headline: STPT decisively beats Identity on
+        # small queries, where per-cell noise dwarfs cell values
+        assert stpt["small"] < identity["small"]

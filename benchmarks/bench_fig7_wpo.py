@@ -1,0 +1,17 @@
+"""Figure 7: WPO vs STPT under the LA household distribution."""
+
+from repro.experiments.figures import figure7
+
+
+def test_figure7(print_rows):
+    rows = print_rows(
+        "Figure 7: MRE (%) under the LA distribution",
+        lambda: figure7("CER", rng=7),
+    )
+    by_algorithm = {row["algorithm"]: row for row in rows}
+    stpt = by_algorithm["STPT"]
+    wpo = by_algorithm["WPO"]
+    # WPO is event-level and spatially oblivious: markedly worse than
+    # STPT on every query class over a non-uniform city.
+    for kind in ("random", "small", "large"):
+        assert wpo[kind] > stpt[kind]

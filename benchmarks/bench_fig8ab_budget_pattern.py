@@ -1,0 +1,15 @@
+"""Figure 8a/8b: pattern-recognition error vs per-datapoint budget."""
+
+from repro.experiments.figures import figure8ab
+
+
+def test_figure8ab(print_rows):
+    rows = print_rows(
+        "Figure 8a/8b: pattern MAE/RMSE vs budget per training point",
+        lambda: figure8ab("CER", rng=81),
+    )
+    # more budget must not make the pattern dramatically worse: compare
+    # the starved (0.01) and generous (0.5) ends of the sweep.
+    assert rows[-1]["mae"] <= rows[0]["mae"] * 1.5
+    for row in rows:
+        assert row["rmse"] >= row["mae"]

@@ -1,0 +1,15 @@
+"""Figure 8c: impact of quantization levels on utility."""
+
+from repro.experiments.figures import figure8c
+
+
+def test_figure8c(print_rows):
+    rows = print_rows(
+        "Figure 8c: MRE (%) vs quantization levels k",
+        lambda: figure8c("CER", rng=83),
+    )
+    assert len(rows) >= 4
+    # the sweep must cover the paper's observed regime: small and very
+    # large k both present so the fluctuation trend is visible
+    ks = [row["quantization_levels"] for row in rows]
+    assert min(ks) <= 5 and max(ks) >= 40

@@ -1,0 +1,15 @@
+"""Figure 8d: runtime comparison of all algorithms."""
+
+from repro.experiments.figures import figure8d
+
+
+def test_figure8d(print_rows):
+    rows = print_rows(
+        "Figure 8d: wall-clock seconds per algorithm",
+        lambda: figure8d("CER", rng=84),
+    )
+    by_algorithm = {row["algorithm"]: row for row in rows}
+    # STPT pays a one-time training cost; everything stays in seconds.
+    assert by_algorithm["STPT"]["training_seconds"] > 0
+    for row in rows:
+        assert row["seconds"] < 600

@@ -1,0 +1,13 @@
+"""Figure 8e/8f: pattern error vs quadtree depth."""
+
+from repro.experiments.figures import figure8ef
+
+
+def test_figure8ef(print_rows):
+    rows = print_rows(
+        "Figure 8e/8f: pattern MAE/RMSE vs quadtree depth",
+        lambda: figure8ef("CER", rng=85),
+    )
+    assert [row["depth"] for row in rows] == sorted(row["depth"] for row in rows)
+    for row in rows:
+        assert row["rmse"] >= row["mae"] >= 0

@@ -1,0 +1,13 @@
+"""Figure 8g: share of the budget given to pattern recognition."""
+
+from repro.experiments.figures import figure8g
+
+
+def test_figure8g(print_rows):
+    rows = print_rows(
+        "Figure 8g: MRE (%) vs pattern-recognition budget share",
+        lambda: figure8g("CER", rng=87),
+    )
+    assert len(rows) >= 4
+    fractions = [row["pattern_fraction"] for row in rows]
+    assert min(fractions) <= 0.15 and max(fractions) >= 0.85

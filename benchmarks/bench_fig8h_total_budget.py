@@ -1,0 +1,13 @@
+"""Figure 8h: total privacy budget sweep at a fixed split."""
+
+from repro.experiments.figures import figure8h
+
+
+def test_figure8h(print_rows):
+    rows = print_rows(
+        "Figure 8h: MRE (%) vs total budget epsilon",
+        lambda: figure8h("CER", rng=88),
+    )
+    # more budget -> better accuracy: the generous end beats the
+    # starved end on random queries
+    assert rows[-1]["random"] < rows[0]["random"]

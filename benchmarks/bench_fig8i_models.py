@@ -1,0 +1,11 @@
+"""Figure 8i: alternative sequence models for pattern recognition."""
+
+from repro.experiments.figures import figure8i
+
+
+def test_figure8i(print_rows):
+    rows = print_rows(
+        "Figure 8i: MRE (%) by pattern-model family",
+        lambda: figure8i("CER", rng=89),
+    )
+    assert {row["model"] for row in rows} == {"rnn", "gru", "transformer"}

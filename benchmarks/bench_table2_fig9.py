@@ -1,0 +1,20 @@
+"""Table 2 and Figure 9: dataset statistics and weekday profiles."""
+
+from repro.experiments.figures import figure9, table2
+
+
+def test_table2(print_rows):
+    rows = print_rows("Table 2: dataset statistics (measured vs target)",
+                      lambda: table2(rng=0))
+    for row in rows:
+        assert abs(row["mean_kwh"] - row["target_mean"]) / row["target_mean"] < 0.05
+        assert row["max_kwh"] <= row["target_max"] + 1e-9
+
+
+def test_figure9(print_rows):
+    rows = print_rows("Figure 9: normalized consumption per weekday",
+                      lambda: figure9(rng=0))
+    for row in rows:
+        weekend = (row["Sat"] + row["Sun"]) / 2
+        midweek = (row["Tue"] + row["Wed"]) / 2
+        assert weekend > midweek

@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper at the
+active scale preset (CI by default; set ``REPRO_PAPER_SCALE=1`` for the
+paper's exact geometry) and prints the same rows/series the paper
+reports. Figure runs are end-to-end experiments, so each is executed
+once per benchmark (``rounds=1``) — the interesting output is the
+table, the timing is a bonus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import format_table
+
+
+def run_and_print(benchmark, title: str, fn, columns=None):
+    """Run ``fn`` once under pytest-benchmark and print its rows."""
+    rows = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print(f"\n=== {title} ===")
+    print(format_table(rows, columns=columns))
+    return rows
+
+
+@pytest.fixture()
+def print_rows(benchmark):
+    def runner(title, fn, columns=None):
+        return run_and_print(benchmark, title, fn, columns)
+
+    return runner

@@ -1,0 +1,42 @@
+"""Compare STPT with every baseline of the paper on one dataset.
+
+A miniature of Figure 6: all mechanisms publish the same test horizon
+under the same total budget, and their MRE is reported per query class.
+
+Run:  python examples/benchmark_comparison.py [CER|CA|MI|TX]
+"""
+
+import sys
+
+from repro.baselines import WPO, standard_benchmarks
+from repro.experiments import build_context, format_table, run_mechanism, run_stpt
+
+
+def main(dataset_name: str = "CA") -> None:
+    context = build_context(dataset_name, "normal", rng=10)
+    print(f"dataset={dataset_name}, distribution=normal, "
+          f"grid={context.preset.grid_shape}, "
+          f"epsilon_total={context.preset.epsilon_total}")
+
+    rows = []
+    result, mre = run_stpt(context, rng=11)
+    rows.append({
+        "algorithm": "STPT",
+        **mre,
+        "seconds": result.elapsed_seconds,
+    })
+    for mechanism in standard_benchmarks() + [WPO()]:
+        mre, elapsed = run_mechanism(context, mechanism, rng=12)
+        rows.append({"algorithm": mechanism.name, **mre, "seconds": elapsed})
+
+    print()
+    print(format_table(
+        rows, columns=["algorithm", "random", "small", "large", "seconds"]
+    ))
+    best_small = min(rows, key=lambda row: row["small"])
+    print(f"\nbest on small queries: {best_small['algorithm']} "
+          f"({best_small['small']:.1f}%)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "CA")

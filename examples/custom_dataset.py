@@ -1,0 +1,69 @@
+"""Publish your own meter readings and export the release as CSV.
+
+Shows the integration surface for adopters: bring an ``(N, T)`` array
+of non-negative readings and per-household grid coordinates, pick a
+clipping factor, publish, and hand the sanitized CSV to downstream
+consumers.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import STPT, STPTConfig, build_matrices
+from repro.core.pattern import PatternConfig
+from repro.data import export_matrix_csv, import_matrix_csv
+
+GRID = (8, 8)
+
+
+def synthesize_readings(n_households=96, n_days=28, seed=40):
+    """Stand-in for the adopter's own meter data."""
+    rng = np.random.default_rng(seed)
+    base = rng.lognormal(mean=2.0, sigma=0.4, size=(n_households, 1))
+    weekly = 1.0 + 0.15 * np.sin(2 * np.pi * np.arange(n_days) / 7)
+    noise = rng.lognormal(mean=-0.02, sigma=0.2, size=(n_households, n_days))
+    return base * weekly * noise
+
+
+def main() -> None:
+    readings = synthesize_readings()
+    n = readings.shape[0]
+    rng = np.random.default_rng(41)
+    cells = np.column_stack(
+        [rng.integers(0, GRID[0], n), rng.integers(0, GRID[1], n)]
+    )
+
+    # The clipping factor bounds one household's influence. mean + std
+    # is the rule the paper's Table 2 follows.
+    clip = float(readings.mean() + readings.std())
+    cons, norm = build_matrices(readings, cells, GRID, clip)
+    print(f"{n} households -> matrix {cons.shape}, clip = {clip:.2f} kWh")
+
+    config = STPTConfig(
+        epsilon_pattern=10.0, epsilon_sanitize=20.0, t_train=16,
+        quantization_levels=10,
+        pattern=PatternConfig(window=3, epochs=5, embed_dim=16, hidden_dim=16),
+    )
+    result = STPT(config, rng=42).publish(norm, clip_scale=clip)
+    print(f"sanitized horizon: {result.sanitized_kwh.n_steps} days, "
+          f"ε = {result.epsilon_spent:.0f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "sanitized_release.csv"
+        export_matrix_csv(result.sanitized_kwh, path)
+        print(f"wrote {path.stat().st_size} bytes of CSV "
+              f"({sum(1 for _ in path.open()) - 1} rows)")
+        # a downstream consumer reads it back losslessly
+        round_tripped = import_matrix_csv(path)
+        drift = np.abs(
+            round_tripped.values - result.sanitized_kwh.values
+        ).max()
+        print(f"csv round-trip max drift: {drift:.2e} kWh")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Analytical accuracy models and budget-split heuristics (Sec. 7)."""
+
+from repro.analysis.allocation import (
+    finest_level_snr,
+    suggest_budget_split,
+    suggest_epsilon_pattern,
+)
+from repro.analysis.error_model import (
+    expected_abs_sum_of_laplace,
+    identity_query_error,
+    predict_workload_error,
+    predicted_mre,
+    stpt_query_noise_error,
+    uniform_grid_query_error,
+)
+
+__all__ = [
+    "expected_abs_sum_of_laplace",
+    "identity_query_error",
+    "uniform_grid_query_error",
+    "stpt_query_noise_error",
+    "predict_workload_error",
+    "predicted_mre",
+    "finest_level_snr",
+    "suggest_epsilon_pattern",
+    "suggest_budget_split",
+]

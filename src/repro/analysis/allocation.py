@@ -1,0 +1,84 @@
+"""Heuristics for splitting ε across pipeline stages (future work).
+
+The paper's future work asks for "optimal methods or effective
+heuristics on how to split ε among distinct stages of the privacy
+pipeline". Within one stage the answer is analytic (Theorem 8); across
+stages the utility of ε_pattern is data-dependent, so this module
+offers an SNR-based heuristic plus an empirical sweep helper.
+
+The heuristic targets the finest quadtree level: its per-point Laplace
+scale is ``T_train / ε_pattern`` (unit sensitivity), while the segment
+mean averages ``segment_length`` points. Requiring the *time-mean* of
+the finest level to reach a signal-to-noise ratio ``ρ`` against a
+typical cell value ``v`` gives
+
+    ε_pattern ≥ (T_train / v·ρ) · sqrt(2 / segment_length)
+
+everything above that is better spent on sanitization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.quadtree import segment_length
+from repro.exceptions import ConfigurationError
+
+
+def finest_level_snr(
+    epsilon_pattern: float,
+    t_train: int,
+    depth: int,
+    typical_cell_value: float,
+) -> float:
+    """SNR of the finest level's time-mean at a given pattern budget."""
+    if epsilon_pattern <= 0 or typical_cell_value <= 0:
+        raise ConfigurationError("budget and cell value must be positive")
+    seg = segment_length(t_train, depth)
+    scale = t_train / epsilon_pattern
+    noise_std = np.sqrt(2.0 * scale * scale / seg)
+    return float(typical_cell_value / noise_std)
+
+
+def suggest_epsilon_pattern(
+    t_train: int,
+    depth: int,
+    typical_cell_value: float,
+    target_snr: float = 1.0,
+) -> float:
+    """Smallest ε_pattern reaching ``target_snr`` at the finest level."""
+    if target_snr <= 0:
+        raise ConfigurationError("target_snr must be positive")
+    if typical_cell_value <= 0:
+        raise ConfigurationError("typical_cell_value must be positive")
+    seg = segment_length(t_train, depth)
+    return float(
+        target_snr * t_train * np.sqrt(2.0 / seg) / typical_cell_value
+    )
+
+
+def suggest_budget_split(
+    epsilon_total: float,
+    t_train: int,
+    depth: int,
+    typical_cell_value: float,
+    target_snr: float = 1.0,
+    min_fraction: float = 0.1,
+    max_fraction: float = 0.7,
+) -> tuple[float, float]:
+    """(ε_pattern, ε_sanitize) from the SNR heuristic, clamped.
+
+    The clamp keeps both phases alive even when the heuristic is
+    extreme (very sparse or very dense data), mirroring the broad
+    optimum Figure 8g measures.
+    """
+    if epsilon_total <= 0:
+        raise ConfigurationError("epsilon_total must be positive")
+    if not 0 < min_fraction < max_fraction < 1:
+        raise ConfigurationError("need 0 < min_fraction < max_fraction < 1")
+    wanted = suggest_epsilon_pattern(
+        t_train, depth, typical_cell_value, target_snr
+    )
+    fraction = np.clip(wanted / epsilon_total, min_fraction, max_fraction)
+    epsilon_pattern = float(epsilon_total * fraction)
+    return epsilon_pattern, float(epsilon_total - epsilon_pattern)

@@ -1,0 +1,137 @@
+"""Closed-form error prediction for DP releases (future work, Sec. 7).
+
+The paper's future work calls for "analytical models to quantify
+accuracy for specific strategies of privacy budget allocation". This
+module provides them for the mechanisms whose noise structure is
+closed-form:
+
+* **Identity** — a volume-``V`` range query sums ``V`` independent
+  ``Lap(Ct/ε)`` draws;
+* **UniformGrid** — same structure over ``V / blockcells`` block draws,
+  each spread over the covered cells, plus no closed-form aggregation
+  bias (reported as noise-only, a lower bound);
+* **STPT's sanitization phase** — a query receives from partition ``i``
+  a fraction ``f_i = |query ∩ P_i| / |P_i|`` of one ``Lap(s_i/ε_i)``
+  draw, so the noise variance is ``Σ f_i² · 2 (s_i/ε_i)²``.
+
+All predictions are *noise-only*: they exclude aggregation bias
+(uniformity error), which depends on the data. The benches compare the
+predictions to measured errors, so the size of the bias gap is itself
+an observable.
+
+Conventions: Laplace(b) has E|X| = b and Var = 2b²; a sum of many
+independent draws is treated as normal, for which
+``E|X| = sqrt(2 Var / π)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.quantization import PartitionSet
+from repro.exceptions import ConfigurationError
+from repro.queries.range_query import RangeQuery
+
+
+def expected_abs_sum_of_laplace(count: int, scale: float) -> float:
+    """E|sum of ``count`` i.i.d. Laplace(scale) draws|.
+
+    Exact for one draw; normal approximation beyond.
+    """
+    if count < 0 or scale < 0:
+        raise ConfigurationError("count and scale must be non-negative")
+    if count == 0 or scale == 0.0:
+        return 0.0
+    if count == 1:
+        return scale
+    variance = 2.0 * count * scale * scale
+    return float(np.sqrt(2.0 * variance / np.pi))
+
+
+def identity_query_error(
+    query: RangeQuery, horizon: int, epsilon: float
+) -> float:
+    """Expected absolute error of Identity on one query (normalized)."""
+    if horizon <= 0 or epsilon <= 0:
+        raise ConfigurationError("horizon and epsilon must be positive")
+    scale = horizon / epsilon  # per-cell Laplace scale at ε/Ct per slice
+    return expected_abs_sum_of_laplace(query.volume, scale)
+
+
+def uniform_grid_query_error(
+    query: RangeQuery,
+    horizon: int,
+    epsilon: float,
+    block_side: int,
+    grid_side: int,
+) -> float:
+    """Noise-only expected absolute error of UG on one query.
+
+    Each covered block contributes its Laplace draw weighted by the
+    covered fraction; for simplicity full coverage is assumed (exact
+    for block-aligned queries, optimistic otherwise).
+    """
+    if block_side <= 0 or grid_side % block_side != 0:
+        raise ConfigurationError("block_side must divide grid_side")
+    cells_per_block = (grid_side // block_side) ** 2
+    scale = horizon / epsilon
+    dx, dy, dt = query.extent
+    blocks_covered = max(1, (dx * dy) // cells_per_block) * dt
+    return expected_abs_sum_of_laplace(blocks_covered, scale)
+
+
+def stpt_query_noise_error(
+    query: RangeQuery,
+    partitions: PartitionSet,
+    budgets: dict[int, float],
+    sensitivities: dict[int, int],
+) -> float:
+    """Noise-only expected absolute error of STPT's release on a query.
+
+    Uses the actual partitioning and per-partition budgets of a run,
+    so it can be evaluated after the fact against the measured error.
+    """
+    labels = partitions.labels
+    if not query.fits(labels.shape):
+        raise ConfigurationError("query exceeds the partitioned matrix")
+    window = labels[query.x0:query.x1, query.y0:query.y1, query.t0:query.t1]
+    variance = 0.0
+    for label in np.unique(window):
+        label = int(label)
+        in_query = int((window == label).sum())
+        total = int((labels == label).sum())
+        fraction = in_query / total
+        scale = sensitivities[label] / budgets[label]
+        variance += (fraction**2) * 2.0 * scale * scale
+    if variance == 0.0:
+        return 0.0
+    return float(np.sqrt(2.0 * variance / np.pi))
+
+
+def predict_workload_error(
+    queries: list[RangeQuery],
+    predictor,
+) -> np.ndarray:
+    """Vector of predicted absolute errors for a workload.
+
+    ``predictor`` maps one query to its expected absolute error; this
+    helper exists so benches can zip predictions with measurements.
+    """
+    return np.array([predictor(query) for query in queries])
+
+
+def predicted_mre(
+    queries: list[RangeQuery],
+    true_answers: np.ndarray,
+    predictor,
+    sanity_bound: float | None = None,
+) -> float:
+    """Predicted mean relative error (%) from an error model."""
+    true_answers = np.asarray(true_answers, dtype=float)
+    if len(queries) != true_answers.size:
+        raise ConfigurationError("queries and answers must align")
+    errors = predict_workload_error(queries, predictor)
+    if sanity_bound is None:
+        sanity_bound = 0.01 * float(np.mean(np.abs(true_answers)))
+    denominators = np.maximum(np.abs(true_answers), max(1e-12, sanity_bound))
+    return float(np.mean(errors / denominators) * 100.0)

@@ -1,0 +1,18 @@
+"""Empirical DP auditing: falsifiable checks of the claimed ε."""
+
+from repro.audit.estimator import AuditResult, audit_epsilon
+from repro.audit.targets import (
+    broken_identity_target,
+    mechanism_target,
+    neighbouring_readings,
+    stpt_target,
+)
+
+__all__ = [
+    "AuditResult",
+    "audit_epsilon",
+    "neighbouring_readings",
+    "mechanism_target",
+    "stpt_target",
+    "broken_identity_target",
+]

@@ -1,0 +1,106 @@
+"""Ready-made audit targets for the library's mechanisms.
+
+Each factory produces the ``(dataset, rng) -> scalar`` closure the
+estimator consumes, plus the canonical neighbouring pair for the
+user-level adjacency the paper uses (add/remove one household). The
+distinguishing statistic is chosen where the removed household's
+influence concentrates, which is where a privacy bug would surface
+first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.base import Mechanism
+from repro.core.stpt import STPT, STPTConfig
+from repro.data.matrix import ConsumptionMatrix, build_matrices
+from repro.exceptions import ConfigurationError
+from repro.rng import RngLike, derive_seed, ensure_rng
+
+
+def neighbouring_readings(
+    n_households: int,
+    n_steps: int,
+    rng: RngLike = None,
+    heavy_value: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A dataset and its neighbour differing in one heavy household.
+
+    The distinguished household consumes ``heavy_value`` (the clipping
+    bound) at every step — the worst case the sensitivity analysis must
+    cover. Removal is modelled by zeroing its row, which changes every
+    cell sum exactly as removing the record would.
+    """
+    if n_households < 2:
+        raise ConfigurationError("need at least two households")
+    generator = ensure_rng(rng)
+    readings = generator.random((n_households, n_steps)) * 0.3
+    readings[0, :] = heavy_value
+    neighbour = readings.copy()
+    neighbour[0, :] = 0.0
+    return readings, neighbour
+
+
+def mechanism_target(
+    mechanism: Mechanism,
+    epsilon: float,
+    cells: np.ndarray,
+    grid_shape: tuple[int, int],
+    clip_factor: float = 1.0,
+) -> Callable[[np.ndarray, np.random.Generator], float]:
+    """Audit target for a baseline mechanism.
+
+    The statistic is the released total of the distinguished
+    household's pillar — exactly where its removal shows.
+    """
+    target_cell = (int(cells[0, 0]), int(cells[0, 1]))
+
+    def run(readings: np.ndarray, rng: np.random.Generator) -> float:
+        __, norm = build_matrices(readings, cells, grid_shape, clip_factor)
+        release = mechanism.run(norm, epsilon, rng=derive_seed(rng))
+        return float(release.sanitized.values[target_cell[0], target_cell[1], :].sum())
+
+    return run
+
+
+def stpt_target(
+    config: STPTConfig,
+    cells: np.ndarray,
+    grid_shape: tuple[int, int],
+    clip_factor: float = 1.0,
+) -> Callable[[np.ndarray, np.random.Generator], float]:
+    """Audit target for the full STPT pipeline.
+
+    The statistic sums the released values of the distinguished
+    household's pillar over the published (test) horizon.
+    """
+    target_cell = (int(cells[0, 0]), int(cells[0, 1]))
+
+    def run(readings: np.ndarray, rng: np.random.Generator) -> float:
+        __, norm = build_matrices(readings, cells, grid_shape, clip_factor)
+        result = STPT(config, rng=derive_seed(rng)).publish(norm)
+        return float(
+            result.sanitized.values[target_cell[0], target_cell[1], :].sum()
+        )
+
+    return run
+
+
+def broken_identity_target(
+    cells: np.ndarray, grid_shape: tuple[int, int]
+) -> Callable[[np.ndarray, np.random.Generator], float]:
+    """A deliberately broken 'mechanism' that adds no noise.
+
+    Exists so audit tests can demonstrate detection: the estimator must
+    assign it an unbounded (large) empirical ε.
+    """
+    target_cell = (int(cells[0, 0]), int(cells[0, 1]))
+
+    def run(readings: np.ndarray, rng: np.random.Generator) -> float:
+        __, norm = build_matrices(readings, cells, grid_shape, 1.0)
+        return float(norm.values[target_cell[0], target_cell[1], :].sum())
+
+    return run

@@ -1,0 +1,95 @@
+"""Common interface of the benchmark mechanisms (Section 5.1).
+
+Every baseline publishes the *normalized* consumption matrix over the
+test horizon under **user-level** ε-DP — the same contract STPT's
+sanitization phase fulfils — so utility comparisons are apples to
+apples. Under user-level privacy a household contributes to every time
+slice of its pillar, hence:
+
+* across time slices composition is sequential (budgets add up), and
+* across spatial cells it is parallel (cells partition the users).
+
+Each mechanism documents how it spreads its budget over that structure.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.matrix import ConsumptionMatrix
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import PrivacyError
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass
+class MechanismRun:
+    """A sanitized release plus bookkeeping."""
+
+    sanitized: ConsumptionMatrix
+    epsilon: float
+    elapsed_seconds: float
+    mechanism: str
+
+
+class Mechanism(abc.ABC):
+    """A user-level ε-DP publisher of consumption matrices."""
+
+    #: Display name used by the experiment harness and figures.
+    name: str = "mechanism"
+
+    @abc.abstractmethod
+    def sanitize(
+        self,
+        norm_matrix: ConsumptionMatrix,
+        epsilon: float,
+        rng: RngLike = None,
+        accountant: BudgetAccountant | None = None,
+    ) -> ConsumptionMatrix:
+        """Return an ε-DP version of ``norm_matrix`` (normalized scale)."""
+
+    def run(
+        self,
+        norm_matrix: ConsumptionMatrix,
+        epsilon: float,
+        rng: RngLike = None,
+    ) -> MechanismRun:
+        """Sanitize with timing and budget enforcement."""
+        if epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        accountant = BudgetAccountant(epsilon)
+        generator = ensure_rng(rng)
+        started = time.perf_counter()
+        sanitized = self.sanitize(
+            norm_matrix, epsilon, rng=generator, accountant=accountant
+        )
+        elapsed = time.perf_counter() - started
+        accountant.assert_within_budget()
+        return MechanismRun(
+            sanitized=sanitized,
+            epsilon=epsilon,
+            elapsed_seconds=elapsed,
+            mechanism=self.name,
+        )
+
+
+def spend_all_slices(
+    accountant: BudgetAccountant | None, epsilon: float, n_slices: int, label: str
+) -> float:
+    """Charge a budget split evenly over ``n_slices`` sequential slices.
+
+    Returns the per-slice budget. Centralized so every baseline
+    accounts the time dimension identically.
+    """
+    per_slice = epsilon / n_slices
+    if accountant is not None:
+        accountant.spend(epsilon, label=f"{label}[{n_slices} slices]")
+    return per_slice
+
+
+def as_matrix(values: np.ndarray) -> ConsumptionMatrix:
+    return ConsumptionMatrix(np.asarray(values, dtype=float))

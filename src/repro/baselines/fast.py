@@ -1,0 +1,125 @@
+"""FAST baseline (Fan & Xiong, TKDE 2014).
+
+FAST publishes a stream under DP by *sampling* only a subset of
+timestamps — spending the whole per-series budget on those — and
+filling the gaps with a Kalman-filter prediction. A PID controller
+watches the feedback error between prediction and (noisy) observation
+and stretches or shrinks the sampling interval adaptively.
+
+Adaptation to the consumption matrix: every spatial pillar is an
+independent stream (pillars partition the households, so each pillar
+runs with the full budget in parallel); within a pillar the budget is
+split evenly over the ``max_samples`` sampled points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import Mechanism, as_matrix
+from repro.data.matrix import ConsumptionMatrix
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import ConfigurationError
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class FASTConfig:
+    """Filter and controller parameters (defaults follow the paper)."""
+
+    sample_fraction: float = 0.25   # fraction of timestamps sampled (max M/T)
+    process_variance: float = 1e-2  # Q of the random-walk process model
+    pid_kp: float = 0.9
+    pid_ki: float = 0.1
+    pid_kd: float = 0.0
+    pid_target: float = 0.1         # ξ: tolerated relative feedback error
+    max_interval: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sample_fraction <= 1:
+            raise ConfigurationError("sample_fraction must be in (0, 1]")
+        if self.process_variance <= 0:
+            raise ConfigurationError("process_variance must be positive")
+        if self.max_interval < 1:
+            raise ConfigurationError("max_interval must be >= 1")
+
+
+class FAST(Mechanism):
+    """Kalman-filtered adaptive sampling over every pillar."""
+
+    name = "FAST"
+
+    def __init__(self, config: FASTConfig | None = None) -> None:
+        self.config = config or FASTConfig()
+
+    def _filter_series(
+        self,
+        series: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        cfg = self.config
+        steps = len(series)
+        max_samples = max(1, int(np.ceil(steps * cfg.sample_fraction)))
+        eps_per_sample = epsilon / max_samples
+        measurement_var = 2.0 * (1.0 / eps_per_sample) ** 2  # Laplace variance
+
+        released = np.empty(steps)
+        estimate = 0.0
+        error_var = 1.0
+        samples_used = 0
+        interval = 1
+        next_sample = 0
+        pid_integral = 0.0
+        prev_error = 0.0
+
+        for t in range(steps):
+            # Kalman predict under the random-walk process model.
+            prior = estimate
+            prior_var = error_var + cfg.process_variance
+            if t == next_sample and samples_used < max_samples:
+                observation = series[t] + rng.laplace(0.0, 1.0 / eps_per_sample)
+                samples_used += 1
+                gain = prior_var / (prior_var + measurement_var)
+                estimate = prior + gain * (observation - prior)
+                error_var = (1.0 - gain) * prior_var
+                # PID control of the sampling interval from the
+                # relative feedback error.
+                feedback = abs(observation - prior) / max(abs(observation), 1.0)
+                pid_integral += feedback
+                derivative = feedback - prev_error
+                prev_error = feedback
+                control = (
+                    cfg.pid_kp * feedback
+                    + cfg.pid_ki * pid_integral
+                    + cfg.pid_kd * derivative
+                )
+                if control > cfg.pid_target:
+                    interval = max(1, interval - 1)
+                else:
+                    interval = min(cfg.max_interval, interval + 1)
+                next_sample = t + interval
+            else:
+                estimate = prior
+                error_var = prior_var
+            released[t] = estimate
+        return released
+
+    def sanitize(
+        self,
+        norm_matrix: ConsumptionMatrix,
+        epsilon: float,
+        rng: RngLike = None,
+        accountant: BudgetAccountant | None = None,
+    ) -> ConsumptionMatrix:
+        generator = ensure_rng(rng)
+        cx, cy, ct = norm_matrix.shape
+        if accountant is not None:
+            accountant.spend_parallel([epsilon] * (cx * cy), label=self.name)
+        pillars = norm_matrix.pillars()
+        released = np.empty_like(pillars)
+        for row in range(pillars.shape[0]):
+            released[row] = self._filter_series(pillars[row], epsilon, generator)
+        return as_matrix(released.reshape(cx, cy, ct))

@@ -1,0 +1,237 @@
+"""Command-line interface: generate, publish, evaluate, figure.
+
+Examples::
+
+    python -m repro generate --dataset CA --days 88 --out ca.npz
+    python -m repro publish --data ca.npz --grid 16 --t-train 40 \
+        --distribution uniform --out release.npz --csv release.csv
+    python -m repro evaluate --data ca.npz --release release.npz \
+        --grid 16 --t-train 40 --distribution uniform
+    python -m repro figure table2
+    python -m repro figure fig6 --dataset CER
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.core.pattern import PatternConfig
+from repro.core.stpt import STPT, STPTConfig
+from repro.data.datasets import TABLE2, generate_dataset
+from repro.data.io import (
+    export_matrix_csv,
+    load_dataset,
+    load_matrix,
+    save_dataset,
+    save_matrix,
+)
+from repro.data.matrix import build_matrices
+from repro.data.spatial import DISTRIBUTIONS, place_households
+from repro.exceptions import ReproError
+from repro.experiments import ablations, figures
+from repro.experiments.harness import format_table
+from repro.queries.metrics import workload_mre
+from repro.queries.range_query import make_workload
+
+FIGURE_RUNNERS: dict[str, Callable[..., list[dict]]] = {
+    "table2": figures.table2,
+    "fig9": figures.figure9,
+    "fig6": figures.figure6,
+    "fig7": figures.figure7,
+    "fig8ab": figures.figure8ab,
+    "fig8c": figures.figure8c,
+    "fig8d": figures.figure8d,
+    "fig8ef": figures.figure8ef,
+    "fig8g": figures.figure8g,
+    "fig8h": figures.figure8h,
+    "fig8i": figures.figure8i,
+    "ablation-allocation": ablations.ablation_budget_allocation,
+    "ablation-rollout": ablations.ablation_rollout,
+    "ablation-attention": ablations.ablation_attention,
+    "ablation-seeds": ablations.ablation_seed_denoising,
+    "ablation-local-dp": ablations.ablation_local_dp,
+    "ablation-privacy-model": ablations.ablation_privacy_model,
+    "ablation-refinement": ablations.ablation_refinement,
+}
+
+#: Runners that do not take a dataset argument.
+_DATASET_FREE = {"table2", "fig9"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STPT: differentially private publication of smart "
+        "electricity grid data (EDBT 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--dataset", choices=sorted(TABLE2), required=True)
+    gen.add_argument("--days", type=int, default=220)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    pub = sub.add_parser("publish", help="run STPT on a dataset file")
+    pub.add_argument("--data", required=True, help="dataset .npz from 'generate'")
+    pub.add_argument("--grid", type=int, default=32, help="grid side (power of 2)")
+    pub.add_argument("--distribution", choices=DISTRIBUTIONS, default="uniform")
+    pub.add_argument("--t-train", type=int, default=100)
+    pub.add_argument("--epsilon-pattern", type=float, default=10.0)
+    pub.add_argument("--epsilon-sanitize", type=float, default=20.0)
+    pub.add_argument("--quantization", type=int, default=20)
+    pub.add_argument("--window", type=int, default=6)
+    pub.add_argument("--epochs", type=int, default=20)
+    pub.add_argument("--embed-dim", type=int, default=32)
+    pub.add_argument("--hidden-dim", type=int, default=32)
+    pub.add_argument("--seed", type=int, default=0)
+    pub.add_argument("--out", required=True, help="sanitized matrix .npz path")
+    pub.add_argument("--csv", help="optionally also export CSV here")
+
+    eva = sub.add_parser("evaluate", help="MRE of a release vs the raw data")
+    eva.add_argument("--data", required=True)
+    eva.add_argument("--release", required=True)
+    eva.add_argument("--grid", type=int, default=32)
+    eva.add_argument("--distribution", choices=DISTRIBUTIONS, default="uniform")
+    eva.add_argument("--t-train", type=int, default=100)
+    eva.add_argument("--queries", type=int, default=300)
+    eva.add_argument("--seed", type=int, default=0)
+
+    fig = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig.add_argument("name", choices=sorted(FIGURE_RUNNERS))
+    fig.add_argument("--dataset", choices=sorted(TABLE2), default="CER")
+    fig.add_argument("--seed", type=int, default=0)
+
+    rep = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    rep.add_argument("--out", required=True, help="markdown output path")
+    rep.add_argument("--dataset", choices=sorted(TABLE2), default="CER")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument(
+        "--sections", nargs="*",
+        help="substring filters on section titles (default: all)",
+    )
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_dataset(args.dataset, n_days=args.days, rng=args.seed)
+    save_dataset(dataset, args.out)
+    stats = dataset.statistics()
+    print(
+        f"wrote {args.out}: {dataset.n_households} households x "
+        f"{dataset.n_hours} hours "
+        f"(mean {stats['mean_kwh']:.2f} kWh, max {stats['max_kwh']:.2f} kWh)"
+    )
+    return 0
+
+
+def _matrices_for(args: argparse.Namespace):
+    dataset = load_dataset(args.data)
+    grid = (args.grid, args.grid)
+    cells = place_households(
+        dataset.n_households, grid, args.distribution, rng=args.seed
+    )
+    clip = dataset.daily_clip_factor()
+    cons, norm = build_matrices(dataset.daily_readings(), cells, grid, clip)
+    return dataset, cons, norm, clip
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    __, cons, norm, clip = _matrices_for(args)
+    config = STPTConfig(
+        epsilon_pattern=args.epsilon_pattern,
+        epsilon_sanitize=args.epsilon_sanitize,
+        t_train=args.t_train,
+        quantization_levels=args.quantization,
+        pattern=PatternConfig(
+            window=args.window,
+            epochs=args.epochs,
+            embed_dim=args.embed_dim,
+            hidden_dim=args.hidden_dim,
+        ),
+    )
+    result = STPT(config, rng=args.seed).publish(norm, clip_scale=clip)
+    save_matrix(result.sanitized_kwh, args.out)
+    print(
+        f"wrote {args.out}: {result.sanitized_kwh.shape}, "
+        f"epsilon spent {result.epsilon_spent:.2f}, "
+        f"{result.elapsed_seconds:.1f}s"
+    )
+    if args.csv:
+        export_matrix_csv(result.sanitized_kwh, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    __, cons, __, __ = _matrices_for(args)
+    release = load_matrix(args.release)
+    test_cons = cons.time_slice(args.t_train)
+    if release.shape != test_cons.shape:
+        print(
+            f"error: release shape {release.shape} does not match the "
+            f"test horizon {test_cons.shape}",
+            file=sys.stderr,
+        )
+        return 2
+    rows = []
+    for kind in ("random", "small", "large"):
+        queries = make_workload(
+            kind, test_cons.shape, count=args.queries,
+            rng=args.seed, reference=test_cons,
+        )
+        rows.append(
+            {"workload": kind,
+             "mre_percent": workload_mre(queries, test_cons, release)}
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    path = generate_report(
+        args.out,
+        dataset_name=args.dataset,
+        rng=args.seed,
+        sections=args.sections,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = FIGURE_RUNNERS[args.name]
+    if args.name in _DATASET_FREE:
+        rows = runner(rng=args.seed)
+    else:
+        rows = runner(args.dataset, rng=args.seed)
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "publish": _cmd_publish,
+        "evaluate": _cmd_evaluate,
+        "figure": _cmd_figure,
+        "report": _cmd_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

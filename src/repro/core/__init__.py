@@ -1,0 +1,48 @@
+"""STPT core: quadtree, pattern recognition, quantization, sanitization."""
+
+from repro.core.pattern import PatternConfig, PatternRecognizer, PatternResult
+from repro.core.quadtree import (
+    QuadtreeLevel,
+    SpatioTemporalQuadtree,
+    max_depth_for_grid,
+    sanitize_levels,
+    segment_length,
+)
+from repro.core.postprocess import (
+    enforce_slice_totals,
+    project_nonnegative,
+    refine_release,
+    release_noisy_totals,
+)
+from repro.core.quantization import PartitionSet, k_quantize
+from repro.core.sanitizer import (
+    SanitizationResult,
+    allocate_budget,
+    expected_noise_variance,
+    sanitize_by_partitions,
+)
+from repro.core.stpt import STPT, STPTConfig, STPTResult
+
+__all__ = [
+    "SpatioTemporalQuadtree",
+    "QuadtreeLevel",
+    "segment_length",
+    "max_depth_for_grid",
+    "sanitize_levels",
+    "PatternConfig",
+    "PatternRecognizer",
+    "PatternResult",
+    "PartitionSet",
+    "k_quantize",
+    "project_nonnegative",
+    "release_noisy_totals",
+    "enforce_slice_totals",
+    "refine_release",
+    "allocate_budget",
+    "expected_noise_variance",
+    "sanitize_by_partitions",
+    "SanitizationResult",
+    "STPT",
+    "STPTConfig",
+    "STPTResult",
+]

@@ -1,0 +1,189 @@
+"""The end-to-end STPT pipeline (Algorithm 1 of the paper).
+
+``STPT.publish`` takes the aligned ``(C_cons, C_norm)`` pair built by
+:func:`repro.data.matrix.build_matrices` over the *full* horizon
+(training + test), spends ``epsilon_pattern`` on the pattern phase and
+``epsilon_sanitize`` on the release, and returns the sanitized
+consumption matrix for the test horizon together with all phase
+artifacts. The total privacy cost is
+``epsilon_total = epsilon_pattern + epsilon_sanitize`` (Eq. 7), which a
+:class:`repro.dp.budget.BudgetAccountant` enforces throughout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pattern import PatternConfig, PatternRecognizer, PatternResult
+from repro.core.quantization import PartitionSet, k_quantize
+from repro.core.sanitizer import SanitizationResult, sanitize_by_partitions
+from repro.data.matrix import ConsumptionMatrix
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import ConfigurationError, DataError
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class STPTConfig:
+    """All knobs of the STPT pipeline.
+
+    Paper defaults (Appendix C): ``epsilon_pattern=10``,
+    ``epsilon_sanitize=20``, 100 training points, window 6,
+    quadtree depth log2(Cx), 20 quantization levels.
+    """
+
+    epsilon_pattern: float = 10.0
+    epsilon_sanitize: float = 20.0
+    t_train: int = 100
+    quantization_levels: int = 20
+    rollout: str = "anchored"
+    allocation: str = "optimal"
+    pattern: PatternConfig = field(default_factory=PatternConfig)
+
+    def __post_init__(self) -> None:
+        if self.epsilon_pattern <= 0 or self.epsilon_sanitize <= 0:
+            raise ConfigurationError("privacy budgets must be positive")
+        if self.t_train <= 0:
+            raise ConfigurationError("t_train must be positive")
+        if self.quantization_levels <= 0:
+            raise ConfigurationError("quantization_levels must be positive")
+        if self.rollout not in ("anchored", "cell"):
+            raise ConfigurationError("rollout must be 'anchored' or 'cell'")
+        from repro.core.sanitizer import ALLOCATION_STRATEGIES
+
+        if self.allocation not in ALLOCATION_STRATEGIES:
+            raise ConfigurationError(
+                f"allocation must be one of {ALLOCATION_STRATEGIES}"
+            )
+
+    @property
+    def epsilon_total(self) -> float:
+        return self.epsilon_pattern + self.epsilon_sanitize
+
+    @classmethod
+    def with_suggested_split(
+        cls,
+        epsilon_total: float,
+        t_train: int,
+        grid_shape: tuple[int, int],
+        typical_cell_value: float,
+        target_snr: float = 1.0,
+        **overrides,
+    ) -> "STPTConfig":
+        """Build a config whose ε split comes from the SNR heuristic.
+
+        Uses :func:`repro.analysis.allocation.suggest_budget_split`
+        (the paper's future-work question of how to divide ε between
+        pipeline stages). ``typical_cell_value`` is a public prior on
+        normalized cell magnitude — e.g. expected households per cell
+        times their mean normalized reading — not a data-derived
+        quantity, so no budget is spent on it.
+        """
+        from repro.analysis.allocation import suggest_budget_split
+        from repro.core.quadtree import max_depth_for_grid
+
+        pattern_config = overrides.get("pattern", PatternConfig())
+        depth = pattern_config.depth
+        if depth is None:
+            depth = max_depth_for_grid(grid_shape)
+        epsilon_pattern, epsilon_sanitize = suggest_budget_split(
+            epsilon_total, t_train, depth, typical_cell_value, target_snr
+        )
+        overrides.setdefault("pattern", pattern_config)
+        return cls(
+            epsilon_pattern=epsilon_pattern,
+            epsilon_sanitize=epsilon_sanitize,
+            t_train=t_train,
+            **overrides,
+        )
+
+
+@dataclass
+class STPTResult:
+    """Everything produced by one STPT run."""
+
+    sanitized: ConsumptionMatrix          # normalized scale, test horizon
+    sanitized_kwh: ConsumptionMatrix      # rescaled by the clipping factor
+    pattern_matrix: np.ndarray            # C_pattern over the test horizon
+    partitions: PartitionSet
+    pattern_result: PatternResult
+    sanitization: SanitizationResult
+    accountant: BudgetAccountant
+    elapsed_seconds: float
+    t_train: int
+
+    @property
+    def epsilon_spent(self) -> float:
+        return self.accountant.spent_epsilon
+
+
+class STPT:
+    """Spatio-Temporal Private Timeseries publisher."""
+
+    def __init__(self, config: STPTConfig | None = None, rng: RngLike = None) -> None:
+        self.config = config or STPTConfig()
+        self._rng = ensure_rng(rng)
+
+    def publish(
+        self,
+        norm_matrix: ConsumptionMatrix,
+        clip_scale: float = 1.0,
+    ) -> STPTResult:
+        """Run Algorithm 1 and publish the test horizon.
+
+        ``norm_matrix`` is the normalized consumption matrix over the
+        full horizon; indices ``[0, t_train)`` feed pattern
+        recognition and ``[t_train, T)`` are sanitized and released.
+        ``clip_scale`` converts normalized values back to kWh (the
+        clipping factor used during normalization).
+        """
+        config = self.config
+        values = norm_matrix.values
+        total_steps = norm_matrix.n_steps
+        if config.t_train >= total_steps:
+            raise DataError(
+                f"t_train ({config.t_train}) must be smaller than the "
+                f"matrix horizon ({total_steps})"
+            )
+        if clip_scale <= 0:
+            raise ConfigurationError("clip_scale must be positive")
+        t_test = total_steps - config.t_train
+        started = time.perf_counter()
+
+        accountant = BudgetAccountant(config.epsilon_total)
+
+        recognizer = PatternRecognizer(
+            config.epsilon_pattern, config.pattern, rng=self._rng
+        )
+        pattern_result = recognizer.fit(
+            values[:, :, : config.t_train], accountant=accountant
+        )
+        pattern_matrix = recognizer.generate(t_test, rollout=config.rollout)
+
+        partitions = k_quantize(pattern_matrix, config.quantization_levels)
+        sanitization = sanitize_by_partitions(
+            values[:, :, config.t_train :],
+            partitions,
+            config.epsilon_sanitize,
+            rng=self._rng,
+            accountant=accountant,
+            allocation=config.allocation,
+        )
+        accountant.assert_within_budget()
+
+        sanitized = ConsumptionMatrix(sanitization.values)
+        elapsed = time.perf_counter() - started
+        return STPTResult(
+            sanitized=sanitized,
+            sanitized_kwh=ConsumptionMatrix(sanitization.values * clip_scale),
+            pattern_matrix=pattern_matrix,
+            partitions=partitions,
+            pattern_result=pattern_result,
+            sanitization=sanitization,
+            accountant=accountant,
+            elapsed_seconds=elapsed,
+            t_train=config.t_train,
+        )

@@ -1,0 +1,114 @@
+"""Serialization of datasets and matrices (npz + csv)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.datasets import DatasetSpec, SmartMeterDataset
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import DataError
+
+
+def save_dataset(dataset: SmartMeterDataset, path: str | Path) -> Path:
+    """Persist a dataset (readings + spec) to an ``.npz`` file."""
+    path = Path(path)
+    spec = dataset.spec
+    meta = {
+        "name": spec.name,
+        "n_households": spec.n_households,
+        "mean_kwh": spec.mean_kwh,
+        "std_kwh": spec.std_kwh,
+        "max_kwh": spec.max_kwh,
+        "clip_factor": spec.clip_factor,
+        "start_weekday": dataset.start_weekday,
+    }
+    np.savez_compressed(
+        path,
+        readings=dataset.readings.astype(np.float32),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_dataset(path: str | Path) -> SmartMeterDataset:
+    """Load a dataset previously saved with :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file not found: {path}")
+    with np.load(path) as archive:
+        readings = archive["readings"].astype(float)
+        meta = json.loads(bytes(archive["meta"]).decode())
+    spec = DatasetSpec(
+        name=meta["name"],
+        n_households=meta["n_households"],
+        mean_kwh=meta["mean_kwh"],
+        std_kwh=meta["std_kwh"],
+        max_kwh=meta["max_kwh"],
+        clip_factor=meta["clip_factor"],
+    )
+    return SmartMeterDataset(
+        spec=spec, readings=readings, start_weekday=meta["start_weekday"]
+    )
+
+
+def save_matrix(matrix: ConsumptionMatrix, path: str | Path) -> Path:
+    """Persist a consumption matrix to ``.npz``."""
+    path = Path(path)
+    np.savez_compressed(path, values=matrix.values)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_matrix(path: str | Path) -> ConsumptionMatrix:
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"matrix file not found: {path}")
+    with np.load(path) as archive:
+        return ConsumptionMatrix(archive["values"])
+
+
+def export_matrix_csv(matrix: ConsumptionMatrix, path: str | Path) -> Path:
+    """Export a matrix as long-form CSV ``(x, y, t, consumption)``.
+
+    Intended for handing sanitized releases to downstream tools that
+    do not read numpy archives.
+    """
+    path = Path(path)
+    cx, cy, ct = matrix.shape
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y", "t", "consumption"])
+        for x in range(cx):
+            for y in range(cy):
+                for t in range(ct):
+                    writer.writerow([x, y, t, f"{matrix.values[x, y, t]:.6f}"])
+    return path
+
+
+def import_matrix_csv(path: str | Path) -> ConsumptionMatrix:
+    """Inverse of :func:`export_matrix_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"csv file not found: {path}")
+    rows: list[tuple[int, int, int, float]] = []
+    with path.open() as handle:
+        reader = csv.DictReader(handle)
+        required = {"x", "y", "t", "consumption"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise DataError(f"csv must have columns {sorted(required)}")
+        for row in reader:
+            rows.append(
+                (int(row["x"]), int(row["y"]), int(row["t"]), float(row["consumption"]))
+            )
+    if not rows:
+        raise DataError("csv contains no data rows")
+    cx = max(r[0] for r in rows) + 1
+    cy = max(r[1] for r in rows) + 1
+    ct = max(r[2] for r in rows) + 1
+    values = np.zeros((cx, cy, ct))
+    for x, y, t, v in rows:
+        values[x, y, t] = v
+    return ConsumptionMatrix(values)

@@ -1,0 +1,128 @@
+"""The 3-D consumption matrix (Section 3.1 of the paper).
+
+``ConsumptionMatrix`` wraps a ``(Cx, Cy, Ct)`` array where element
+``(i, j, t)`` is the total consumption of the households located in
+grid cell ``(i, j)`` during time slice ``t``. Two aligned matrices are
+produced from raw readings:
+
+* ``C_cons``  — sums of raw kWh readings, the quantity data recipients
+  query; and
+* ``C_norm``  — sums of readings clipped at the dataset's sensitivity
+  clipping factor and divided by it, so one household changes any cell
+  by at most 1 (Theorem 4) and the Laplace scale is simply ``1/ε``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.dp.sensitivity import clip_readings
+
+
+@dataclass
+class ConsumptionMatrix:
+    """A spatio-temporal aggregate with convenience accessors."""
+
+    values: np.ndarray  # (Cx, Cy, Ct)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 3:
+            raise DataError(f"consumption matrix must be 3-D, got {self.values.ndim}-D")
+        if self.values.size == 0:
+            raise DataError("consumption matrix must be non-empty")
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.values.shape  # type: ignore[return-value]
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return self.values.shape[0], self.values.shape[1]
+
+    @property
+    def n_steps(self) -> int:
+        return self.values.shape[2]
+
+    def pillar(self, x: int, y: int) -> np.ndarray:
+        """The time series of one spatial cell (an xy-axis *pillar*)."""
+        cx, cy = self.grid_shape
+        if not (0 <= x < cx and 0 <= y < cy):
+            raise DataError(f"cell ({x}, {y}) outside grid {self.grid_shape}")
+        return self.values[x, y, :]
+
+    def pillars(self) -> np.ndarray:
+        """All pillars as a ``(Cx * Cy, Ct)`` array, row-major over cells."""
+        cx, cy, ct = self.shape
+        return self.values.reshape(cx * cy, ct)
+
+    def time_slice(self, start: int, stop: int | None = None) -> "ConsumptionMatrix":
+        """A view-like copy restricted to time indices ``[start, stop)``."""
+        stop = self.n_steps if stop is None else stop
+        if not (0 <= start < stop <= self.n_steps):
+            raise DataError(
+                f"time range [{start}, {stop}) invalid for {self.n_steps} steps"
+            )
+        return ConsumptionMatrix(self.values[:, :, start:stop].copy())
+
+    def total(self) -> float:
+        return float(self.values.sum())
+
+    def copy(self) -> "ConsumptionMatrix":
+        return ConsumptionMatrix(self.values.copy())
+
+    @classmethod
+    def from_readings(
+        cls,
+        readings: np.ndarray,
+        cells: np.ndarray,
+        grid_shape: tuple[int, int],
+    ) -> "ConsumptionMatrix":
+        """Aggregate per-household series into per-cell sums.
+
+        ``readings`` is ``(N, T)``; ``cells`` is ``(N, 2)`` integer grid
+        coordinates (one static location per household — consumers do
+        not move in this model).
+        """
+        readings = np.asarray(readings, dtype=float)
+        cells = np.asarray(cells)
+        if readings.ndim != 2:
+            raise DataError("readings must be (households, time)")
+        if cells.shape != (readings.shape[0], 2):
+            raise DataError(
+                f"cells must be ({readings.shape[0]}, 2), got {cells.shape}"
+            )
+        cx, cy = int(grid_shape[0]), int(grid_shape[1])
+        if cx <= 0 or cy <= 0:
+            raise ConfigurationError("grid dimensions must be positive")
+        if cells.min() < 0 or cells[:, 0].max() >= cx or cells[:, 1].max() >= cy:
+            raise DataError("cell coordinates fall outside the grid")
+        n, t = readings.shape
+        values = np.zeros((cx, cy, t))
+        flat = cells[:, 0] * cy + cells[:, 1]
+        # Sum household rows into their cells with one bincount per shape.
+        sums = np.zeros((cx * cy, t))
+        np.add.at(sums, flat, readings)
+        values = sums.reshape(cx, cy, t)
+        return cls(values)
+
+
+def build_matrices(
+    readings: np.ndarray,
+    cells: np.ndarray,
+    grid_shape: tuple[int, int],
+    clip_factor: float,
+) -> tuple[ConsumptionMatrix, ConsumptionMatrix]:
+    """Build the aligned ``(C_cons, C_norm)`` pair used by STPT.
+
+    ``C_norm`` aggregates readings clipped to ``[0, clip_factor]`` and
+    scaled by ``1 / clip_factor``, so each household perturbs any cell
+    by at most one — the unit sensitivity Theorem 4 requires.
+    """
+    cons = ConsumptionMatrix.from_readings(readings, cells, grid_shape)
+    clipped = clip_readings(readings, clip_factor) / clip_factor
+    norm = ConsumptionMatrix.from_readings(clipped, cells, grid_shape)
+    return cons, norm

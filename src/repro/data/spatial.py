@@ -1,0 +1,142 @@
+"""Spatial placement of households on the publication grid.
+
+The paper overlays a 32x32 grid on a 70km x 70km map and places
+households according to three distributions (Section 5.1):
+
+* **Uniform** — every cell equally likely;
+* **Normal**  — a Gaussian blob with a random centre and standard
+  deviation equal to one third of the grid side;
+* **Los Angeles** — the population histogram of LA estimated from the
+  proprietary Veraset mobility corpus. We substitute a deterministic
+  synthetic density with the same character (a dense anisotropic
+  downtown ridge plus suburban blobs and a low ambient floor); the DP
+  mechanisms never read the density itself, only the resulting
+  placement, so any similarly non-uniform urban density exercises the
+  same code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import RngLike, ensure_rng
+
+DISTRIBUTIONS = ("uniform", "normal", "la")
+
+
+def _check_grid(grid_shape: tuple[int, int]) -> tuple[int, int]:
+    if len(grid_shape) != 2 or grid_shape[0] <= 0 or grid_shape[1] <= 0:
+        raise ConfigurationError(f"grid_shape must be two positive ints, got {grid_shape}")
+    return int(grid_shape[0]), int(grid_shape[1])
+
+
+def uniform_placement(
+    n_households: int, grid_shape: tuple[int, int], rng: RngLike = None
+) -> np.ndarray:
+    """Place households uniformly at random; returns (n, 2) cell indices."""
+    cx, cy = _check_grid(grid_shape)
+    if n_households <= 0:
+        raise ConfigurationError("n_households must be positive")
+    generator = ensure_rng(rng)
+    xs = generator.integers(0, cx, size=n_households)
+    ys = generator.integers(0, cy, size=n_households)
+    return np.stack([xs, ys], axis=1)
+
+
+def normal_placement(
+    n_households: int,
+    grid_shape: tuple[int, int],
+    rng: RngLike = None,
+    center: tuple[float, float] | None = None,
+    std_fraction: float = 1.0 / 3.0,
+) -> np.ndarray:
+    """Gaussian placement; the centre is random unless supplied.
+
+    Standard deviation defaults to a third of the grid side, matching
+    the paper. Samples falling off the map are clamped to the border,
+    which concentrates a small amount of extra mass there — the same
+    behaviour as truncating and resampling only in expectation, but
+    deterministic in the number of draws.
+    """
+    cx, cy = _check_grid(grid_shape)
+    if n_households <= 0:
+        raise ConfigurationError("n_households must be positive")
+    if std_fraction <= 0:
+        raise ConfigurationError("std_fraction must be positive")
+    generator = ensure_rng(rng)
+    if center is None:
+        center = (generator.uniform(0, cx), generator.uniform(0, cy))
+    xs = generator.normal(center[0], cx * std_fraction, size=n_households)
+    ys = generator.normal(center[1], cy * std_fraction, size=n_households)
+    xs = np.clip(np.floor(xs), 0, cx - 1).astype(int)
+    ys = np.clip(np.floor(ys), 0, cy - 1).astype(int)
+    return np.stack([xs, ys], axis=1)
+
+
+def la_like_density(grid_shape: tuple[int, int] = (32, 32)) -> np.ndarray:
+    """Deterministic synthetic LA-style population density.
+
+    A diagonal high-density ridge (the downtown/Wilshire corridor),
+    several suburban Gaussian blobs, and a low ambient floor. Values
+    are non-negative and sum to one.
+    """
+    cx, cy = _check_grid(grid_shape)
+    ii, jj = np.meshgrid(np.linspace(0, 1, cx), np.linspace(0, 1, cy),
+                         indexing="ij")
+
+    def blob(x0, y0, sx, sy, weight, tilt=0.0):
+        dx = ii - x0
+        dy = jj - y0
+        xr = dx * np.cos(tilt) + dy * np.sin(tilt)
+        yr = -dx * np.sin(tilt) + dy * np.cos(tilt)
+        return weight * np.exp(-0.5 * ((xr / sx) ** 2 + (yr / sy) ** 2))
+
+    density = (
+        blob(0.52, 0.48, 0.04, 0.12, 1.00, tilt=0.6)   # downtown ridge
+        + blob(0.30, 0.30, 0.08, 0.06, 0.45)           # west-side cluster
+        + blob(0.70, 0.65, 0.07, 0.07, 0.40)           # east suburb
+        + blob(0.25, 0.75, 0.05, 0.05, 0.30)           # coastal cluster
+        + blob(0.80, 0.25, 0.10, 0.05, 0.25, tilt=-0.4)  # valley strip
+        + 0.005                                         # ambient floor
+    )
+    return density / density.sum()
+
+
+def density_placement(
+    n_households: int,
+    density: np.ndarray,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Sample household cells from an explicit density matrix."""
+    density = np.asarray(density, dtype=float)
+    if density.ndim != 2:
+        raise ConfigurationError("density must be a 2-D matrix")
+    if np.any(density < 0) or density.sum() <= 0:
+        raise ConfigurationError("density must be non-negative with positive mass")
+    if n_households <= 0:
+        raise ConfigurationError("n_households must be positive")
+    generator = ensure_rng(rng)
+    flat = density.ravel() / density.sum()
+    choices = generator.choice(flat.size, size=n_households, p=flat)
+    xs, ys = np.unravel_index(choices, density.shape)
+    return np.stack([xs, ys], axis=1)
+
+
+def place_households(
+    n_households: int,
+    grid_shape: tuple[int, int],
+    distribution: str = "uniform",
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Dispatch on the paper's three distribution names."""
+    if distribution == "uniform":
+        return uniform_placement(n_households, grid_shape, rng)
+    if distribution == "normal":
+        return normal_placement(n_households, grid_shape, rng)
+    if distribution == "la":
+        density = la_like_density(grid_shape)
+        return density_placement(n_households, density, rng)
+    raise ConfigurationError(
+        f"unknown distribution {distribution!r}; options: {DISTRIBUTIONS}"
+    )

@@ -1,0 +1,47 @@
+"""Differential-privacy primitives.
+
+The package exposes the Laplace and geometric mechanisms, sensitivity
+helpers (clipping and normalization per Theorem 4 of the paper), and a
+budget accountant implementing sequential/parallel composition
+(Theorems 1-2). Every noisy release performed by the library flows
+through :class:`BudgetAccountant` so that over-spending a budget raises
+:class:`repro.exceptions.BudgetExceededError` instead of silently
+weakening the privacy guarantee.
+"""
+
+from repro.dp.budget import BudgetAccountant, BudgetSplit
+from repro.dp.local import (
+    LocalDPPublisher,
+    LocalMeterReport,
+    aggregate_reports,
+    randomize_readings,
+)
+from repro.dp.mechanisms import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    laplace_noise,
+    laplace_scale,
+)
+from repro.dp.sensitivity import (
+    clip_readings,
+    min_max_normalize,
+    min_max_denormalize,
+    unit_cell_sensitivity,
+)
+
+__all__ = [
+    "BudgetAccountant",
+    "BudgetSplit",
+    "LocalDPPublisher",
+    "LocalMeterReport",
+    "randomize_readings",
+    "aggregate_reports",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "laplace_noise",
+    "laplace_scale",
+    "clip_readings",
+    "min_max_normalize",
+    "min_max_denormalize",
+    "unit_cell_sensitivity",
+]

@@ -1,0 +1,105 @@
+"""Noise mechanisms for ε-differential privacy.
+
+Implements the Laplace mechanism (Eq. 4 of the paper) and, as a utility
+for integer-valued counts, the (two-sided) geometric mechanism. Both are
+exposed in two forms: stateless functions that a caller composes
+manually, and small mechanism objects bound to a sensitivity that can be
+registered against a :class:`repro.dp.budget.BudgetAccountant`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PrivacyError, SensitivityError
+from repro.rng import RngLike, ensure_rng
+
+
+def _check_epsilon(epsilon: float) -> float:
+    if not np.isfinite(epsilon) or epsilon <= 0.0:
+        raise PrivacyError(f"epsilon must be positive and finite, got {epsilon!r}")
+    return float(epsilon)
+
+
+def _check_sensitivity(sensitivity: float) -> float:
+    if not np.isfinite(sensitivity) or sensitivity <= 0.0:
+        raise SensitivityError(
+            f"sensitivity must be positive and finite, got {sensitivity!r}"
+        )
+    return float(sensitivity)
+
+
+def laplace_scale(sensitivity: float, epsilon: float) -> float:
+    """Scale ``b = s / ε`` of the Laplace distribution used for release."""
+    return _check_sensitivity(sensitivity) / _check_epsilon(epsilon)
+
+
+def laplace_noise(
+    shape: tuple[int, ...] | int,
+    sensitivity: float,
+    epsilon: float,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw zero-mean Laplace noise calibrated to ``sensitivity / epsilon``."""
+    scale = laplace_scale(sensitivity, epsilon)
+    return ensure_rng(rng).laplace(loc=0.0, scale=scale, size=shape)
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """Laplace mechanism bound to a fixed L1 sensitivity.
+
+    ``randomize(values, epsilon)`` returns ``values + Lap(s/ε)`` applied
+    element-wise; the result is ε-DP for any function whose L1
+    sensitivity is at most ``sensitivity``.
+    """
+
+    sensitivity: float
+
+    def __post_init__(self) -> None:
+        _check_sensitivity(self.sensitivity)
+
+    def scale(self, epsilon: float) -> float:
+        return laplace_scale(self.sensitivity, epsilon)
+
+    def randomize(
+        self, values: np.ndarray | float, epsilon: float, rng: RngLike = None
+    ) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        noise = laplace_noise(values.shape, self.sensitivity, epsilon, rng)
+        return values + noise
+
+    def variance(self, epsilon: float) -> float:
+        """Variance ``2 b²`` of the injected noise at budget ``epsilon``."""
+        b = self.scale(epsilon)
+        return 2.0 * b * b
+
+
+@dataclass(frozen=True)
+class GeometricMechanism:
+    """Two-sided geometric mechanism for integer-valued queries.
+
+    Adds ``X - Y`` with X, Y i.i.d. geometric, which is the discrete
+    analogue of the Laplace mechanism and exactly ε-DP for counting
+    queries with integer sensitivity.
+    """
+
+    sensitivity: int = 1
+
+    def __post_init__(self) -> None:
+        if int(self.sensitivity) != self.sensitivity or self.sensitivity < 1:
+            raise SensitivityError("geometric sensitivity must be a positive integer")
+
+    def randomize(
+        self, values: np.ndarray | int, epsilon: float, rng: RngLike = None
+    ) -> np.ndarray:
+        _check_epsilon(epsilon)
+        generator = ensure_rng(rng)
+        values = np.asarray(values)
+        alpha = np.exp(-epsilon / float(self.sensitivity))
+        # X - Y with X, Y ~ Geometric(1 - alpha) supported on {0, 1, ...}.
+        x = generator.geometric(1.0 - alpha, size=values.shape) - 1
+        y = generator.geometric(1.0 - alpha, size=values.shape) - 1
+        return values + x - y

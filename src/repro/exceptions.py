@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Privacy violations get their own branch because they
+must never be silently swallowed: exceeding a budget is a correctness bug
+of the caller, not an operational failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class PrivacyError(ReproError):
+    """Base class for violations of differential-privacy accounting."""
+
+
+class BudgetExceededError(PrivacyError):
+    """A mechanism attempted to spend more privacy budget than allocated."""
+
+
+class SensitivityError(PrivacyError):
+    """A sensitivity value is invalid (non-positive or non-finite)."""
+
+
+class DataError(ReproError):
+    """Input data is malformed (wrong shape, negative readings, ...)."""
+
+
+class QueryError(ReproError):
+    """A range query does not fit the matrix it is evaluated against."""
+
+
+class TrainingError(ReproError):
+    """A neural-network training run was configured or converged badly."""

@@ -1,0 +1,229 @@
+"""Ablation studies of STPT's design choices (DESIGN.md section 4).
+
+Each runner isolates one decision the paper (or this reproduction)
+makes and measures its effect on utility with everything else fixed:
+
+* the Theorem 8 budget allocation vs uniform / proportional splits;
+* the C_pattern roll-out strategy (anchored vs per-cell);
+* the self-attention stage of the paper's attention+GRU model;
+* hierarchical (inverse-variance) seed denoising vs raw leaf seeds;
+* the central model vs the future-work local-DP deployment.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.event_level import EventLevelIdentity
+from repro.baselines.identity import Identity
+from repro.core.sanitizer import ALLOCATION_STRATEGIES
+from repro.data.matrix import ConsumptionMatrix
+from repro.dp.local import LocalDPPublisher
+from repro.experiments.harness import build_context, run_mechanism, run_stpt
+from repro.experiments.presets import ScalePreset, active_preset
+from repro.rng import RngLike, derive_seed, ensure_rng
+
+
+def ablation_budget_allocation(
+    dataset_name: str = "CER",
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """Theorem 8 allocation vs uniform and proportional splits."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    for strategy in ALLOCATION_STRATEGIES:
+        config = preset.stpt_config(allocation=strategy)
+        __, mre = run_stpt(context, config, rng=derive_seed(generator))
+        rows.append({"allocation": strategy, **mre})
+    return rows
+
+
+def ablation_rollout(
+    dataset_name: str = "CER",
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """Anchored (shape x level) vs literal per-cell roll-out."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "normal", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    for rollout in ("anchored", "cell"):
+        config = preset.stpt_config(rollout=rollout)
+        result, mre = run_stpt(context, config, rng=derive_seed(generator))
+        metrics = _pattern_error(result, context)
+        rows.append({"rollout": rollout, **mre, **metrics})
+    return rows
+
+
+def ablation_attention(
+    dataset_name: str = "CER",
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """The paper's self-attention + GRU model vs a plain GRU."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    for use_attention in (True, False):
+        config = preset.stpt_config(
+            pattern_overrides={"use_attention": use_attention}
+        )
+        __, mre = run_stpt(context, config, rng=derive_seed(generator))
+        rows.append(
+            {"model": "attention+GRU" if use_attention else "GRU-only", **mre}
+        )
+    return rows
+
+
+def ablation_seed_denoising(
+    dataset_name: str = "CA",
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """Inverse-variance hierarchical seeds vs raw finest-level seeds."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "la", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    for hierarchical in (True, False):
+        config = preset.stpt_config(
+            pattern_overrides={"hierarchical_seeds": hierarchical}
+        )
+        result, mre = run_stpt(context, config, rng=derive_seed(generator))
+        metrics = _pattern_error(result, context)
+        rows.append(
+            {
+                "seeds": "hierarchical" if hierarchical else "leaf-only",
+                **mre,
+                **metrics,
+            }
+        )
+    return rows
+
+
+def ablation_local_dp(
+    dataset_name: str = "CER",
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """Central STPT / central Identity vs the local-DP deployment.
+
+    Quantifies the paper's future-work direction: without a trusted
+    aggregator each household randomizes independently, and the
+    per-household noise accumulates in every cell.
+    """
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    __, stpt_mre = run_stpt(context, rng=derive_seed(generator))
+    rows.append({"deployment": "central/STPT", **stpt_mre})
+    identity_mre, __ = run_mechanism(
+        context, Identity(), rng=derive_seed(generator)
+    )
+    rows.append({"deployment": "central/Identity", **identity_mre})
+
+    daily = context.dataset.daily_readings()[:, preset.t_train :]
+    local_values = LocalDPPublisher().publish(
+        daily,
+        context.cells,
+        preset.grid_shape,
+        epsilon=preset.epsilon_total,
+        clip_factor=context.clip_factor,
+        rng=derive_seed(generator),
+    )
+    local_kwh = ConsumptionMatrix(local_values * context.clip_factor)
+    rows.append({"deployment": "local/LDP", **context.mre_of(local_kwh)})
+    return rows
+
+
+def ablation_refinement(
+    dataset_name: str = "CA",
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """Post-processing refinement of releases (free, Theorem 3).
+
+    Compares raw releases with their non-negativity-projected versions
+    for STPT and Identity. Projection is most valuable for per-cell
+    noise on sparse data (Identity), where negative cells are plainly
+    impossible values.
+    """
+    from repro.core.postprocess import project_nonnegative
+
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "normal", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    result, raw_mre = run_stpt(context, rng=derive_seed(generator))
+    refined = project_nonnegative(result.sanitized_kwh)
+    rows.append({"release": "STPT raw", **raw_mre})
+    rows.append({"release": "STPT + projection", **context.mre_of(refined)})
+
+    identity_run = Identity().run(
+        context.test_norm, preset.epsilon_total, rng=derive_seed(generator)
+    )
+    identity_kwh = context.to_kwh(identity_run.sanitized)
+    rows.append({"release": "Identity raw", **context.mre_of(identity_kwh)})
+    rows.append(
+        {
+            "release": "Identity + projection",
+            **context.mre_of(project_nonnegative(identity_kwh)),
+        }
+    )
+    return rows
+
+
+def ablation_privacy_model(
+    dataset_name: str = "CER",
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """The price of user-level privacy (Section 2.2 / Figure 7 context).
+
+    Event-level Identity spends the full ε on every slice — a strictly
+    weaker guarantee whose accuracy shows what user-level protection
+    costs; STPT's job is to close as much of that gap as possible while
+    keeping the stronger model.
+    """
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    __, stpt_mre = run_stpt(context, rng=derive_seed(generator))
+    rows.append({"setting": "user-level STPT", **stpt_mre})
+    user_mre, __ = run_mechanism(context, Identity(), rng=derive_seed(generator))
+    rows.append({"setting": "user-level Identity", **user_mre})
+    event_mre, __ = run_mechanism(
+        context, EventLevelIdentity(), rng=derive_seed(generator)
+    )
+    rows.append({"setting": "event-level Identity (weaker!)", **event_mre})
+    return rows
+
+
+def _pattern_error(result, context) -> dict[str, float]:
+    import numpy as np
+
+    truth = context.norm.values[:, :, context.preset.t_train :]
+    errors = result.pattern_matrix - truth
+    return {
+        "pattern_mae": float(np.mean(np.abs(errors))),
+        "pattern_rmse": float(np.sqrt(np.mean(errors**2))),
+    }

@@ -1,0 +1,398 @@
+"""One runner per table/figure of the paper's evaluation (Section 5).
+
+Every function returns a list of plain-dict rows — the same series the
+paper plots — and is wrapped by a benchmark under ``benchmarks/``.
+See DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+vs published results.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines import WPO, Identity, standard_benchmarks
+from repro.core.pattern import PatternRecognizer
+from repro.core.quadtree import max_depth_for_grid
+from repro.data.datasets import TABLE2, generate_dataset
+from repro.experiments.harness import (
+    DATASET_NAMES,
+    ExperimentContext,
+    build_context,
+    run_mechanism,
+    run_stpt,
+)
+from repro.experiments.presets import ScalePreset, active_preset
+from repro.rng import RngLike, derive_seed, ensure_rng
+
+# ---------------------------------------------------------------------------
+# Table 2 and Figure 9: dataset statistics
+# ---------------------------------------------------------------------------
+
+
+def table2(preset: ScalePreset | None = None, rng: RngLike = None) -> list[dict]:
+    """Synthetic-corpus statistics next to the Table 2 targets."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    rows = []
+    for name in DATASET_NAMES:
+        spec = TABLE2[name]
+        if name == "CER":
+            spec = spec.scaled(preset.cer_household_fraction)
+        dataset = generate_dataset(
+            spec, n_days=preset.n_days, rng=derive_seed(generator)
+        )
+        stats = dataset.statistics()
+        rows.append(
+            {
+                "dataset": name,
+                "households": int(stats["households"]),
+                "mean_kwh": stats["mean_kwh"],
+                "target_mean": spec.mean_kwh,
+                "std_kwh": stats["std_kwh"],
+                "target_std": spec.std_kwh,
+                "max_kwh": stats["max_kwh"],
+                "target_max": spec.max_kwh,
+                "clip_factor": spec.clip_factor,
+            }
+        )
+    return rows
+
+
+def figure9(preset: ScalePreset | None = None, rng: RngLike = None) -> list[dict]:
+    """Average daily consumption per weekday (normalized, Monday first).
+
+    Slow common-mode drift (the weather component of the generator) is
+    removed with a centred 7-day moving average before the day-of-week
+    factors are computed — the standard seasonal decomposition — so the
+    weekly profile is not confounded by which weeks were warm.
+    """
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    weekdays = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
+    rows = []
+    for name in DATASET_NAMES:
+        spec = TABLE2[name]
+        if name == "CER":
+            spec = spec.scaled(preset.cer_household_fraction)
+        dataset = generate_dataset(
+            spec, n_days=preset.n_days, rng=derive_seed(generator)
+        )
+        daily = dataset.daily_readings().sum(axis=0)
+        trend = np.convolve(daily, np.ones(7) / 7.0, mode="same")
+        # the convolution's edges average fewer real days; drop them
+        ratio = (daily / np.maximum(trend, 1e-12))[3:-3]
+        offset = dataset.start_weekday + 3
+        totals = np.zeros(7)
+        counts = np.zeros(7)
+        for day, value in enumerate(ratio):
+            dow = (day + offset) % 7
+            totals[dow] += value
+            counts[dow] += 1
+        averages = totals / np.maximum(counts, 1)
+        normalized = averages / averages.mean()
+        row: dict = {"dataset": name}
+        row.update({wd: float(v) for wd, v in zip(weekdays, normalized)})
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: STPT vs benchmarks across datasets, distributions, query types
+# ---------------------------------------------------------------------------
+
+
+def figure6(
+    dataset_name: str,
+    distributions: tuple[str, ...] = ("uniform", "normal"),
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """One Figure 6 row (a dataset): MRE per algorithm x distribution x
+    query class."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    rows = []
+    for distribution in distributions:
+        context = build_context(
+            dataset_name, distribution, preset, rng=derive_seed(generator)
+        )
+        __, stpt_mre = run_stpt(context, rng=derive_seed(generator))
+        rows.append(
+            {
+                "dataset": dataset_name,
+                "distribution": distribution,
+                "algorithm": "STPT",
+                **stpt_mre,
+            }
+        )
+        for mechanism in standard_benchmarks():
+            mre, __ = run_mechanism(context, mechanism, rng=derive_seed(generator))
+            rows.append(
+                {
+                    "dataset": dataset_name,
+                    "distribution": distribution,
+                    "algorithm": mechanism.name,
+                    **mre,
+                }
+            )
+    return rows
+
+
+def figure6_all(
+    preset: ScalePreset | None = None, rng: RngLike = None
+) -> list[dict]:
+    """All four Figure 6 dataset rows."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    rows = []
+    for name in DATASET_NAMES:
+        rows.extend(figure6(name, preset=preset, rng=derive_seed(generator)))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: WPO vs STPT under the LA household distribution
+# ---------------------------------------------------------------------------
+
+
+def figure7(
+    dataset_name: str = "CER",
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """WPO against STPT (plus Identity for context) on LA placement."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(dataset_name, "la", preset, rng=derive_seed(generator))
+    rows = []
+    __, stpt_mre = run_stpt(context, rng=derive_seed(generator))
+    rows.append({"algorithm": "STPT", **stpt_mre})
+    for mechanism in (WPO(), Identity()):
+        mre, __ = run_mechanism(context, mechanism, rng=derive_seed(generator))
+        rows.append({"algorithm": mechanism.name, **mre})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8a/8b: pattern-recognition error vs per-datapoint budget
+# ---------------------------------------------------------------------------
+
+
+def figure8ab(
+    dataset_name: str = "CER",
+    budgets_per_point: tuple[float, ...] = (0.01, 0.05, 0.1, 0.25, 0.5),
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """Pattern MAE/RMSE as the per-training-point budget grows."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    train = context.norm.values[:, :, : preset.t_train]
+    test = context.norm.values[:, :, preset.t_train :]
+    rows = []
+    for per_point in budgets_per_point:
+        epsilon_pattern = per_point * preset.t_train
+        recognizer = PatternRecognizer(
+            epsilon_pattern,
+            preset.pattern_config(),
+            rng=derive_seed(generator),
+        )
+        recognizer.fit(train)
+        metrics = recognizer.evaluate(test)
+        rows.append(
+            {
+                "budget_per_point": per_point,
+                "epsilon_pattern": epsilon_pattern,
+                "mae": metrics["mae"],
+                "rmse": metrics["rmse"],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8c: quantization levels
+# ---------------------------------------------------------------------------
+
+
+def figure8c(
+    dataset_name: str = "CER",
+    levels: tuple[int, ...] = (2, 5, 10, 20, 40, 80),
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """MRE per query class as the number of quantization levels varies."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    for k in levels:
+        config = preset.stpt_config(quantization_levels=k)
+        __, mre = run_stpt(context, config, rng=derive_seed(generator))
+        rows.append({"quantization_levels": k, **mre})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8d: runtime of every algorithm
+# ---------------------------------------------------------------------------
+
+
+def figure8d(
+    dataset_name: str = "CER",
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """Wall-clock seconds per algorithm (STPT includes training)."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    started = time.perf_counter()
+    result, __ = run_stpt(context, rng=derive_seed(generator))
+    rows.append(
+        {
+            "algorithm": "STPT",
+            "seconds": time.perf_counter() - started,
+            "training_seconds": result.pattern_result.training_seconds,
+        }
+    )
+    for mechanism in standard_benchmarks() + [WPO()]:
+        __, elapsed = run_mechanism(context, mechanism, rng=derive_seed(generator))
+        rows.append(
+            {"algorithm": mechanism.name, "seconds": elapsed, "training_seconds": 0.0}
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8e/8f: quadtree depth
+# ---------------------------------------------------------------------------
+
+
+def figure8ef(
+    dataset_name: str = "CER",
+    depths: tuple[int, ...] | None = None,
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """Pattern MAE/RMSE as the quadtree depth varies."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    if depths is None:
+        window = preset.pattern_config().window
+        deepest = min(
+            max_depth_for_grid(preset.grid_shape),
+            preset.t_train // (window + 1) - 1,
+        )
+        depths = tuple(range(deepest + 1))
+    train = context.norm.values[:, :, : preset.t_train]
+    test = context.norm.values[:, :, preset.t_train :]
+    rows = []
+    for depth in depths:
+        recognizer = PatternRecognizer(
+            preset.epsilon_pattern,
+            preset.pattern_config(depth=depth),
+            rng=derive_seed(generator),
+        )
+        recognizer.fit(train)
+        metrics = recognizer.evaluate(test)
+        rows.append({"depth": depth, "mae": metrics["mae"], "rmse": metrics["rmse"]})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8g: budget split between pattern recognition and sanitization
+# ---------------------------------------------------------------------------
+
+
+def figure8g(
+    dataset_name: str = "CER",
+    pattern_fractions: tuple[float, ...] = (0.1, 0.2, 1.0 / 3.0, 0.5, 0.7, 0.9),
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """MRE as the share of ε_tot given to pattern recognition varies."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    total = preset.epsilon_total
+    rows = []
+    for fraction in pattern_fractions:
+        config = preset.stpt_config(
+            epsilon_pattern=total * fraction,
+            epsilon_sanitize=total * (1.0 - fraction),
+        )
+        __, mre = run_stpt(context, config, rng=derive_seed(generator))
+        rows.append({"pattern_fraction": fraction, **mre})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8h: total privacy budget
+# ---------------------------------------------------------------------------
+
+
+def figure8h(
+    dataset_name: str = "CER",
+    totals: tuple[float, ...] = (3.0, 7.5, 15.0, 30.0, 60.0),
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """MRE as ε_tot varies at the paper's 1:2 pattern:sanitize ratio."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    ratio = preset.epsilon_pattern / preset.epsilon_total
+    rows = []
+    for total in totals:
+        config = preset.stpt_config(
+            epsilon_pattern=total * ratio,
+            epsilon_sanitize=total * (1.0 - ratio),
+        )
+        __, mre = run_stpt(context, config, rng=derive_seed(generator))
+        rows.append({"epsilon_total": total, **mre})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8i: alternative sequence models
+# ---------------------------------------------------------------------------
+
+
+def figure8i(
+    dataset_name: str = "CER",
+    families: tuple[str, ...] = ("rnn", "gru", "transformer"),
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> list[dict]:
+    """MRE per query class for each pattern-model family."""
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    context = build_context(
+        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    )
+    rows = []
+    for family in families:
+        config = preset.stpt_config(
+            pattern_overrides={"model_family": family}
+        )
+        __, mre = run_stpt(context, config, rng=derive_seed(generator))
+        rows.append({"model": family, **mre})
+    return rows

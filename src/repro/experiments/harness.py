@@ -1,0 +1,166 @@
+"""Shared experiment plumbing: contexts, runners and table formatting.
+
+An :class:`ExperimentContext` materializes one (dataset, distribution,
+preset) combination — synthetic corpus, consumption matrices, query
+workloads — and the runner functions evaluate STPT or a baseline
+mechanism against it, returning plain dictionaries the figure runners
+and benchmarks print.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.baselines.base import Mechanism
+from repro.core.stpt import STPT, STPTConfig, STPTResult
+from repro.data.datasets import SmartMeterDataset, TABLE2, generate_dataset
+from repro.data.matrix import ConsumptionMatrix, build_matrices
+from repro.data.spatial import place_households
+from repro.exceptions import ConfigurationError
+from repro.experiments.presets import ScalePreset, active_preset
+from repro.queries.metrics import workload_mre
+from repro.queries.range_query import RangeQuery, make_workload
+from repro.rng import RngLike, derive_seed, ensure_rng
+
+DATASET_NAMES = ("CER", "CA", "MI", "TX")
+QUERY_KINDS = ("random", "small", "large")
+
+
+@dataclass
+class ExperimentContext:
+    """One fully-materialized experimental setting."""
+
+    dataset_name: str
+    distribution: str
+    preset: ScalePreset
+    dataset: SmartMeterDataset
+    cells: np.ndarray                # (households, 2) grid coordinates
+    clip_factor: float
+    cons: ConsumptionMatrix          # kWh, full horizon
+    norm: ConsumptionMatrix          # normalized, full horizon
+    test_cons: ConsumptionMatrix     # kWh, test horizon
+    test_norm: ConsumptionMatrix     # normalized, test horizon
+    workloads: dict[str, list[RangeQuery]] = field(default_factory=dict)
+
+    def mre_of(self, sanitized_kwh: ConsumptionMatrix) -> dict[str, float]:
+        """MRE of a kWh-scale release for every query class."""
+        return {
+            kind: workload_mre(queries, self.test_cons, sanitized_kwh)
+            for kind, queries in self.workloads.items()
+        }
+
+    def to_kwh(self, sanitized_norm: ConsumptionMatrix) -> ConsumptionMatrix:
+        return ConsumptionMatrix(sanitized_norm.values * self.clip_factor)
+
+
+def build_context(
+    dataset_name: str,
+    distribution: str,
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+) -> ExperimentContext:
+    """Generate data, matrices and workloads for one setting."""
+    if dataset_name not in TABLE2:
+        raise ConfigurationError(
+            f"unknown dataset {dataset_name!r}; options: {sorted(TABLE2)}"
+        )
+    preset = preset or active_preset()
+    generator = ensure_rng(rng)
+    spec = TABLE2[dataset_name]
+    if dataset_name == "CER":
+        spec = spec.scaled(preset.cer_household_fraction)
+    dataset = generate_dataset(spec, n_days=preset.n_days, rng=derive_seed(generator))
+    clip = dataset.daily_clip_factor()
+    cells = place_households(
+        dataset.n_households,
+        preset.grid_shape,
+        distribution,
+        rng=derive_seed(generator),
+    )
+    cons, norm = build_matrices(
+        dataset.daily_readings(), cells, preset.grid_shape, clip
+    )
+    test_cons = cons.time_slice(preset.t_train)
+    test_norm = norm.time_slice(preset.t_train)
+    workloads = {
+        kind: make_workload(
+            kind,
+            test_cons.shape,
+            count=preset.query_count,
+            rng=derive_seed(generator),
+            reference=test_cons,
+        )
+        for kind in QUERY_KINDS
+    }
+    return ExperimentContext(
+        dataset_name=dataset_name,
+        distribution=distribution,
+        preset=preset,
+        dataset=dataset,
+        cells=cells,
+        clip_factor=clip,
+        cons=cons,
+        norm=norm,
+        test_cons=test_cons,
+        test_norm=test_norm,
+        workloads=workloads,
+    )
+
+
+def run_stpt(
+    context: ExperimentContext,
+    config: STPTConfig | None = None,
+    rng: RngLike = None,
+) -> tuple[STPTResult, dict[str, float]]:
+    """Run STPT on a context; returns the result and per-workload MRE."""
+    config = config or context.preset.stpt_config()
+    result = STPT(config, rng=rng).publish(
+        context.norm, clip_scale=context.clip_factor
+    )
+    return result, context.mre_of(result.sanitized_kwh)
+
+
+def run_mechanism(
+    context: ExperimentContext,
+    mechanism: Mechanism,
+    epsilon: float | None = None,
+    rng: RngLike = None,
+) -> tuple[dict[str, float], float]:
+    """Run a baseline; returns (per-workload MRE, wall seconds)."""
+    epsilon = epsilon if epsilon is not None else context.preset.epsilon_total
+    started = time.perf_counter()
+    run = mechanism.run(context.test_norm, epsilon, rng=rng)
+    elapsed = time.perf_counter() - started
+    return context.mre_of(context.to_kwh(run.sanitized)), elapsed
+
+
+def format_table(
+    rows: Iterable[dict[str, object]], columns: list[str] | None = None
+) -> str:
+    """Render dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: list[list[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        line = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                line.append(f"{value:.2f}")
+            else:
+                line.append(str(value))
+        rendered.append(line)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    lines = []
+    for i, r in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

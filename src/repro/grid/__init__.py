@@ -1,0 +1,17 @@
+"""Power-network graph use case built on sanitized releases (Fig. 3)."""
+
+from repro.grid.network import (
+    Battery,
+    Consumer,
+    PowerNetwork,
+    ReassignmentStep,
+    bounding_rectangle,
+)
+
+__all__ = [
+    "Consumer",
+    "Battery",
+    "PowerNetwork",
+    "ReassignmentStep",
+    "bounding_rectangle",
+]

@@ -1,0 +1,87 @@
+"""From-scratch numpy neural-network substrate.
+
+Replaces the paper's PyTorch dependency (see DESIGN.md, substitutions):
+layers, recurrent cells with exact BPTT, self-attention, transformer
+encoder blocks, losses, optimizers, a training loop, and the forecaster
+architectures used by STPT's pattern-recognition phase.
+"""
+
+from repro.nn.attention import (
+    MultiHeadSelfAttention,
+    PositionalEncoding,
+    TransformerEncoderLayer,
+)
+from repro.nn.layers import (
+    Dropout,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    sigmoid,
+    softmax,
+)
+from repro.nn.losses import huber_loss, l1_loss, mse_loss
+from repro.nn.models import (
+    GRUForecaster,
+    LSTMForecaster,
+    MODEL_FAMILIES,
+    RNNForecaster,
+    SequenceForecaster,
+    TransformerForecaster,
+    make_forecaster,
+)
+from repro.nn.module import Module, Parameter
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSProp, clip_grad_norm
+from repro.nn.recurrent import GRU, GRUCell, LSTM, LSTMCell, RNN, RNNCell
+from repro.nn.training import (
+    Trainer,
+    TrainingHistory,
+    iterate_minibatches,
+    make_windows,
+    train_forecaster,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Sequential",
+    "sigmoid",
+    "softmax",
+    "RNNCell",
+    "GRUCell",
+    "LSTMCell",
+    "RNN",
+    "GRU",
+    "LSTM",
+    "MultiHeadSelfAttention",
+    "PositionalEncoding",
+    "TransformerEncoderLayer",
+    "mse_loss",
+    "l1_loss",
+    "huber_loss",
+    "Optimizer",
+    "SGD",
+    "RMSProp",
+    "Adam",
+    "clip_grad_norm",
+    "SequenceForecaster",
+    "RNNForecaster",
+    "GRUForecaster",
+    "LSTMForecaster",
+    "TransformerForecaster",
+    "MODEL_FAMILIES",
+    "make_forecaster",
+    "Trainer",
+    "TrainingHistory",
+    "make_windows",
+    "iterate_minibatches",
+    "train_forecaster",
+]

@@ -1,0 +1,39 @@
+"""Weight initializers for the neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import RngLike, ensure_rng
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: RngLike = None, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform init; keeps activation variance stable."""
+    if len(shape) < 2:
+        fan_in = fan_out = int(np.prod(shape))
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return ensure_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: RngLike = None, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init, the standard choice for recurrent weight matrices."""
+    rows, cols = shape
+    size = max(rows, cols)
+    a = ensure_rng(rng).standard_normal((size, size))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))  # make the decomposition unique
+    return gain * q[:rows, :cols]
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def normal(
+    shape: tuple[int, ...], rng: RngLike = None, std: float = 0.02
+) -> np.ndarray:
+    return ensure_rng(rng).standard_normal(shape) * std

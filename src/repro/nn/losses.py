@@ -1,0 +1,58 @@
+"""Loss functions returning ``(value, gradient)`` pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _check_shapes(predictions: np.ndarray, targets: np.ndarray) -> tuple:
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if predictions.shape != targets.shape:
+        raise ConfigurationError(
+            f"prediction shape {predictions.shape} != target shape {targets.shape}"
+        )
+    if predictions.size == 0:
+        raise ConfigurationError("loss of empty arrays is undefined")
+    return predictions, targets
+
+
+def mse_loss(
+    predictions: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. predictions."""
+    predictions, targets = _check_shapes(predictions, targets)
+    diff = predictions - targets
+    value = float(np.mean(diff**2))
+    grad = (2.0 / diff.size) * diff
+    return value, grad
+
+
+def l1_loss(
+    predictions: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean absolute error; gradient is the (sub)gradient sign/size."""
+    predictions, targets = _check_shapes(predictions, targets)
+    diff = predictions - targets
+    value = float(np.mean(np.abs(diff)))
+    grad = np.sign(diff) / diff.size
+    return value, grad
+
+
+def huber_loss(
+    predictions: np.ndarray, targets: np.ndarray, delta: float = 1.0
+) -> tuple[float, np.ndarray]:
+    """Huber loss: quadratic near zero, linear in the tails."""
+    if delta <= 0:
+        raise ConfigurationError("delta must be positive")
+    predictions, targets = _check_shapes(predictions, targets)
+    diff = predictions - targets
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff <= delta
+    values = np.where(
+        quadratic, 0.5 * diff**2, delta * (abs_diff - 0.5 * delta)
+    )
+    grads = np.where(quadratic, diff, delta * np.sign(diff))
+    return float(np.mean(values)), grads / diff.size

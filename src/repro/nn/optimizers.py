@@ -1,0 +1,125 @@
+"""First-order optimizers: SGD (with momentum), RMSProp and Adam.
+
+The paper trains its pattern-recognition models with RMSProp at a
+learning rate of 1e-3 (Appendix C); SGD and Adam are provided for the
+ablations and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: list[Parameter] | tuple[Parameter, ...], lr: float) -> None:
+        params = list(params)
+        if not params:
+            raise ConfigurationError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must lie in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.value += v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Tieleman & Hinton): scale updates by an EMA of grad²."""
+
+    def __init__(
+        self, params, lr: float = 1e-3, alpha: float = 0.99, eps: float = 1e-8
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError("alpha must lie in (0, 1)")
+        self.alpha = alpha
+        self.eps = eps
+        self._square_avg = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, sq in zip(self.params, self._square_avg):
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * p.grad**2
+            p.value -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError("betas must lie in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(params, max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm, which training loops can log to detect
+    exploding gradients.
+    """
+    if max_norm <= 0:
+        raise ConfigurationError("max_norm must be positive")
+    params = list(params)
+    total = float(np.sqrt(sum(float(np.sum(p.grad**2)) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

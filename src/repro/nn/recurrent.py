@@ -1,0 +1,295 @@
+"""Recurrent layers: vanilla RNN, GRU and LSTM with exact BPTT.
+
+Cells are stateless: ``step`` returns the new hidden state plus an
+opaque cache, and ``step_backward`` consumes that cache. The sequence
+wrappers (:class:`RNN`, :class:`GRU`, :class:`LSTM`) unroll a cell over
+the time axis of a ``(batch, time, features)`` tensor and run
+backpropagation-through-time in reverse, summing the gradient flowing
+from the output at each step with the gradient arriving from the
+future.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.initializers import orthogonal, xavier_uniform, zeros
+from repro.nn.layers import sigmoid
+from repro.nn.module import Module, Parameter
+from repro.rng import RngLike, spawn
+
+
+class RNNCell(Module):
+    """Elman cell ``h' = tanh(x W + h U + b)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        _check_sizes(input_size, hidden_size)
+        rng_w, rng_u = spawn(rng, 2)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w = Parameter(xavier_uniform((input_size, hidden_size), rng_w), "w")
+        self.u = Parameter(orthogonal((hidden_size, hidden_size), rng_u), "u")
+        self.b = Parameter(zeros((hidden_size,)), "b")
+
+    def step(self, x: np.ndarray, h: np.ndarray) -> tuple[np.ndarray, tuple]:
+        h_new = np.tanh(x @ self.w.value + h @ self.u.value + self.b.value)
+        return h_new, (x, h, h_new)
+
+    def step_backward(
+        self, grad_h: np.ndarray, cache: tuple
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x, h, h_new = cache
+        da = grad_h * (1.0 - h_new**2)
+        self.w.grad += x.T @ da
+        self.u.grad += h.T @ da
+        self.b.grad += da.sum(axis=0)
+        return da @ self.w.value.T, da @ self.u.value.T
+
+
+class GRUCell(Module):
+    """Gated recurrent unit.
+
+    Uses the formulation ``n = tanh(x Wn + (r * h) Un + bn)`` with
+    update ``h' = (1 - z) * n + z * h``, matching Cho et al. (2014).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        _check_sizes(input_size, hidden_size)
+        rngs = spawn(rng, 6)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_z = Parameter(xavier_uniform((input_size, hidden_size), rngs[0]), "w_z")
+        self.u_z = Parameter(orthogonal((hidden_size, hidden_size), rngs[1]), "u_z")
+        self.b_z = Parameter(zeros((hidden_size,)), "b_z")
+        self.w_r = Parameter(xavier_uniform((input_size, hidden_size), rngs[2]), "w_r")
+        self.u_r = Parameter(orthogonal((hidden_size, hidden_size), rngs[3]), "u_r")
+        self.b_r = Parameter(zeros((hidden_size,)), "b_r")
+        self.w_n = Parameter(xavier_uniform((input_size, hidden_size), rngs[4]), "w_n")
+        self.u_n = Parameter(orthogonal((hidden_size, hidden_size), rngs[5]), "u_n")
+        self.b_n = Parameter(zeros((hidden_size,)), "b_n")
+
+    def step(self, x: np.ndarray, h: np.ndarray) -> tuple[np.ndarray, tuple]:
+        z = sigmoid(x @ self.w_z.value + h @ self.u_z.value + self.b_z.value)
+        r = sigmoid(x @ self.w_r.value + h @ self.u_r.value + self.b_r.value)
+        rh = r * h
+        n = np.tanh(x @ self.w_n.value + rh @ self.u_n.value + self.b_n.value)
+        h_new = (1.0 - z) * n + z * h
+        return h_new, (x, h, z, r, rh, n)
+
+    def step_backward(
+        self, grad_h: np.ndarray, cache: tuple
+    ) -> tuple[np.ndarray, np.ndarray]:
+        x, h, z, r, rh, n = cache
+        dn = grad_h * (1.0 - z)
+        dz = grad_h * (h - n)
+        dh_prev = grad_h * z
+
+        da_n = dn * (1.0 - n**2)
+        self.w_n.grad += x.T @ da_n
+        self.u_n.grad += rh.T @ da_n
+        self.b_n.grad += da_n.sum(axis=0)
+        dx = da_n @ self.w_n.value.T
+        drh = da_n @ self.u_n.value.T
+        dr = drh * h
+        dh_prev = dh_prev + drh * r
+
+        da_z = dz * z * (1.0 - z)
+        da_r = dr * r * (1.0 - r)
+        self.w_z.grad += x.T @ da_z
+        self.u_z.grad += h.T @ da_z
+        self.b_z.grad += da_z.sum(axis=0)
+        self.w_r.grad += x.T @ da_r
+        self.u_r.grad += h.T @ da_r
+        self.b_r.grad += da_r.sum(axis=0)
+
+        dx += da_z @ self.w_z.value.T + da_r @ self.w_r.value.T
+        dh_prev += da_z @ self.u_z.value.T + da_r @ self.u_r.value.T
+        return dx, dh_prev
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell (Hochreiter & Schmidhuber)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        _check_sizes(input_size, hidden_size)
+        rng_w, rng_u = spawn(rng, 2)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Fused gate weights, ordered [i, f, g, o] along the output axis.
+        self.w = Parameter(xavier_uniform((input_size, 4 * hidden_size), rng_w), "w")
+        self.u = Parameter(
+            np.concatenate(
+                [orthogonal((hidden_size, hidden_size), rng_u) for __ in range(4)],
+                axis=1,
+            ),
+            "u",
+        )
+        bias = zeros((4 * hidden_size,))
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.b = Parameter(bias, "b")
+
+    def step(
+        self, x: np.ndarray, state: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[tuple[np.ndarray, np.ndarray], tuple]:
+        h, c = state
+        hs = self.hidden_size
+        a = x @ self.w.value + h @ self.u.value + self.b.value
+        i = sigmoid(a[:, :hs])
+        f = sigmoid(a[:, hs : 2 * hs])
+        g = np.tanh(a[:, 2 * hs : 3 * hs])
+        o = sigmoid(a[:, 3 * hs :])
+        c_new = f * c + i * g
+        tanh_c = np.tanh(c_new)
+        h_new = o * tanh_c
+        return (h_new, c_new), (x, h, c, i, f, g, o, tanh_c)
+
+    def step_backward(
+        self,
+        grad_h: np.ndarray,
+        grad_c: np.ndarray,
+        cache: tuple,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        x, h, c, i, f, g, o, tanh_c = cache
+        do = grad_h * tanh_c
+        dc_total = grad_c + grad_h * o * (1.0 - tanh_c**2)
+        di = dc_total * g
+        df = dc_total * c
+        dg = dc_total * i
+        dc_prev = dc_total * f
+
+        da = np.concatenate(
+            [
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g**2),
+                do * o * (1.0 - o),
+            ],
+            axis=1,
+        )
+        self.w.grad += x.T @ da
+        self.u.grad += h.T @ da
+        self.b.grad += da.sum(axis=0)
+        dx = da @ self.w.value.T
+        dh_prev = da @ self.u.value.T
+        return dx, dh_prev, dc_prev
+
+
+class RNN(Module):
+    """Unrolled Elman RNN over ``(batch, time, features)`` inputs."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        self.cell = RNNCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+        self._caches: list[tuple] = []
+
+    def forward(self, x: np.ndarray, h0: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        batch, steps, __ = x.shape
+        h = np.zeros((batch, self.hidden_size)) if h0 is None else h0
+        self._caches = []
+        outputs = np.empty((batch, steps, self.hidden_size))
+        for t in range(steps):
+            h, cache = self.cell.step(x[:, t, :], h)
+            self._caches.append(cache)
+            outputs[:, t, :] = h
+        return outputs
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out = np.asarray(grad_out, dtype=float)
+        batch, steps, __ = grad_out.shape
+        dx = np.empty((batch, steps, self.cell.input_size))
+        dh_next = np.zeros((batch, self.hidden_size))
+        for t in reversed(range(steps)):
+            dh = grad_out[:, t, :] + dh_next
+            dx_t, dh_next = self.cell.step_backward(dh, self._caches[t])
+            dx[:, t, :] = dx_t
+        return dx
+
+
+class GRU(Module):
+    """Unrolled GRU over ``(batch, time, features)`` inputs."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+        self._caches: list[tuple] = []
+
+    def forward(self, x: np.ndarray, h0: np.ndarray | None = None) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        batch, steps, __ = x.shape
+        h = np.zeros((batch, self.hidden_size)) if h0 is None else h0
+        self._caches = []
+        outputs = np.empty((batch, steps, self.hidden_size))
+        for t in range(steps):
+            h, cache = self.cell.step(x[:, t, :], h)
+            self._caches.append(cache)
+            outputs[:, t, :] = h
+        return outputs
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out = np.asarray(grad_out, dtype=float)
+        batch, steps, __ = grad_out.shape
+        dx = np.empty((batch, steps, self.cell.input_size))
+        dh_next = np.zeros((batch, self.hidden_size))
+        for t in reversed(range(steps)):
+            dh = grad_out[:, t, :] + dh_next
+            dx_t, dh_next = self.cell.step_backward(dh, self._caches[t])
+            dx[:, t, :] = dx_t
+        return dx
+
+
+class LSTM(Module):
+    """Unrolled LSTM over ``(batch, time, features)`` inputs."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: RngLike = None) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+        self._caches: list[tuple] = []
+
+    def forward(
+        self,
+        x: np.ndarray,
+        state0: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        batch, steps, __ = x.shape
+        if state0 is None:
+            state = (
+                np.zeros((batch, self.hidden_size)),
+                np.zeros((batch, self.hidden_size)),
+            )
+        else:
+            state = state0
+        self._caches = []
+        outputs = np.empty((batch, steps, self.hidden_size))
+        for t in range(steps):
+            state, cache = self.cell.step(x[:, t, :], state)
+            self._caches.append(cache)
+            outputs[:, t, :] = state[0]
+        return outputs
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out = np.asarray(grad_out, dtype=float)
+        batch, steps, __ = grad_out.shape
+        dx = np.empty((batch, steps, self.cell.input_size))
+        dh_next = np.zeros((batch, self.hidden_size))
+        dc_next = np.zeros((batch, self.hidden_size))
+        for t in reversed(range(steps)):
+            dh = grad_out[:, t, :] + dh_next
+            dx_t, dh_next, dc_next = self.cell.step_backward(
+                dh, dc_next, self._caches[t]
+            )
+            dx[:, t, :] = dx_t
+        return dx
+
+
+def _check_sizes(input_size: int, hidden_size: int) -> None:
+    if input_size <= 0 or hidden_size <= 0:
+        raise ConfigurationError("input_size and hidden_size must be positive")

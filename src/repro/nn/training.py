@@ -1,0 +1,218 @@
+"""Training utilities: window extraction, mini-batching and a Trainer.
+
+STPT's pattern-recognition phase sweeps a fixed-size window over each
+(sanitized) representative time series, producing supervised pairs
+``(window, next value)``. Series are *stacked, not concatenated*
+(Section 4.2) — a window never straddles two series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.nn.losses import mse_loss
+from repro.nn.models import SequenceForecaster
+from repro.nn.optimizers import Optimizer, RMSProp, clip_grad_norm
+from repro.rng import RngLike, ensure_rng
+
+
+def make_windows(
+    series_list: Iterable[np.ndarray], window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Slide a window over each series producing (inputs, targets).
+
+    Series shorter than ``window + 1`` contribute nothing; an error is
+    raised only when *no* series is long enough, because a quadtree's
+    coarse levels legitimately produce short segments.
+    """
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    inputs: list[np.ndarray] = []
+    targets: list[float] = []
+    for series in series_list:
+        series = np.asarray(series, dtype=float).ravel()
+        for start in range(len(series) - window):
+            inputs.append(series[start : start + window])
+            targets.append(series[start + window])
+    if not inputs:
+        raise TrainingError(
+            f"no series was long enough to produce a window of size {window}"
+        )
+    return np.asarray(inputs), np.asarray(targets)
+
+
+def iterate_minibatches(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    batch_size: int,
+    rng: RngLike = None,
+    shuffle: bool = True,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield mini-batches; the final partial batch is kept."""
+    if batch_size <= 0:
+        raise ConfigurationError("batch_size must be positive")
+    if len(inputs) != len(targets):
+        raise ConfigurationError("inputs and targets must have equal length")
+    order = np.arange(len(inputs))
+    if shuffle:
+        ensure_rng(rng).shuffle(order)
+    for start in range(0, len(order), batch_size):
+        idx = order[start : start + batch_size]
+        yield inputs[idx], targets[idx]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss trace of a training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    validation_losses: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise TrainingError("no epochs were run")
+        return self.epoch_losses[-1]
+
+    @property
+    def best_validation_loss(self) -> float:
+        if not self.validation_losses:
+            raise TrainingError("no validation split was used")
+        return min(self.validation_losses)
+
+
+class Trainer:
+    """Fits a :class:`SequenceForecaster` on (window, next-value) pairs.
+
+    Defaults follow Appendix C: RMSProp, learning rate 1e-3, batch size
+    32, 20 epochs, MSE loss. Gradients are clipped to a global norm of
+    5 to keep BPTT stable on noisy (DP-sanitized) training data.
+    """
+
+    def __init__(
+        self,
+        model: SequenceForecaster,
+        optimizer: Optimizer | None = None,
+        loss_fn: Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]] = mse_loss,
+        epochs: int = 20,
+        batch_size: int = 32,
+        grad_clip: float = 5.0,
+        validation_fraction: float = 0.0,
+        patience: int | None = None,
+        rng: RngLike = None,
+    ) -> None:
+        if epochs <= 0:
+            raise ConfigurationError("epochs must be positive")
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ConfigurationError("validation_fraction must be in [0, 1)")
+        if patience is not None:
+            if patience <= 0:
+                raise ConfigurationError("patience must be positive")
+            if validation_fraction == 0.0:
+                raise ConfigurationError(
+                    "early stopping needs a validation split"
+                )
+        self.model = model
+        self.optimizer = optimizer or RMSProp(list(model.parameters()), lr=1e-3)
+        self.loss_fn = loss_fn
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.grad_clip = grad_clip
+        self.validation_fraction = validation_fraction
+        self.patience = patience
+        self._rng = ensure_rng(rng)
+
+    def fit(self, inputs: np.ndarray, targets: np.ndarray) -> TrainingHistory:
+        inputs = np.asarray(inputs, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if self.validation_fraction > 0.0:
+            order = np.arange(len(inputs))
+            self._rng.shuffle(order)
+            cut = max(1, int(len(inputs) * self.validation_fraction))
+            if cut >= len(inputs):
+                raise TrainingError("validation split leaves no training data")
+            val_idx, train_idx = order[:cut], order[cut:]
+            val_x, val_y = inputs[val_idx], targets[val_idx]
+            inputs, targets = inputs[train_idx], targets[train_idx]
+        else:
+            val_x = val_y = None
+
+        history = TrainingHistory()
+        best_val = np.inf
+        best_state: dict | None = None
+        epochs_since_best = 0
+        self.model.train()
+        for __ in range(self.epochs):
+            epoch_loss = 0.0
+            count = 0
+            for batch_x, batch_y in iterate_minibatches(
+                inputs, targets, self.batch_size, rng=self._rng
+            ):
+                self.optimizer.zero_grad()
+                preds = self.model(batch_x)
+                loss, grad = self.loss_fn(preds, batch_y)
+                self.model.backward(grad)
+                if self.grad_clip:
+                    clip_grad_norm(self.model.parameters(), self.grad_clip)
+                self.optimizer.step()
+                epoch_loss += loss * len(batch_x)
+                count += len(batch_x)
+            history.epoch_losses.append(epoch_loss / count)
+
+            if val_x is not None:
+                val_loss, __grad = self.loss_fn(self.model(val_x), val_y)
+                history.validation_losses.append(val_loss)
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    best_state = self.model.state_dict()
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+                    if (
+                        self.patience is not None
+                        and epochs_since_best >= self.patience
+                    ):
+                        history.stopped_early = True
+                        break
+        if best_state is not None and (self.patience is not None):
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return history
+
+    def evaluate(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> dict[str, float]:
+        """MAE and RMSE of one-step predictions (Fig. 8a/8b metrics)."""
+        self.model.eval()
+        preds = self.model(np.asarray(inputs, dtype=float))
+        errors = preds - np.asarray(targets, dtype=float)
+        return {
+            "mae": float(np.mean(np.abs(errors))),
+            "rmse": float(np.sqrt(np.mean(errors**2))),
+        }
+
+
+def train_forecaster(
+    model: SequenceForecaster,
+    series_list: Sequence[np.ndarray],
+    window: int,
+    epochs: int = 20,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    rng: RngLike = None,
+) -> TrainingHistory:
+    """Convenience wrapper: windows + RMSProp trainer in one call."""
+    inputs, targets = make_windows(series_list, window)
+    trainer = Trainer(
+        model,
+        optimizer=RMSProp(list(model.parameters()), lr=lr),
+        epochs=epochs,
+        batch_size=batch_size,
+        rng=rng,
+    )
+    return trainer.fit(inputs, targets)

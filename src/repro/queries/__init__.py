@@ -1,0 +1,49 @@
+"""Range-query workloads, derived analytics and utility metrics."""
+
+from repro.queries.derived import (
+    SpatialRegion,
+    average_consumption,
+    base_load,
+    consumption_profile,
+    peak_demand,
+    peak_to_average_ratio,
+    top_k_regions,
+)
+from repro.queries.metrics import (
+    mean_absolute_error,
+    mean_relative_error,
+    relative_errors,
+    root_mean_squared_error,
+    workload_mre,
+)
+from repro.queries.range_query import (
+    RangeQuery,
+    WORKLOADS,
+    evaluate_queries,
+    large_queries,
+    make_workload,
+    random_queries,
+    small_queries,
+)
+
+__all__ = [
+    "SpatialRegion",
+    "average_consumption",
+    "consumption_profile",
+    "peak_demand",
+    "base_load",
+    "peak_to_average_ratio",
+    "top_k_regions",
+    "RangeQuery",
+    "WORKLOADS",
+    "evaluate_queries",
+    "make_workload",
+    "random_queries",
+    "small_queries",
+    "large_queries",
+    "relative_errors",
+    "mean_relative_error",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "workload_mre",
+]

@@ -1,0 +1,136 @@
+"""Derived analytics on sanitized releases (Section 3.2 rationale).
+
+The paper argues that MIN/MAX-style questions should be answered
+*indirectly* — through range queries followed by scaling — because
+answering them directly under DP has pathological sensitivity. These
+helpers implement exactly that pattern on top of a (sanitized) matrix;
+they are pure post-processing, so they inherit the release's privacy
+guarantee (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import QueryError
+from repro.queries.range_query import RangeQuery
+
+
+@dataclass(frozen=True)
+class SpatialRegion:
+    """A rectangular region of the grid, ``[x0, x1) x [y0, y1)``."""
+
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if not (self.x0 < self.x1 and self.y0 < self.y1):
+            raise QueryError(f"degenerate region: {self}")
+        if min(self.x0, self.y0) < 0:
+            raise QueryError(f"negative region bounds: {self}")
+
+    def at_time(self, t0: int, t1: int) -> RangeQuery:
+        return RangeQuery(self.x0, self.x1, self.y0, self.y1, t0, t1)
+
+    @property
+    def area(self) -> int:
+        return (self.x1 - self.x0) * (self.y1 - self.y0)
+
+
+def average_consumption(
+    matrix: ConsumptionMatrix, query: RangeQuery
+) -> float:
+    """Average per-cell consumption in a 3-orthotope: sum / volume."""
+    return query.evaluate(matrix) / query.volume
+
+
+def consumption_profile(
+    matrix: ConsumptionMatrix,
+    region: SpatialRegion,
+    t0: int = 0,
+    t1: int | None = None,
+) -> np.ndarray:
+    """Per-slice consumption series of a region (one query per slice)."""
+    t1 = matrix.n_steps if t1 is None else t1
+    if not (0 <= t0 < t1 <= matrix.n_steps):
+        raise QueryError(f"time range [{t0}, {t1}) invalid")
+    return np.array(
+        [region.at_time(t, t + 1).evaluate(matrix) for t in range(t0, t1)]
+    )
+
+
+def peak_demand(
+    matrix: ConsumptionMatrix,
+    region: SpatialRegion,
+    t0: int = 0,
+    t1: int | None = None,
+) -> tuple[float, int]:
+    """Indirect MAX: the largest per-slice region total and its slice.
+
+    This is the paper's suggested approximation of peak power demand —
+    range queries at the narrowest time granularity followed by a max,
+    rather than a direct (high-sensitivity) MAX query.
+    """
+    profile = consumption_profile(matrix, region, t0, t1)
+    index = int(np.argmax(profile))
+    return float(profile[index]), t0 + index
+
+
+def base_load(
+    matrix: ConsumptionMatrix,
+    region: SpatialRegion,
+    t0: int = 0,
+    t1: int | None = None,
+) -> tuple[float, int]:
+    """Indirect MIN: the smallest per-slice region total and its slice."""
+    profile = consumption_profile(matrix, region, t0, t1)
+    index = int(np.argmin(profile))
+    return float(profile[index]), t0 + index
+
+
+def peak_to_average_ratio(
+    matrix: ConsumptionMatrix,
+    region: SpatialRegion,
+    t0: int = 0,
+    t1: int | None = None,
+) -> float:
+    """PAR of a region — a standard grid-planning load metric."""
+    profile = consumption_profile(matrix, region, t0, t1)
+    mean = float(profile.mean())
+    if abs(mean) < 1e-12:
+        raise QueryError("region has (near-)zero average consumption")
+    return float(profile.max() / mean)
+
+
+def top_k_regions(
+    matrix: ConsumptionMatrix,
+    block_side: int,
+    k: int,
+    t0: int = 0,
+    t1: int | None = None,
+) -> list[tuple[SpatialRegion, float]]:
+    """The k highest-consumption ``block_side``-square regions.
+
+    Tiles the grid, evaluates each tile's total over the time range and
+    returns the top k — the "where do we put the battery" primitive of
+    the Figure 3 scenario.
+    """
+    if k <= 0:
+        raise QueryError("k must be positive")
+    cx, cy = matrix.grid_shape
+    if block_side <= 0 or block_side > min(cx, cy):
+        raise QueryError(f"block_side must be in [1, {min(cx, cy)}]")
+    t1 = matrix.n_steps if t1 is None else t1
+    scored: list[tuple[SpatialRegion, float]] = []
+    for x0 in range(0, cx - block_side + 1, block_side):
+        for y0 in range(0, cy - block_side + 1, block_side):
+            region = SpatialRegion(x0, x0 + block_side, y0, y0 + block_side)
+            total = region.at_time(t0, t1).evaluate(matrix)
+            scored.append((region, float(total)))
+    scored.sort(key=lambda pair: pair[1], reverse=True)
+    return scored[:k]

@@ -1,0 +1,83 @@
+"""Utility metrics: mean relative error (Eq. 5), MAE and RMSE.
+
+Eq. 5 divides by the true answer ``p``, so the paper's workloads are
+understood to carry positive true answers (the generators in
+:mod:`repro.queries.range_query` rejection-sample such queries when a
+reference matrix is supplied). A small sanity bound still floors the
+denominator so that a stray near-zero answer cannot blow the average
+up; it defaults to 1% of the mean true answer of the workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import ConfigurationError
+from repro.queries.range_query import RangeQuery, evaluate_queries
+
+SANITY_BOUND_FRACTION = 0.01
+
+
+def relative_errors(
+    true_values: np.ndarray,
+    noisy_values: np.ndarray,
+    sanity_bound: float | None = None,
+) -> np.ndarray:
+    """Per-query relative errors in percent.
+
+    ``sanity_bound`` floors the denominator; when omitted it is
+    ``SANITY_BOUND_FRACTION`` of the mean absolute true answer.
+    """
+    true_values = np.asarray(true_values, dtype=float)
+    noisy_values = np.asarray(noisy_values, dtype=float)
+    if true_values.shape != noisy_values.shape:
+        raise ConfigurationError("true and noisy answers must align")
+    if true_values.size == 0:
+        raise ConfigurationError("cannot compute errors of an empty workload")
+    if sanity_bound is None:
+        sanity_bound = SANITY_BOUND_FRACTION * float(np.mean(np.abs(true_values)))
+    floor = max(1e-12, float(sanity_bound))
+    denom = np.maximum(np.abs(true_values), floor)
+    return np.abs(true_values - noisy_values) / denom * 100.0
+
+
+def mean_relative_error(
+    true_values: np.ndarray,
+    noisy_values: np.ndarray,
+    sanity_bound: float | None = None,
+) -> float:
+    """Average MRE in percent (Eq. 5, averaged over the workload)."""
+    return float(
+        np.mean(relative_errors(true_values, noisy_values, sanity_bound))
+    )
+
+
+def mean_absolute_error(true_values: np.ndarray, noisy_values: np.ndarray) -> float:
+    true_values = np.asarray(true_values, dtype=float)
+    noisy_values = np.asarray(noisy_values, dtype=float)
+    if true_values.shape != noisy_values.shape:
+        raise ConfigurationError("true and noisy answers must align")
+    return float(np.mean(np.abs(true_values - noisy_values)))
+
+
+def root_mean_squared_error(
+    true_values: np.ndarray, noisy_values: np.ndarray
+) -> float:
+    true_values = np.asarray(true_values, dtype=float)
+    noisy_values = np.asarray(noisy_values, dtype=float)
+    if true_values.shape != noisy_values.shape:
+        raise ConfigurationError("true and noisy answers must align")
+    return float(np.sqrt(np.mean((true_values - noisy_values) ** 2)))
+
+
+def workload_mre(
+    queries: list[RangeQuery],
+    true_matrix: ConsumptionMatrix | np.ndarray,
+    noisy_matrix: ConsumptionMatrix | np.ndarray,
+    sanity_bound: float | None = None,
+) -> float:
+    """Evaluate a workload against both matrices and return the MRE."""
+    true_answers = evaluate_queries(queries, true_matrix)
+    noisy_answers = evaluate_queries(queries, noisy_matrix)
+    return mean_relative_error(true_answers, noisy_answers, sanity_bound=sanity_bound)

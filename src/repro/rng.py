@@ -1,0 +1,51 @@
+"""Random-number handling.
+
+Every stochastic component in the library accepts an optional ``rng``
+argument. This module centralizes the coercion rules so that:
+
+* ``None`` means "fresh OS-seeded generator" (production use),
+* an ``int`` means "deterministic generator seeded with that value"
+  (tests and experiments), and
+* an existing :class:`numpy.random.Generator` is passed through, which
+  lets a pipeline thread one generator through all of its stages.
+
+``spawn`` derives independent child generators, used when a pipeline
+stage fans out work that must not share a stream with its siblings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot interpret {type(rng).__name__} as a random generator")
+
+
+def spawn(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: RngLike, salt: Optional[int] = None) -> int:
+    """Draw a single seed value, optionally mixed with ``salt``."""
+    parent = ensure_rng(rng)
+    seed = int(parent.integers(0, 2**63 - 1))
+    if salt is not None:
+        seed ^= (salt * 0x9E3779B97F4A7C15) & (2**63 - 1)
+    return seed

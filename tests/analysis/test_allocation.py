@@ -1,0 +1,83 @@
+"""Tests for the budget-split heuristics."""
+
+import pytest
+
+from repro.analysis.allocation import (
+    finest_level_snr,
+    suggest_budget_split,
+    suggest_epsilon_pattern,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestFinestLevelSnr:
+    def test_more_budget_more_snr(self):
+        low = finest_level_snr(1.0, t_train=40, depth=4, typical_cell_value=1.0)
+        high = finest_level_snr(10.0, t_train=40, depth=4, typical_cell_value=1.0)
+        assert high == pytest.approx(10 * low)
+
+    def test_larger_cells_easier(self):
+        small = finest_level_snr(5.0, 40, 4, typical_cell_value=0.5)
+        large = finest_level_snr(5.0, 40, 4, typical_cell_value=5.0)
+        assert large > small
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            finest_level_snr(0.0, 40, 4, 1.0)
+
+
+class TestSuggestEpsilonPattern:
+    def test_suggestion_achieves_target(self):
+        suggestion = suggest_epsilon_pattern(
+            t_train=40, depth=4, typical_cell_value=1.5, target_snr=1.0
+        )
+        achieved = finest_level_snr(suggestion, 40, 4, 1.5)
+        assert achieved == pytest.approx(1.0)
+
+    def test_scales_with_target(self):
+        one = suggest_epsilon_pattern(40, 4, 1.0, target_snr=1.0)
+        two = suggest_epsilon_pattern(40, 4, 1.0, target_snr=2.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            suggest_epsilon_pattern(40, 4, 1.0, target_snr=0.0)
+        with pytest.raises(ConfigurationError):
+            suggest_epsilon_pattern(40, 4, 0.0)
+
+
+class TestSuggestBudgetSplit:
+    def test_sums_to_total(self):
+        pattern, sanitize = suggest_budget_split(
+            30.0, t_train=40, depth=4, typical_cell_value=1.0
+        )
+        assert pattern + sanitize == pytest.approx(30.0)
+        assert pattern > 0 and sanitize > 0
+
+    def test_clamped_to_bounds(self):
+        # absurdly hard target -> clamp at max_fraction
+        pattern, __ = suggest_budget_split(
+            30.0, 40, 4, typical_cell_value=0.001, target_snr=10.0,
+            min_fraction=0.1, max_fraction=0.7,
+        )
+        assert pattern == pytest.approx(0.7 * 30.0)
+        # trivially easy target -> clamp at min_fraction
+        pattern, __ = suggest_budget_split(
+            30.0, 40, 4, typical_cell_value=1e6, target_snr=0.1,
+        )
+        assert pattern == pytest.approx(0.1 * 30.0)
+
+    def test_lands_in_figure8g_broad_optimum(self):
+        """At CI-scale CER parameters the heuristic should land inside
+        the broad 0.1-0.7 optimum Figure 8g measures."""
+        pattern, __ = suggest_budget_split(
+            30.0, t_train=40, depth=4, typical_cell_value=1.6
+        )
+        assert 0.1 * 30 <= pattern <= 0.7 * 30
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            suggest_budget_split(30.0, 40, 4, 1.0, min_fraction=0.8,
+                                 max_fraction=0.2)
+        with pytest.raises(ConfigurationError):
+            suggest_budget_split(0.0, 40, 4, 1.0)

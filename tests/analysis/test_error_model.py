@@ -1,0 +1,127 @@
+"""Tests for the analytical error models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.error_model import (
+    expected_abs_sum_of_laplace,
+    identity_query_error,
+    predicted_mre,
+    predict_workload_error,
+    stpt_query_noise_error,
+    uniform_grid_query_error,
+)
+from repro.core.quantization import k_quantize
+from repro.core.sanitizer import allocate_budget, sanitize_by_partitions
+from repro.exceptions import ConfigurationError
+from repro.queries.range_query import RangeQuery
+
+
+class TestExpectedAbsSum:
+    def test_single_draw_exact(self):
+        # E|Lap(b)| = b
+        assert expected_abs_sum_of_laplace(1, 3.0) == pytest.approx(3.0)
+
+    def test_zero_cases(self):
+        assert expected_abs_sum_of_laplace(0, 1.0) == 0.0
+        assert expected_abs_sum_of_laplace(5, 0.0) == 0.0
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        count, scale = 50, 2.0
+        draws = rng.laplace(0, scale, size=(200_000, count)).sum(axis=1)
+        empirical = np.abs(draws).mean()
+        predicted = expected_abs_sum_of_laplace(count, scale)
+        assert predicted == pytest.approx(empirical, rel=0.02)
+
+    def test_scaling_with_count(self):
+        # error grows with sqrt(count)
+        one = expected_abs_sum_of_laplace(4, 1.0)
+        four = expected_abs_sum_of_laplace(16, 1.0)
+        assert four == pytest.approx(2 * one, rel=1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_abs_sum_of_laplace(-1, 1.0)
+
+
+class TestIdentityModel:
+    def test_matches_empirical_identity(self):
+        """The model must predict Identity's measured error closely."""
+        from repro.baselines.identity import Identity
+        from repro.data.matrix import ConsumptionMatrix
+
+        rng = np.random.default_rng(1)
+        matrix = ConsumptionMatrix(np.zeros((8, 8, 10)))
+        query = RangeQuery(0, 4, 0, 4, 0, 5)
+        errors = []
+        for seed in range(200):
+            run = Identity().run(matrix, epsilon=5.0, rng=seed)
+            errors.append(abs(query.evaluate(run.sanitized)))
+        predicted = identity_query_error(query, horizon=10, epsilon=5.0)
+        assert predicted == pytest.approx(np.mean(errors), rel=0.15)
+
+    def test_invalid_arguments(self):
+        query = RangeQuery(0, 1, 0, 1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            identity_query_error(query, horizon=0, epsilon=1.0)
+
+
+class TestUniformGridModel:
+    def test_fewer_blocks_less_noise(self):
+        query = RangeQuery(0, 8, 0, 8, 0, 4)
+        fine = uniform_grid_query_error(query, 10, 5.0, block_side=8, grid_side=8)
+        coarse = uniform_grid_query_error(query, 10, 5.0, block_side=2, grid_side=8)
+        assert coarse < fine
+
+    def test_block_must_divide_grid(self):
+        query = RangeQuery(0, 1, 0, 1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            uniform_grid_query_error(query, 10, 5.0, block_side=3, grid_side=8)
+
+
+class TestSTPTModel:
+    def test_matches_empirical_partition_noise(self, rng):
+        """On homogeneous data the uniformity bias vanishes, so the
+        noise-only model should match measured errors."""
+        values = np.full((8, 8, 8), 1.0)
+        partitions = k_quantize(values, 4)  # single partition
+        sensitivities = partitions.pillar_sensitivities()
+        budgets = allocate_budget(sensitivities, 10.0)
+        query = RangeQuery(0, 4, 0, 4, 0, 4)
+        true_answer = query.evaluate(values)
+        errors = []
+        for seed in range(300):
+            result = sanitize_by_partitions(values, partitions, 10.0, rng=seed)
+            errors.append(abs(query.evaluate(result.values) - true_answer))
+        predicted = stpt_query_noise_error(
+            query, partitions, budgets, sensitivities
+        )
+        assert predicted == pytest.approx(np.mean(errors), rel=0.2)
+
+    def test_query_must_fit(self, rng):
+        partitions = k_quantize(rng.random((4, 4, 4)), 3)
+        query = RangeQuery(0, 9, 0, 1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            stpt_query_noise_error(query, partitions, {0: 1.0}, {0: 1})
+
+
+class TestWorkloadHelpers:
+    def test_predict_workload_error_shape(self):
+        queries = [RangeQuery(0, 1, 0, 1, 0, 1)] * 5
+        errors = predict_workload_error(queries, lambda q: 2.0)
+        np.testing.assert_allclose(errors, 2.0)
+
+    def test_predicted_mre(self):
+        queries = [RangeQuery(0, 1, 0, 1, 0, 1)] * 3
+        true_answers = np.array([10.0, 20.0, 40.0])
+        mre = predicted_mre(queries, true_answers, lambda q: 2.0)
+        expected = np.mean([20.0, 10.0, 5.0])
+        assert mre == pytest.approx(expected)
+
+    def test_alignment_checked(self):
+        with pytest.raises(ConfigurationError):
+            predicted_mre(
+                [RangeQuery(0, 1, 0, 1, 0, 1)], np.array([1.0, 2.0]),
+                lambda q: 1.0,
+            )

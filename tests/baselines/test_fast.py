@@ -1,0 +1,76 @@
+"""Tests for the FAST (Kalman + adaptive sampling) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fast import FAST, FASTConfig
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import ConfigurationError
+
+
+class TestFASTConfig:
+    def test_defaults_valid(self):
+        FASTConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sample_fraction=0.0),
+            dict(sample_fraction=1.5),
+            dict(process_variance=0.0),
+            dict(max_interval=0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FASTConfig(**kwargs)
+
+
+class TestFAST:
+    def test_tracks_constant_series_at_high_budget(self):
+        matrix = ConsumptionMatrix(np.full((2, 2, 20), 4.0))
+        run = FAST().run(matrix, epsilon=1e7, rng=0)
+        # after the first samples the filter should sit near the level
+        np.testing.assert_allclose(
+            run.sanitized.values[:, :, 5:], 4.0, atol=0.05
+        )
+
+    def test_tracks_slow_drift(self):
+        t = np.arange(40, dtype=float)
+        series = 1.0 + 0.05 * t
+        matrix = ConsumptionMatrix(np.tile(series, (1, 1, 1)))
+        run = FAST(FASTConfig(sample_fraction=0.5)).run(matrix, epsilon=1e7, rng=1)
+        # Tracking is near-exact while samples last; once the sample
+        # budget is exhausted the prediction freezes and the drift
+        # accumulates, so only a loose average bound applies.
+        errors = np.abs(run.sanitized.values[0, 0] - series)
+        assert errors[:15].mean() < 0.02
+        assert errors.mean() < 0.6
+
+    def test_sampling_is_sparse(self):
+        """Only ~sample_fraction of steps consume budget; between
+        samples the release is the prior (piecewise constant)."""
+        rng = np.random.default_rng(0)
+        matrix = ConsumptionMatrix(rng.random((1, 1, 40)) + 10)
+        run = FAST(FASTConfig(sample_fraction=0.1)).run(matrix, epsilon=100.0, rng=2)
+        series = run.sanitized.values[0, 0]
+        repeats = np.sum(np.isclose(np.diff(series), 0.0))
+        assert repeats >= 20  # most steps are carried-forward predictions
+
+    def test_filter_smooths_noise(self):
+        """Kalman correction keeps the estimate closer to the truth
+        than the raw noisy observations on average."""
+        truth = np.full(60, 5.0)
+        matrix = ConsumptionMatrix(truth[None, None, :])
+        config = FASTConfig(sample_fraction=1.0, max_interval=1)
+        run = FAST(config).run(matrix, epsilon=30.0, rng=3)
+        estimate_error = np.abs(run.sanitized.values[0, 0] - truth).mean()
+        raw_noise = np.abs(
+            np.random.default_rng(3).laplace(0, 60 / 30.0, size=60)
+        ).mean()
+        assert estimate_error < raw_noise
+
+    def test_respects_budget_via_accountant(self):
+        matrix = ConsumptionMatrix(np.ones((3, 3, 10)))
+        run = FAST().run(matrix, epsilon=1.0, rng=4)
+        assert run.sanitized.shape == (3, 3, 10)

@@ -1,0 +1,60 @@
+"""Tests for the Fourier perturbation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fourier import FourierPerturbation
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import ConfigurationError
+
+
+class TestFourierPerturbation:
+    def test_constant_series_recovered_at_high_budget(self):
+        base = np.full((2, 2, 16), 3.0)
+        run = FourierPerturbation(k=1).run(
+            ConsumptionMatrix(base), epsilon=1e9, rng=0
+        )
+        np.testing.assert_allclose(run.sanitized.values, base, atol=1e-4)
+
+    def test_low_frequency_signal_recovered(self):
+        t = np.arange(32)
+        series = 2.0 + np.cos(2 * np.pi * t / 32)
+        matrix = ConsumptionMatrix(np.tile(series, (2, 2, 1)))
+        run = FourierPerturbation(k=4).run(matrix, epsilon=1e9, rng=0)
+        np.testing.assert_allclose(run.sanitized.values, matrix.values, atol=1e-4)
+
+    def test_high_frequency_truncated(self):
+        t = np.arange(32)
+        series = np.cos(2 * np.pi * t * 15 / 32)  # near-Nyquist
+        matrix = ConsumptionMatrix(np.tile(series, (1, 1, 1)))
+        run = FourierPerturbation(k=2).run(matrix, epsilon=1e9, rng=0)
+        # the kept prefix cannot represent the oscillation
+        assert np.abs(run.sanitized.values).max() < 0.5
+
+    def test_noise_scale_reflects_k(self, rng):
+        """More kept coefficients -> more noise per coefficient."""
+        zeros = ConsumptionMatrix(np.zeros((16, 16, 32)))
+        small_k = FourierPerturbation(k=2).run(zeros, epsilon=5.0, rng=3)
+        large_k = FourierPerturbation(k=16).run(zeros, epsilon=5.0, rng=3)
+        assert (
+            np.abs(large_k.sanitized.values).mean()
+            > np.abs(small_k.sanitized.values).mean()
+        )
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            FourierPerturbation(k=-1)
+
+    def test_name_includes_k(self):
+        assert FourierPerturbation(k=10).name == "Fourier-10"
+        assert FourierPerturbation(k=20).name == "Fourier-20"
+
+    def test_k_clamped_to_spectrum_length(self, rng):
+        matrix = ConsumptionMatrix(rng.random((2, 2, 6)))
+        run = FourierPerturbation(k=50).run(matrix, epsilon=10.0, rng=0)
+        assert run.sanitized.shape == (2, 2, 6)
+
+    def test_output_real(self, rng):
+        matrix = ConsumptionMatrix(rng.random((3, 3, 10)))
+        run = FourierPerturbation(k=5).run(matrix, epsilon=2.0, rng=1)
+        assert np.isrealobj(run.sanitized.values)

@@ -1,0 +1,37 @@
+"""Tests specific to the Identity baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.identity import Identity
+from repro.data.matrix import ConsumptionMatrix
+from repro.dp.budget import BudgetAccountant
+
+
+class TestIdentity:
+    def test_unbiased(self, rng):
+        """Laplace noise is zero-mean: cell averages converge."""
+        matrix = ConsumptionMatrix(np.full((8, 8, 50), 2.0))
+        run = Identity().run(matrix, epsilon=100.0, rng=0)
+        assert run.sanitized.values.mean() == pytest.approx(2.0, abs=0.05)
+
+    def test_noise_scales_with_horizon(self, rng):
+        """Doubling the horizon halves the per-slice budget and doubles
+        the per-cell noise scale (user-level sequential composition)."""
+        short = ConsumptionMatrix(np.zeros((10, 10, 10)))
+        long = ConsumptionMatrix(np.zeros((10, 10, 40)))
+        noise_short = Identity().run(short, epsilon=10.0, rng=1).sanitized.values
+        noise_long = Identity().run(long, epsilon=10.0, rng=1).sanitized.values
+        assert np.abs(noise_long).mean() > 2.0 * np.abs(noise_short).mean()
+
+    def test_budget_charged_once_for_all_slices(self):
+        matrix = ConsumptionMatrix(np.zeros((4, 4, 8)))
+        accountant = BudgetAccountant(3.0)
+        Identity().sanitize(matrix, 3.0, rng=0, accountant=accountant)
+        assert accountant.spent_epsilon == pytest.approx(3.0)
+
+    def test_high_budget_nearly_exact(self, rng):
+        values = rng.random((4, 4, 4))
+        matrix = ConsumptionMatrix(values)
+        run = Identity().run(matrix, epsilon=1e8, rng=2)
+        np.testing.assert_allclose(run.sanitized.values, values, atol=1e-3)

@@ -1,0 +1,86 @@
+"""Tests for the Haar DWT and the wavelet perturbation baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.wavelet import WaveletPerturbation, haar_dwt, haar_idwt
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import ConfigurationError
+
+
+class TestHaarTransform:
+    def test_roundtrip(self, rng):
+        x = rng.random((3, 16))
+        np.testing.assert_allclose(haar_idwt(haar_dwt(x)), x, atol=1e-12)
+
+    @given(hnp.arrays(float, (2, 8), elements=st.floats(-100, 100)))
+    def test_roundtrip_property(self, x):
+        np.testing.assert_allclose(haar_idwt(haar_dwt(x)), x, atol=1e-8)
+
+    def test_orthonormal_energy_preserved(self, rng):
+        x = rng.random((4, 32))
+        coeffs = haar_dwt(x)
+        np.testing.assert_allclose(
+            (coeffs**2).sum(axis=1), (x**2).sum(axis=1), rtol=1e-12
+        )
+
+    def test_first_coefficient_is_scaled_mean(self):
+        x = np.arange(8.0)[None, :]
+        coeffs = haar_dwt(x)
+        assert coeffs[0, 0] == pytest.approx(x.sum() / np.sqrt(8))
+
+    def test_constant_series_compresses_to_one_coefficient(self):
+        x = np.full((1, 16), 3.0)
+        coeffs = haar_dwt(x)
+        assert coeffs[0, 0] != 0
+        np.testing.assert_allclose(coeffs[0, 1:], 0.0, atol=1e-12)
+
+    def test_known_length2(self):
+        coeffs = haar_dwt(np.array([[1.0, 3.0]]))
+        np.testing.assert_allclose(
+            coeffs, [[4.0 / np.sqrt(2), -2.0 / np.sqrt(2)]]
+        )
+
+    @pytest.mark.parametrize("fn", [haar_dwt, haar_idwt])
+    def test_non_power_of_two_rejected(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(np.ones((1, 6)))
+
+
+class TestWaveletPerturbation:
+    def test_prefix_keeps_coarse_structure(self, rng):
+        """With a huge budget, the k-prefix reconstruction equals the
+        optimal k-term coarse approximation."""
+        base = np.full((1, 1, 16), 5.0)
+        matrix = ConsumptionMatrix(base)
+        mech = WaveletPerturbation(k=1)
+        run = mech.run(matrix, epsilon=1e9, rng=0)
+        # a constant series is exactly represented by one coefficient
+        np.testing.assert_allclose(run.sanitized.values, base, atol=1e-4)
+
+    def test_non_power_of_two_horizon_handled(self, rng):
+        matrix = ConsumptionMatrix(rng.random((2, 2, 12)))
+        run = WaveletPerturbation(k=4).run(matrix, epsilon=1e9, rng=0)
+        assert run.sanitized.shape == (2, 2, 12)
+
+    def test_more_coefficients_better_fidelity_at_high_budget(self, rng):
+        t = np.arange(32)
+        series = 1.0 + 0.5 * np.sin(2 * np.pi * t / 8)
+        matrix = ConsumptionMatrix(np.tile(series, (2, 2, 1)))
+        errors = {}
+        for k in (2, 32):
+            run = WaveletPerturbation(k=k).run(matrix, epsilon=1e9, rng=1)
+            errors[k] = np.abs(run.sanitized.values - matrix.values).mean()
+        assert errors[32] < errors[2]
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            WaveletPerturbation(k=0)
+
+    def test_k_larger_than_horizon_clamped(self, rng):
+        matrix = ConsumptionMatrix(rng.random((2, 2, 4)))
+        run = WaveletPerturbation(k=100).run(matrix, epsilon=10.0, rng=0)
+        assert run.sanitized.shape == (2, 2, 4)

@@ -1,0 +1,68 @@
+"""Tests for the WPO baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.wpo import WPO, WPOConfig, _harmonic_features
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import ConfigurationError
+
+
+class TestWPOConfig:
+    def test_defaults_valid(self):
+        WPOConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(n_harmonics=-1), dict(period=0), dict(ridge_lambda=-0.1)],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WPOConfig(**kwargs)
+
+
+class TestHarmonicFeatures:
+    def test_shape(self):
+        design = _harmonic_features(20, WPOConfig(n_harmonics=3))
+        assert design.shape == (20, 2 + 2 * 3)
+
+    def test_intercept_and_trend(self):
+        design = _harmonic_features(5, WPOConfig(n_harmonics=0))
+        np.testing.assert_allclose(design[:, 0], 1.0)
+        np.testing.assert_allclose(design[:, 1], np.linspace(0, 1, 5))
+
+
+class TestWPO:
+    def test_spatially_uniform_release(self, rng):
+        """WPO ignores geography: every cell of a slice is identical."""
+        matrix = ConsumptionMatrix(rng.random((4, 4, 14)) + 0.5)
+        run = WPO().run(matrix, epsilon=10.0, rng=0)
+        for t in range(14):
+            slice_values = run.sanitized.values[:, :, t]
+            np.testing.assert_allclose(slice_values, slice_values[0, 0])
+
+    def test_total_preserved_at_high_budget(self, rng):
+        """The smoothed total tracks the true weekly pattern."""
+        t = np.arange(28)
+        weekly = 10.0 + 2.0 * np.sin(2 * np.pi * t / 7)
+        values = np.broadcast_to(weekly / 16.0, (4, 4, 28)).copy()
+        matrix = ConsumptionMatrix(values)
+        run = WPO().run(matrix, epsilon=1e8, rng=1)
+        released_totals = run.sanitized.values.sum(axis=(0, 1))
+        np.testing.assert_allclose(released_totals, weekly, rtol=0.02)
+
+    def test_non_negative_totals(self, rng):
+        matrix = ConsumptionMatrix(rng.random((3, 3, 10)) * 0.01)
+        run = WPO().run(matrix, epsilon=0.5, rng=2)
+        assert np.all(run.sanitized.values >= 0)
+
+    def test_bad_for_heterogeneous_data(self, rng):
+        """The paper's Fig. 7 point: spatial obliviousness destroys
+        utility for spatially-skewed data — a hot cell's released
+        value equals the cold cells'."""
+        values = np.full((4, 4, 10), 0.1)
+        values[0, 0, :] = 20.0
+        run = WPO().run(ConsumptionMatrix(values), epsilon=1e8, rng=3)
+        hot = run.sanitized.values[0, 0].mean()
+        cold = run.sanitized.values[3, 3].mean()
+        assert hot == pytest.approx(cold)

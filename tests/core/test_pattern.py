@@ -1,0 +1,193 @@
+"""Tests for the pattern-recognition phase."""
+
+import numpy as np
+import pytest
+
+from repro.core.pattern import PatternConfig, PatternRecognizer
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+TINY_PATTERN = PatternConfig(window=3, epochs=2, embed_dim=8, hidden_dim=8)
+
+
+def make_train_matrix(rng, cx=8, cy=8, t=16):
+    base = rng.random((cx, cy, 1)) * 2.0
+    shape = 1.0 + 0.2 * np.sin(np.arange(t) / 3.0)
+    return base * shape[None, None, :]
+
+
+class TestPatternConfig:
+    def test_defaults_valid(self):
+        PatternConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window=0),
+            dict(epochs=0),
+            dict(batch_size=0),
+            dict(learning_rate=0.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PatternConfig(**kwargs)
+
+
+class TestFit:
+    def test_budget_spent_exactly(self, rng):
+        train = make_train_matrix(rng)
+        accountant = BudgetAccountant(10.0)
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN, rng=0)
+        recognizer.fit(train, accountant=accountant)
+        assert accountant.spent_epsilon == pytest.approx(10.0)
+
+    def test_result_artifacts(self, rng):
+        train = make_train_matrix(rng)
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN, rng=0)
+        result = recognizer.fit(train)
+        assert result.t_train == 16
+        assert result.grid_shape == (8, 8)
+        assert len(result.sanitized_levels) == 4  # depth defaults to log2(8)
+        assert result.training_seconds > 0
+        assert len(result.history) == TINY_PATTERN.epochs
+
+    def test_custom_depth(self, rng):
+        train = make_train_matrix(rng)
+        config = PatternConfig(window=3, epochs=1, embed_dim=8, hidden_dim=8, depth=1)
+        recognizer = PatternRecognizer(10.0, config, rng=0)
+        result = recognizer.fit(train)
+        assert len(result.sanitized_levels) == 2
+
+    def test_result_before_fit_raises(self):
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN)
+        with pytest.raises(TrainingError):
+            recognizer.result  # noqa: B018
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            PatternRecognizer(0.0, TINY_PATTERN)
+
+
+class TestGenerate:
+    def test_shapes(self, rng):
+        train = make_train_matrix(rng)
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN, rng=0)
+        recognizer.fit(train)
+        for rollout in ("anchored", "cell"):
+            pattern = recognizer.generate(5, rollout=rollout)
+            assert pattern.shape == (8, 8, 5)
+
+    def test_non_negative(self, rng):
+        train = make_train_matrix(rng)
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN, rng=0)
+        recognizer.fit(train)
+        assert np.all(recognizer.generate(5) >= 0)
+
+    def test_invalid_steps(self, rng):
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN, rng=0)
+        recognizer.fit(make_train_matrix(rng))
+        with pytest.raises(ConfigurationError):
+            recognizer.generate(0)
+
+    def test_invalid_rollout(self, rng):
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN, rng=0)
+        recognizer.fit(make_train_matrix(rng))
+        with pytest.raises(ConfigurationError):
+            recognizer.generate(3, rollout="teacher")
+
+    def test_generate_before_fit(self):
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN)
+        with pytest.raises(TrainingError):
+            recognizer.generate(3)
+
+    def test_levels_reflect_spatial_structure(self, rng):
+        """With generous budget, hot cells must out-predict cold cells."""
+        cx = cy = 8
+        t = 16
+        values = np.full((cx, cy, t), 0.2)
+        values[:4, :4, :] = 4.0  # a hot quadrant
+        recognizer = PatternRecognizer(1000.0, TINY_PATTERN, rng=0)
+        recognizer.fit(values)
+        pattern = recognizer.generate(4)
+        hot = pattern[:4, :4, :].mean()
+        cold = pattern[4:, 4:, :].mean()
+        assert hot > 3 * cold
+
+
+class TestEvaluate:
+    def test_metrics_keys(self, rng):
+        train = make_train_matrix(rng)
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN, rng=0)
+        recognizer.fit(train)
+        metrics = recognizer.evaluate(make_train_matrix(rng))
+        assert set(metrics) == {"mae", "rmse"}
+        assert metrics["rmse"] >= metrics["mae"]
+
+    def test_more_budget_better_pattern(self, rng):
+        """The Figure 8a/8b trend: error shrinks as ε_pattern grows."""
+        cx = cy = 8
+        t = 16
+        base = rng.random((cx, cy, 1)) * 3.0
+        train = np.broadcast_to(base, (cx, cy, t)).copy()
+        test = np.broadcast_to(base, (cx, cy, 4)).copy()
+        errors = []
+        for epsilon in (0.5, 5000.0):
+            recognizer = PatternRecognizer(epsilon, TINY_PATTERN, rng=3)
+            recognizer.fit(train)
+            errors.append(recognizer.evaluate(test)["mae"])
+        assert errors[1] < errors[0]
+
+    def test_wrong_rank(self, rng):
+        recognizer = PatternRecognizer(10.0, TINY_PATTERN, rng=0)
+        recognizer.fit(make_train_matrix(rng))
+        with pytest.raises(ConfigurationError):
+            recognizer.evaluate(np.ones((8, 8)))
+
+
+class TestPeriodicProfile:
+    def _weekly_matrix(self, rng, cx=8, cy=8, weeks=4):
+        """Cells share a strong 7-day cycle the profile should recover."""
+        t = weeks * 7
+        weekly = np.tile([1.0, 1.0, 1.0, 1.0, 1.0, 1.6, 1.6], weeks)
+        base = rng.random((cx, cy, 1)) + 0.5
+        return base * weekly[None, None, :]
+
+    def test_anchored_pattern_carries_weekly_cycle(self, rng):
+        values = self._weekly_matrix(rng)
+        config = PatternConfig(window=3, epochs=1, embed_dim=8, hidden_dim=8,
+                               period=7)
+        recognizer = PatternRecognizer(1000.0, config, rng=0)
+        recognizer.fit(values[:, :, :21])
+        pattern = recognizer.generate(7)
+        totals = pattern.sum(axis=(0, 1))
+        # test indices 21..27 -> weekend at phases 26, 27 (days 5, 6)
+        weekend = totals[[5, 6]].mean()
+        weekday = totals[:5].mean()
+        assert weekend > 1.2 * weekday
+
+    def test_period_zero_disables_profile(self, rng):
+        values = self._weekly_matrix(rng)
+        config = PatternConfig(window=3, epochs=1, embed_dim=8, hidden_dim=8,
+                               period=0)
+        recognizer = PatternRecognizer(1000.0, config, rng=0)
+        recognizer.fit(values[:, :, :21])
+        pattern = recognizer.generate(7)
+        assert pattern.shape == (8, 8, 7)
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PatternConfig(period=-1)
+
+    def test_profile_bounded(self, rng):
+        """Even for extreme data the profile factors stay in [0.5, 2]."""
+        values = np.ones((8, 8, 21))
+        values[:, :, ::7] = 100.0  # absurd spike every 7th day
+        config = PatternConfig(window=3, epochs=1, embed_dim=8, hidden_dim=8,
+                               period=7)
+        recognizer = PatternRecognizer(1000.0, config, rng=0)
+        result = recognizer.fit(values)
+        profile = recognizer._periodic_profile(result, 7)
+        assert profile.max() <= 2.0
+        assert profile.min() >= 0.5

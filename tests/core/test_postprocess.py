@@ -1,0 +1,122 @@
+"""Tests for post-processing refinements."""
+
+import numpy as np
+import pytest
+
+from repro.core.postprocess import (
+    enforce_slice_totals,
+    project_nonnegative,
+    refine_release,
+    release_noisy_totals,
+)
+from repro.data.matrix import ConsumptionMatrix
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def noisy_matrix(rng):
+    # release-like values: mostly positive, some negative noise
+    values = rng.random((4, 4, 6)) - 0.2
+    return ConsumptionMatrix(values)
+
+
+class TestProjectNonnegative:
+    def test_no_negatives_remain(self, noisy_matrix):
+        projected = project_nonnegative(noisy_matrix)
+        assert projected.values.min() >= 0.0
+
+    def test_slice_totals_preserved(self, noisy_matrix):
+        projected = project_nonnegative(noisy_matrix)
+        for t in range(noisy_matrix.n_steps):
+            original = noisy_matrix.values[:, :, t].sum()
+            if original > 0:
+                assert projected.values[:, :, t].sum() == pytest.approx(original)
+
+    def test_nonpositive_slice_zeroed(self):
+        values = np.full((2, 2, 1), -1.0)
+        projected = project_nonnegative(ConsumptionMatrix(values))
+        np.testing.assert_allclose(projected.values, 0.0)
+
+    def test_plain_clip_mode(self, noisy_matrix):
+        projected = project_nonnegative(noisy_matrix, preserve_total=False)
+        np.testing.assert_allclose(
+            projected.values, np.maximum(noisy_matrix.values, 0.0)
+        )
+
+    def test_already_clean_unchanged(self, rng):
+        matrix = ConsumptionMatrix(rng.random((3, 3, 3)) + 0.1)
+        projected = project_nonnegative(matrix)
+        np.testing.assert_allclose(projected.values, matrix.values)
+
+
+class TestReleaseNoisyTotals:
+    def test_shape_and_budget(self, rng):
+        matrix = ConsumptionMatrix(rng.random((4, 4, 5)))
+        accountant = BudgetAccountant(2.0)
+        totals = release_noisy_totals(matrix, 2.0, rng=0, accountant=accountant)
+        assert totals.shape == (5,)
+        assert accountant.spent_epsilon == pytest.approx(2.0)
+
+    def test_high_budget_accurate(self, rng):
+        matrix = ConsumptionMatrix(rng.random((4, 4, 5)))
+        totals = release_noisy_totals(matrix, 1e8, rng=1)
+        np.testing.assert_allclose(
+            totals, matrix.values.sum(axis=(0, 1)), atol=1e-3
+        )
+
+    def test_invalid_epsilon(self, rng):
+        matrix = ConsumptionMatrix(rng.random((2, 2, 2)))
+        with pytest.raises(ConfigurationError):
+            release_noisy_totals(matrix, 0.0)
+
+
+class TestEnforceSliceTotals:
+    def test_totals_match_after(self, noisy_matrix):
+        targets = np.full(noisy_matrix.n_steps, 5.0)
+        adjusted = enforce_slice_totals(noisy_matrix, targets)
+        np.testing.assert_allclose(
+            adjusted.values.sum(axis=(0, 1)), targets, atol=1e-9
+        )
+
+    def test_zero_slice_spread_uniformly(self):
+        values = np.zeros((2, 2, 1))
+        adjusted = enforce_slice_totals(ConsumptionMatrix(values), np.array([8.0]))
+        np.testing.assert_allclose(adjusted.values[:, :, 0], 2.0)
+
+    def test_shape_mismatch(self, noisy_matrix):
+        with pytest.raises(ConfigurationError):
+            enforce_slice_totals(noisy_matrix, np.ones(3))
+
+    def test_relative_structure_preserved(self, rng):
+        values = rng.random((3, 3, 1)) + 0.5
+        matrix = ConsumptionMatrix(values)
+        adjusted = enforce_slice_totals(matrix, np.array([values.sum() * 2]))
+        ratio = adjusted.values[:, :, 0] / values[:, :, 0]
+        np.testing.assert_allclose(ratio, 2.0)
+
+
+class TestRefineRelease:
+    def test_composition(self, noisy_matrix):
+        targets = np.full(noisy_matrix.n_steps, 4.0)
+        refined = refine_release(noisy_matrix, targets)
+        assert refined.values.min() >= 0.0
+        np.testing.assert_allclose(
+            refined.values.sum(axis=(0, 1)), targets, atol=1e-9
+        )
+
+    def test_without_totals(self, noisy_matrix):
+        refined = refine_release(noisy_matrix)
+        assert refined.values.min() >= 0.0
+
+    def test_improves_small_query_error_on_sparse_release(self, rng):
+        """On a sparse truth, zeroing impossible negatives reduces
+        per-cell error of a noisy release."""
+        truth = np.zeros((6, 6, 4))
+        truth[0, 0, :] = 5.0
+        noisy = truth + rng.laplace(0, 1.0, size=truth.shape)
+        release = ConsumptionMatrix(noisy)
+        refined = refine_release(release)
+        before = np.abs(release.values - truth).mean()
+        after = np.abs(refined.values - truth).mean()
+        assert after < before

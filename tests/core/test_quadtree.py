@@ -1,0 +1,186 @@
+"""Tests for the spatio-temporal quadtree (Section 4.2, Theorem 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quadtree import (
+    SpatioTemporalQuadtree,
+    max_depth_for_grid,
+    sanitize_levels,
+    segment_length,
+)
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestSegmentLength:
+    def test_paper_example(self):
+        # Figure 2b: T_train = 6 on a 4x4 grid -> 3 levels of length 2.
+        assert segment_length(6, 2) == 2
+
+    def test_appendix_defaults(self):
+        # T_train = 100, 32x32 grid -> 6 levels of ceil(100/6) = 17.
+        assert segment_length(100, 5) == 17
+
+    def test_rounding_up(self):
+        assert segment_length(10, 2) == 4
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            segment_length(0, 2)
+
+
+class TestMaxDepth:
+    @pytest.mark.parametrize("grid, depth", [((4, 4), 2), ((32, 32), 5), ((8, 16), 3)])
+    def test_values(self, grid, depth):
+        assert max_depth_for_grid(grid) == depth
+
+
+class TestBuildLevels:
+    def make_tree(self, cx=4, cy=4, t=6, depth=2, rng_seed=0):
+        rng = np.random.default_rng(rng_seed)
+        values = rng.random((cx, cy, t))
+        return values, SpatioTemporalQuadtree(values, depth)
+
+    def test_level_count_matches_paper_example(self):
+        """Figure 2b: 4x4x6 matrix, depth 2 -> 21 series in total."""
+        __, tree = self.make_tree()
+        levels = tree.build_levels()
+        assert [level.n_blocks for level in levels] == [1, 4, 16]
+        assert sum(level.n_blocks for level in levels) == 21
+
+    def test_time_segments_disjoint_and_cover(self):
+        __, tree = self.make_tree()
+        levels = tree.build_levels()
+        covered = []
+        for level in levels:
+            covered.extend(range(level.time_start, level.time_stop))
+        assert covered == list(range(6))
+
+    def test_representative_is_block_mean(self):
+        values, tree = self.make_tree()
+        levels = tree.build_levels()
+        root = levels[0]
+        expected = values[:, :, root.time_start : root.time_stop].mean(axis=(0, 1))
+        np.testing.assert_allclose(root.series[0], expected)
+
+    def test_leaf_level_is_per_cell(self):
+        values, tree = self.make_tree()
+        leaf = tree.build_levels()[-1]
+        assert leaf.n_blocks == 16
+        # block of cell (1, 2) holds exactly that cell's series
+        block = leaf.block_of(1, 2)
+        np.testing.assert_allclose(
+            leaf.series[block],
+            values[1, 2, leaf.time_start : leaf.time_stop],
+        )
+
+    def test_sensitivities_theorem6(self):
+        __, tree = self.make_tree()
+        levels = tree.build_levels()
+        # 4x4 grid: depth 0 -> 16 cells/block, 1 -> 4, 2 -> 1
+        assert [level.sensitivity for level in levels] == [
+            pytest.approx(1 / 16),
+            pytest.approx(1 / 4),
+            pytest.approx(1.0),
+        ]
+
+    def test_block_map_partitions_grid(self):
+        __, tree = self.make_tree()
+        for level in tree.build_levels():
+            ids, counts = np.unique(level.block_map, return_counts=True)
+            assert len(ids) == level.n_blocks
+            assert len(set(counts)) == 1  # equal-size blocks
+
+    def test_rectangular_grid(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((4, 8, 6))
+        levels = SpatioTemporalQuadtree(values, 2).build_levels()
+        # blocks at depth d hold (4/2^d) * (8/2^d) cells
+        assert levels[0].sensitivity == pytest.approx(1 / 32)
+        assert levels[2].sensitivity == pytest.approx(1 / 2)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpatioTemporalQuadtree(np.ones((3, 4, 6)), 1)
+
+    def test_depth_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            SpatioTemporalQuadtree(np.ones((4, 4, 6)), 3)
+
+    def test_too_short_training(self):
+        with pytest.raises(ConfigurationError):
+            SpatioTemporalQuadtree(np.ones((4, 4, 2)), 2)
+
+    def test_wrong_rank(self):
+        with pytest.raises(DataError):
+            SpatioTemporalQuadtree(np.ones((4, 4)), 1)
+
+    @settings(max_examples=15)
+    @given(depth=st.integers(0, 3), t=st.integers(4, 20))
+    def test_total_mass_preserved_at_each_level(self, depth, t):
+        """Sum of (series * cells per block) equals the matrix sum."""
+        if t < depth + 1:
+            return
+        rng = np.random.default_rng(depth * 100 + t)
+        values = rng.random((8, 8, t))
+        levels = SpatioTemporalQuadtree(values, depth).build_levels()
+        for level in levels:
+            cells_per_block = 64 // level.n_blocks
+            reconstructed = level.series.sum(axis=0) * cells_per_block
+            expected = values[:, :, level.time_start : level.time_stop].sum(
+                axis=(0, 1)
+            )
+            np.testing.assert_allclose(reconstructed, expected)
+
+
+class TestSanitizeLevels:
+    def test_budget_spent_exactly(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((4, 4, 8))
+        levels = SpatioTemporalQuadtree(values, 2).build_levels()
+        accountant = BudgetAccountant(5.0)
+        sanitize_levels(levels, 5.0, t_train=8, rng=1, accountant=accountant)
+        assert accountant.spent_epsilon == pytest.approx(5.0)
+
+    def test_budget_never_exceeded(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((8, 8, 12))
+        levels = SpatioTemporalQuadtree(values, 3).build_levels()
+        accountant = BudgetAccountant(2.0)
+        sanitize_levels(levels, 2.0, t_train=12, rng=1, accountant=accountant)
+        accountant.assert_within_budget()
+
+    def test_noise_vanishes_with_huge_budget(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((4, 4, 6))
+        levels = SpatioTemporalQuadtree(values, 2).build_levels()
+        sanitized = sanitize_levels(levels, 1e9, t_train=6, rng=1)
+        for clean, noisy in zip(levels, sanitized):
+            np.testing.assert_allclose(noisy.series, clean.series, atol=1e-5)
+
+    def test_coarse_levels_get_less_noise(self):
+        rng = np.random.default_rng(0)
+        values = np.zeros((8, 8, 16))
+        levels = SpatioTemporalQuadtree(values, 3).build_levels()
+        sanitized = sanitize_levels(levels, 4.0, t_train=16, rng=2)
+        # all true values are zero, so the series ARE the noise
+        root_noise = np.abs(sanitized[0].series).mean()
+        leaf_noise = np.abs(sanitized[-1].series).mean()
+        assert root_noise < leaf_noise / 4
+
+    def test_original_levels_untouched(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((4, 4, 6))
+        levels = SpatioTemporalQuadtree(values, 1).build_levels()
+        before = [level.series.copy() for level in levels]
+        sanitize_levels(levels, 1.0, t_train=6, rng=3)
+        for level, saved in zip(levels, before):
+            np.testing.assert_array_equal(level.series, saved)
+
+    def test_invalid_budget(self):
+        levels = SpatioTemporalQuadtree(np.ones((4, 4, 6)), 1).build_levels()
+        with pytest.raises(ConfigurationError):
+            sanitize_levels(levels, 0.0, t_train=6)

@@ -1,0 +1,100 @@
+"""Tests for k-quantization (Definition 4) and Theorem 7 sensitivities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.quantization import k_quantize
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestKQuantize:
+    def test_labels_shape_and_range(self, rng):
+        values = rng.random((4, 5, 6))
+        parts = k_quantize(values, 5)
+        assert parts.labels.shape == values.shape
+        assert parts.labels.min() >= 0
+        assert parts.labels.max() < 5
+
+    def test_equal_width_buckets(self):
+        values = np.linspace(0, 1, 10).reshape(1, 1, 10)
+        parts = k_quantize(values, 2)
+        # first half -> bucket 0, second half -> bucket 1
+        np.testing.assert_array_equal(
+            parts.labels[0, 0], [0, 0, 0, 0, 0, 1, 1, 1, 1, 1]
+        )
+
+    def test_extremes_inside_buckets(self):
+        values = np.array([[[0.0, 1.0]]])
+        parts = k_quantize(values, 4)
+        assert parts.labels[0, 0, 0] == 0
+        assert parts.labels[0, 0, 1] == 3
+
+    def test_constant_matrix_single_bucket(self):
+        parts = k_quantize(np.full((2, 2, 2), 7.0), 5)
+        assert parts.n_partitions == 1
+
+    def test_monotone_in_value(self, rng):
+        values = rng.random((3, 3, 3))
+        parts = k_quantize(values, 10)
+        flat_values = values.ravel()
+        flat_labels = parts.labels.ravel()
+        order = np.argsort(flat_values)
+        assert np.all(np.diff(flat_labels[order]) >= 0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            k_quantize(np.ones((1, 1, 1)), 0)
+
+    def test_wrong_rank(self):
+        with pytest.raises(DataError):
+            k_quantize(np.ones((2, 2)), 3)
+
+    @settings(max_examples=25)
+    @given(
+        values=hnp.arrays(
+            float, (3, 3, 4), elements=st.floats(-10, 10, allow_nan=False)
+        ),
+        k=st.integers(1, 12),
+    )
+    def test_partition_property(self, values, k):
+        """Masks of active labels are disjoint and cover the matrix."""
+        parts = k_quantize(values, k)
+        total = np.zeros(values.shape, dtype=int)
+        for label in parts.active_labels:
+            total += parts.mask(int(label)).astype(int)
+        np.testing.assert_array_equal(total, np.ones_like(total))
+
+
+class TestPartitionSet:
+    def test_sizes(self, rng):
+        parts = k_quantize(rng.random((2, 2, 5)), 3)
+        sizes = parts.sizes()
+        assert sum(sizes.values()) == 20
+
+    def test_pillar_sensitivity_brute_force(self, rng):
+        values = rng.random((4, 4, 6))
+        parts = k_quantize(values, 4)
+        for label in parts.active_labels:
+            mask = parts.mask(int(label))
+            expected = max(
+                mask[x, y, :].sum() for x in range(4) for y in range(4)
+            )
+            assert parts.pillar_sensitivity(int(label)) == expected
+
+    def test_sensitivity_bounded_by_time_extent(self, rng):
+        parts = k_quantize(rng.random((3, 3, 7)), 5)
+        for sens in parts.pillar_sensitivities().values():
+            assert 1 <= sens <= 7
+
+    def test_single_partition_sensitivity_is_full_pillar(self):
+        parts = k_quantize(np.full((2, 2, 5), 3.0), 4)
+        label = int(parts.active_labels[0])
+        assert parts.pillar_sensitivity(label) == 5
+
+    def test_sensitivities_cover_all_active(self, rng):
+        parts = k_quantize(rng.random((3, 3, 4)), 6)
+        sens = parts.pillar_sensitivities()
+        assert set(sens) == set(int(l) for l in parts.active_labels)

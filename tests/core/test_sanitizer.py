@@ -1,0 +1,145 @@
+"""Tests for budget allocation (Theorem 8) and partition sanitization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantization import k_quantize
+from repro.core.sanitizer import (
+    allocate_budget,
+    expected_noise_variance,
+    sanitize_by_partitions,
+)
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestAllocateBudget:
+    def test_sums_to_total(self):
+        budgets = allocate_budget({0: 3, 1: 5, 2: 1}, 20.0)
+        assert sum(budgets.values()) == pytest.approx(20.0)
+
+    def test_theorem8_formula(self):
+        sens = {0: 1, 1: 8}
+        budgets = allocate_budget(sens, 10.0)
+        # eps_i ∝ s_i^(2/3): 1 and 4 -> shares 1/5 and 4/5
+        assert budgets[0] == pytest.approx(2.0)
+        assert budgets[1] == pytest.approx(8.0)
+
+    def test_equal_sensitivities_equal_shares(self):
+        budgets = allocate_budget({0: 4, 1: 4, 2: 4}, 9.0)
+        for value in budgets.values():
+            assert value == pytest.approx(3.0)
+
+    def test_larger_sensitivity_more_budget(self):
+        budgets = allocate_budget({0: 1, 1: 100}, 5.0)
+        assert budgets[1] > budgets[0]
+
+    def test_invalid_total(self):
+        with pytest.raises(ConfigurationError):
+            allocate_budget({0: 1}, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allocate_budget({}, 1.0)
+
+    def test_non_positive_sensitivity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allocate_budget({0: 0}, 1.0)
+
+    @settings(max_examples=30)
+    @given(
+        sens=st.lists(st.integers(1, 50), min_size=2, max_size=10),
+        total=st.floats(0.5, 50),
+    )
+    def test_optimality_property(self, sens, total):
+        """Theorem 8's split never loses to the uniform split."""
+        sens_map = dict(enumerate(sens))
+        optimal = allocate_budget(sens_map, total)
+        uniform = {i: total / len(sens) for i in sens_map}
+        assert expected_noise_variance(sens_map, optimal) <= (
+            expected_noise_variance(sens_map, uniform) + 1e-9
+        )
+
+    @settings(max_examples=15)
+    @given(sens=st.lists(st.integers(1, 20), min_size=2, max_size=6))
+    def test_optimality_vs_random_perturbation(self, sens):
+        """Local perturbations of the optimal split cannot improve it."""
+        sens_map = dict(enumerate(sens))
+        total = 10.0
+        optimal = allocate_budget(sens_map, total)
+        base = expected_noise_variance(sens_map, optimal)
+        rng = np.random.default_rng(0)
+        for __ in range(10):
+            noise = rng.uniform(0.8, 1.2, size=len(sens))
+            perturbed_values = np.array(list(optimal.values())) * noise
+            perturbed_values *= total / perturbed_values.sum()
+            perturbed = dict(zip(optimal.keys(), perturbed_values))
+            assert base <= expected_noise_variance(sens_map, perturbed) + 1e-9
+
+
+class TestExpectedNoiseVariance:
+    def test_formula(self):
+        variance = expected_noise_variance({0: 2}, {0: 4.0})
+        assert variance == pytest.approx(2 * 4 / 16)
+
+    def test_key_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            expected_noise_variance({0: 1}, {1: 1.0})
+
+
+class TestSanitizeByPartitions:
+    def make_inputs(self, rng, shape=(4, 4, 6), k=4):
+        values = rng.random(shape)
+        return values, k_quantize(values, k)
+
+    def test_output_shape(self, rng):
+        values, parts = self.make_inputs(rng)
+        result = sanitize_by_partitions(values, parts, 10.0, rng=0)
+        assert result.values.shape == values.shape
+
+    def test_partition_cells_share_value(self, rng):
+        values, parts = self.make_inputs(rng)
+        result = sanitize_by_partitions(values, parts, 10.0, rng=0)
+        for label in parts.active_labels:
+            cells = result.values[parts.mask(int(label))]
+            np.testing.assert_allclose(cells, cells[0])
+
+    def test_huge_budget_preserves_partition_totals(self, rng):
+        values, parts = self.make_inputs(rng)
+        result = sanitize_by_partitions(values, parts, 1e9, rng=0)
+        for label in parts.active_labels:
+            mask = parts.mask(int(label))
+            assert result.values[mask].sum() == pytest.approx(
+                values[mask].sum(), abs=1e-4
+            )
+
+    def test_budget_spent_exactly(self, rng):
+        values, parts = self.make_inputs(rng)
+        accountant = BudgetAccountant(7.0)
+        sanitize_by_partitions(values, parts, 7.0, rng=0, accountant=accountant)
+        assert accountant.spent_epsilon == pytest.approx(7.0)
+
+    def test_budgets_match_theorem8(self, rng):
+        values, parts = self.make_inputs(rng)
+        result = sanitize_by_partitions(values, parts, 5.0, rng=0)
+        expected = allocate_budget(parts.pillar_sensitivities(), 5.0)
+        assert result.budgets == pytest.approx(expected)
+
+    def test_shape_mismatch_rejected(self, rng):
+        values, parts = self.make_inputs(rng)
+        with pytest.raises(DataError):
+            sanitize_by_partitions(values[:, :, :3], parts, 5.0)
+
+    def test_bookkeeping_complete(self, rng):
+        values, parts = self.make_inputs(rng)
+        result = sanitize_by_partitions(values, parts, 5.0, rng=0)
+        assert result.n_partitions == parts.n_partitions
+        assert set(result.noisy_totals) == set(result.budgets)
+
+    def test_deterministic_given_rng(self, rng):
+        values, parts = self.make_inputs(rng)
+        a = sanitize_by_partitions(values, parts, 5.0, rng=42)
+        b = sanitize_by_partitions(values, parts, 5.0, rng=42)
+        np.testing.assert_array_equal(a.values, b.values)

@@ -1,0 +1,129 @@
+"""Tests for the Table 2 calibrated dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DatasetSpec,
+    SmartMeterDataset,
+    TABLE2,
+    generate_dataset,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTable2Registry:
+    def test_four_datasets(self):
+        assert set(TABLE2) == {"CER", "CA", "MI", "TX"}
+
+    def test_cer_row(self):
+        spec = TABLE2["CER"]
+        assert spec.n_households == 5000
+        assert spec.mean_kwh == pytest.approx(0.61)
+        assert spec.clip_factor == pytest.approx(1.85)
+
+    def test_clip_factor_equals_mean_plus_std(self):
+        for spec in TABLE2.values():
+            assert spec.clip_factor == pytest.approx(
+                spec.mean_kwh + spec.std_kwh, abs=0.011
+            )
+
+
+class TestDatasetSpec:
+    def test_cv(self):
+        spec = DatasetSpec("X", 10, 1.0, 2.0, 10.0, 3.0)
+        assert spec.cv == pytest.approx(2.0)
+
+    def test_scaled_reduces_households(self):
+        spec = TABLE2["CER"].scaled(0.1)
+        assert spec.n_households == 500
+        assert spec.mean_kwh == TABLE2["CER"].mean_kwh
+
+    def test_scaled_minimum(self):
+        spec = TABLE2["CA"].scaled(0.001)
+        assert spec.n_households >= 4
+
+    def test_scaled_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TABLE2["CA"].scaled(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_households=0),
+            dict(mean_kwh=0.0),
+            dict(std_kwh=-1.0),
+            dict(max_kwh=0.3),  # below mean
+            dict(clip_factor=0.0),
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        base = dict(
+            name="X", n_households=10, mean_kwh=0.5, std_kwh=1.0,
+            max_kwh=10.0, clip_factor=1.5,
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            DatasetSpec(**base)
+
+
+class TestGenerateDataset:
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_calibration(self, name):
+        spec = TABLE2[name].scaled(0.2 if name == "CER" else 1.0)
+        dataset = generate_dataset(spec, n_days=40, rng=0)
+        stats = dataset.statistics()
+        assert stats["mean_kwh"] == pytest.approx(spec.mean_kwh, rel=0.02)
+        assert stats["std_kwh"] == pytest.approx(spec.std_kwh, rel=0.25)
+        assert stats["max_kwh"] <= spec.max_kwh + 1e-9
+        assert stats["max_kwh"] >= 0.5 * spec.max_kwh
+
+    def test_by_name(self):
+        dataset = generate_dataset("CA", n_days=5, rng=1)
+        assert dataset.spec.name == "CA"
+        assert dataset.n_hours == 5 * 24
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            generate_dataset("NYC", n_days=5)
+
+    def test_invalid_days(self):
+        with pytest.raises(ConfigurationError):
+            generate_dataset("CA", n_days=0)
+
+    def test_deterministic(self):
+        a = generate_dataset("MI", n_days=3, rng=9)
+        b = generate_dataset("MI", n_days=3, rng=9)
+        np.testing.assert_array_equal(a.readings, b.readings)
+
+    def test_non_negative(self):
+        dataset = generate_dataset("TX", n_days=10, rng=2)
+        assert np.all(dataset.readings >= 0)
+
+
+class TestSmartMeterDataset:
+    def test_daily_readings_shape(self):
+        dataset = generate_dataset("CA", n_days=7, rng=3)
+        assert dataset.daily_readings().shape == (250, 7)
+
+    def test_daily_clip_factor_positive(self):
+        dataset = generate_dataset("CA", n_days=7, rng=3)
+        clip = dataset.daily_clip_factor()
+        daily = dataset.daily_readings()
+        assert clip == pytest.approx(daily.mean() + daily.std())
+
+    def test_weekday_totals_shape(self):
+        dataset = generate_dataset("CA", n_days=14, rng=4)
+        totals = dataset.weekday_totals()
+        assert totals.shape == (7,)
+        assert np.all(totals > 0)
+
+    def test_readings_shape_validated(self):
+        spec = TABLE2["CA"]
+        with pytest.raises(ConfigurationError):
+            SmartMeterDataset(spec=spec, readings=np.ones((10, 24)))
+
+    def test_rank_validated(self):
+        spec = DatasetSpec("X", 2, 0.5, 1.0, 5.0, 1.5)
+        with pytest.raises(ConfigurationError):
+            SmartMeterDataset(spec=spec, readings=np.ones(24))

@@ -1,0 +1,86 @@
+"""Tests for dataset/matrix serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import generate_dataset
+from repro.data.io import (
+    export_matrix_csv,
+    import_matrix_csv,
+    load_dataset,
+    load_matrix,
+    save_dataset,
+    save_matrix,
+)
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import DataError
+
+
+class TestDatasetRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        dataset = generate_dataset("CA", n_days=3, rng=0)
+        path = tmp_path / "ca.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        np.testing.assert_allclose(
+            loaded.readings, dataset.readings.astype(np.float32), rtol=1e-6
+        )
+        assert loaded.spec.name == "CA"
+        assert loaded.spec.clip_factor == dataset.spec.clip_factor
+        assert loaded.start_weekday == dataset.start_weekday
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_dataset(tmp_path / "nope.npz")
+
+
+class TestMatrixRoundtrip:
+    def test_npz_roundtrip(self, tmp_path, rng):
+        matrix = ConsumptionMatrix(rng.random((3, 4, 5)))
+        path = tmp_path / "m.npz"
+        save_matrix(matrix, path)
+        loaded = load_matrix(path)
+        np.testing.assert_allclose(loaded.values, matrix.values)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_matrix(tmp_path / "nope.npz")
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path, rng):
+        matrix = ConsumptionMatrix(rng.random((2, 3, 4)))
+        path = tmp_path / "m.csv"
+        export_matrix_csv(matrix, path)
+        loaded = import_matrix_csv(path)
+        np.testing.assert_allclose(loaded.values, matrix.values, atol=1e-6)
+
+    def test_header_present(self, tmp_path, rng):
+        matrix = ConsumptionMatrix(rng.random((1, 1, 2)))
+        path = tmp_path / "m.csv"
+        export_matrix_csv(matrix, path)
+        header = path.read_text().splitlines()[0]
+        assert header == "x,y,t,consumption"
+
+    def test_row_count(self, tmp_path, rng):
+        matrix = ConsumptionMatrix(rng.random((2, 2, 3)))
+        path = tmp_path / "m.csv"
+        export_matrix_csv(matrix, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + 2 * 2 * 3
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(DataError):
+            import_matrix_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,y,t,consumption\n")
+        with pytest.raises(DataError):
+            import_matrix_csv(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            import_matrix_csv(tmp_path / "nope.csv")

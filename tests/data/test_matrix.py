@@ -1,0 +1,149 @@
+"""Tests for the consumption matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.matrix import ConsumptionMatrix, build_matrices
+from repro.exceptions import ConfigurationError, DataError
+
+
+def brute_force_matrix(readings, cells, grid_shape):
+    cx, cy = grid_shape
+    values = np.zeros((cx, cy, readings.shape[1]))
+    for household, (x, y) in enumerate(cells):
+        values[x, y, :] += readings[household]
+    return values
+
+
+class TestFromReadings:
+    def test_matches_brute_force(self, rng):
+        readings = rng.random((20, 6))
+        cells = rng.integers(0, 4, size=(20, 2))
+        matrix = ConsumptionMatrix.from_readings(readings, cells, (4, 4))
+        np.testing.assert_allclose(
+            matrix.values, brute_force_matrix(readings, cells, (4, 4))
+        )
+
+    def test_total_preserved(self, rng):
+        readings = rng.random((15, 8))
+        cells = rng.integers(0, 3, size=(15, 2))
+        matrix = ConsumptionMatrix.from_readings(readings, cells, (3, 3))
+        assert matrix.total() == pytest.approx(readings.sum())
+
+    def test_empty_cells_are_zero(self):
+        readings = np.ones((1, 2))
+        cells = np.array([[0, 0]])
+        matrix = ConsumptionMatrix.from_readings(readings, cells, (2, 2))
+        assert matrix.values[1, 1, 0] == 0.0
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(DataError):
+            ConsumptionMatrix.from_readings(
+                np.ones((1, 2)), np.array([[5, 0]]), (2, 2)
+            )
+
+    def test_cells_shape_mismatch(self):
+        with pytest.raises(DataError):
+            ConsumptionMatrix.from_readings(
+                np.ones((2, 3)), np.array([[0, 0]]), (2, 2)
+            )
+
+    @settings(max_examples=25)
+    @given(
+        n=st.integers(1, 30),
+        t=st.integers(1, 10),
+        side=st.integers(1, 6),
+    )
+    def test_aggregation_property(self, n, t, side):
+        rng = np.random.default_rng(n * 100 + t)
+        readings = rng.random((n, t))
+        cells = rng.integers(0, side, size=(n, 2))
+        matrix = ConsumptionMatrix.from_readings(readings, cells, (side, side))
+        np.testing.assert_allclose(
+            matrix.values, brute_force_matrix(readings, cells, (side, side))
+        )
+
+
+class TestAccessors:
+    @pytest.fixture()
+    def matrix(self, rng):
+        return ConsumptionMatrix(rng.random((4, 5, 6)))
+
+    def test_shape_properties(self, matrix):
+        assert matrix.shape == (4, 5, 6)
+        assert matrix.grid_shape == (4, 5)
+        assert matrix.n_steps == 6
+
+    def test_pillar(self, matrix):
+        np.testing.assert_array_equal(matrix.pillar(2, 3), matrix.values[2, 3, :])
+
+    def test_pillar_out_of_range(self, matrix):
+        with pytest.raises(DataError):
+            matrix.pillar(4, 0)
+
+    def test_pillars_layout(self, matrix):
+        pillars = matrix.pillars()
+        assert pillars.shape == (20, 6)
+        np.testing.assert_array_equal(pillars[0 * 5 + 3], matrix.values[0, 3, :])
+
+    def test_time_slice(self, matrix):
+        sliced = matrix.time_slice(2, 5)
+        assert sliced.n_steps == 3
+        np.testing.assert_array_equal(sliced.values, matrix.values[:, :, 2:5])
+
+    def test_time_slice_is_a_copy(self, matrix):
+        sliced = matrix.time_slice(0, 2)
+        sliced.values[:] = -1
+        assert matrix.values.min() >= 0
+
+    def test_time_slice_open_end(self, matrix):
+        assert matrix.time_slice(4).n_steps == 2
+
+    def test_time_slice_invalid(self, matrix):
+        with pytest.raises(DataError):
+            matrix.time_slice(5, 2)
+
+    def test_copy_independent(self, matrix):
+        clone = matrix.copy()
+        clone.values[:] = 0
+        assert matrix.values.sum() > 0
+
+    def test_rank_validation(self):
+        with pytest.raises(DataError):
+            ConsumptionMatrix(np.ones((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            ConsumptionMatrix(np.empty((0, 2, 2)))
+
+
+class TestBuildMatrices:
+    def test_norm_bounds_per_user(self, rng):
+        """Each user's normalized contribution to a cell is at most 1."""
+        readings = rng.random((10, 4)) * 50
+        cells = np.column_stack([np.arange(10) % 3, np.arange(10) // 3 % 3])
+        __, norm = build_matrices(readings, cells, (3, 4), clip_factor=2.0)
+        # remove user 0 and compare: difference bounded by 1 per cell
+        without = np.delete(readings, 0, axis=0)
+        cells_without = np.delete(cells, 0, axis=0)
+        __, norm_without = build_matrices(without, cells_without, (3, 4), 2.0)
+        diff = np.abs(norm.values - norm_without.values)
+        assert diff.max() <= 1.0 + 1e-12
+
+    def test_cons_is_raw_sums(self, rng):
+        readings = rng.random((5, 3))
+        cells = np.zeros((5, 2), dtype=int)
+        cons, __ = build_matrices(readings, cells, (2, 2), clip_factor=1.0)
+        np.testing.assert_allclose(cons.values[0, 0], readings.sum(axis=0))
+
+    def test_norm_scaling(self):
+        readings = np.full((1, 2), 3.0)
+        cells = np.array([[0, 0]])
+        __, norm = build_matrices(readings, cells, (1, 1), clip_factor=1.5)
+        np.testing.assert_allclose(norm.values[0, 0], [1.0, 1.0])
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            build_matrices(np.ones((1, 1)), np.array([[0, 0]]), (0, 1), 1.0)

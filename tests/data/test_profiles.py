@@ -1,0 +1,124 @@
+"""Tests for the synthetic profile generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.profiles import (
+    HOURS_PER_DAY,
+    ProfileConfig,
+    aggregate_daily,
+    daily_shape,
+    generate_profiles,
+    weekly_shape,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestShapes:
+    def test_daily_shape_mean_one(self):
+        assert daily_shape().mean() == pytest.approx(1.0)
+        assert len(daily_shape()) == 24
+
+    def test_weekly_shape_mean_one(self):
+        assert weekly_shape().mean() == pytest.approx(1.0)
+        assert len(weekly_shape()) == 7
+
+    def test_evening_peak_exceeds_night(self):
+        shape = daily_shape()
+        assert shape[19] > 2 * shape[3]
+
+    def test_weekend_exceeds_midweek(self):
+        shape = weekly_shape()
+        assert shape[5] > shape[2]  # Saturday > Wednesday
+
+
+class TestGenerateProfiles:
+    def test_output_shape(self):
+        out = generate_profiles(5, 48, rng=0)
+        assert out.shape == (5, 48)
+
+    def test_non_negative(self):
+        out = generate_profiles(20, 24 * 7, rng=1)
+        assert np.all(out >= 0)
+
+    def test_population_mean_is_one(self):
+        out = generate_profiles(50, 24 * 14, rng=2)
+        assert out.mean() == pytest.approx(1.0)
+
+    def test_deterministic_with_seed(self):
+        a = generate_profiles(3, 24, rng=42)
+        b = generate_profiles(3, 24, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = generate_profiles(3, 24, rng=1)
+        b = generate_profiles(3, 24, rng=2)
+        assert not np.allclose(a, b)
+
+    def test_daily_cycle_visible(self):
+        out = generate_profiles(500, 24 * 10, rng=3)
+        by_hour = out.mean(axis=0).reshape(-1, 24).mean(axis=0)
+        assert by_hour[19] > by_hour[3]  # evening peak vs night
+
+    def test_temporal_correlation_positive(self):
+        """AR(1) noise should make consecutive hours correlate."""
+        out = generate_profiles(200, 24 * 5, rng=4)
+        logs = np.log(out + 1e-9)
+        x = logs[:, :-1].ravel()
+        y = logs[:, 1:].ravel()
+        assert np.corrcoef(x, y)[0, 1] > 0.2
+
+    @pytest.mark.parametrize("n, hours", [(0, 24), (5, 0), (-1, 24)])
+    def test_invalid_sizes(self, n, hours):
+        with pytest.raises(ConfigurationError):
+            generate_profiles(n, hours)
+
+    def test_invalid_start_weekday(self):
+        with pytest.raises(ConfigurationError):
+            generate_profiles(2, 24, start_weekday=7)
+
+
+class TestProfileConfig:
+    def test_defaults_valid(self):
+        ProfileConfig()
+
+    @pytest.mark.parametrize("coeff", [-0.1, 1.0, 1.5])
+    def test_invalid_ar_coeff(self, coeff):
+        with pytest.raises(ConfigurationError):
+            ProfileConfig(ar_coeff=coeff)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProfileConfig(shock_sigma=-1.0)
+
+    def test_higher_shock_more_spread(self):
+        calm = generate_profiles(100, 24 * 5, ProfileConfig(shock_sigma=0.1), rng=5)
+        wild = generate_profiles(100, 24 * 5, ProfileConfig(shock_sigma=1.5), rng=5)
+        assert wild.std() > calm.std()
+
+
+class TestAggregateDaily:
+    def test_sums_full_days(self):
+        readings = np.ones((2, 48))
+        daily = aggregate_daily(readings)
+        np.testing.assert_allclose(daily, np.full((2, 2), 24.0))
+
+    def test_drops_partial_day(self):
+        readings = np.ones((1, 30))
+        daily = aggregate_daily(readings)
+        assert daily.shape == (1, 1)
+        assert daily[0, 0] == pytest.approx(24.0)
+
+    def test_preserves_totals_of_kept_days(self):
+        rng = np.random.default_rng(0)
+        readings = rng.random((3, 24 * 4))
+        daily = aggregate_daily(readings)
+        np.testing.assert_allclose(daily.sum(axis=1), readings.sum(axis=1))
+
+    def test_less_than_one_day_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_daily(np.ones((1, 10)))
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_daily(np.ones(48))

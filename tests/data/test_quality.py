@@ -1,0 +1,151 @@
+"""Tests for missingness injection and imputation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.quality import (
+    IMPUTATION_STRATEGIES,
+    clean_readings,
+    impute,
+    inject_missing,
+    missing_fraction,
+)
+from repro.exceptions import ConfigurationError, DataError
+
+
+class TestInjectMissing:
+    def test_creates_gaps(self, rng):
+        readings = rng.random((20, 100))
+        gappy = inject_missing(readings, point_rate=0.1, rng=0)
+        assert np.isnan(gappy).any()
+        assert not np.isnan(readings).any()  # input untouched
+
+    def test_rates_respected(self, rng):
+        readings = rng.random((50, 200))
+        gappy = inject_missing(readings, point_rate=0.05, burst_rate=0.0, rng=1)
+        assert missing_fraction(gappy) == pytest.approx(0.05, abs=0.01)
+
+    def test_bursts_create_runs(self, rng):
+        readings = rng.random((5, 300))
+        gappy = inject_missing(
+            readings, point_rate=0.0, burst_rate=0.01, burst_length=8, rng=2
+        )
+        mask = np.isnan(gappy)
+        # at least one run of >= 8 consecutive NaNs exists
+        found_run = False
+        for row in mask:
+            run = 0
+            for value in row:
+                run = run + 1 if value else 0
+                if run >= 8:
+                    found_run = True
+        assert found_run
+
+    def test_zero_rates_no_gaps(self, rng):
+        readings = rng.random((3, 10))
+        gappy = inject_missing(readings, point_rate=0.0, burst_rate=0.0, rng=3)
+        np.testing.assert_array_equal(gappy, readings)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(point_rate=-0.1), dict(burst_rate=1.0), dict(burst_length=0),
+    ])
+    def test_invalid(self, rng, kwargs):
+        with pytest.raises(ConfigurationError):
+            inject_missing(rng.random((2, 5)), **kwargs)
+
+    def test_rank_validated(self):
+        with pytest.raises(DataError):
+            inject_missing(np.ones(5))
+
+
+class TestImpute:
+    def test_zero_strategy(self):
+        readings = np.array([[1.0, np.nan, 3.0]])
+        filled = impute(readings, strategy="zero")
+        np.testing.assert_allclose(filled, [[1.0, 0.0, 3.0]])
+
+    def test_forward_fill(self):
+        readings = np.array([[1.0, np.nan, np.nan, 4.0]])
+        filled = impute(readings, strategy="forward")
+        np.testing.assert_allclose(filled, [[1.0, 1.0, 1.0, 4.0]])
+
+    def test_forward_fill_leading_gap(self):
+        readings = np.array([[np.nan, 2.0, np.nan]])
+        filled = impute(readings, strategy="forward")
+        np.testing.assert_allclose(filled, [[2.0, 2.0, 2.0]])
+
+    def test_forward_all_missing_row(self):
+        readings = np.array([[np.nan, np.nan]])
+        filled = impute(readings, strategy="forward")
+        np.testing.assert_allclose(filled, [[0.0, 0.0]])
+
+    def test_seasonal_uses_phase_mean(self):
+        # period 2: even positions are 10, odd are 2
+        row = np.array([10.0, 2.0, 10.0, np.nan, np.nan, 2.0])
+        filled = impute(row[None, :], strategy="seasonal", period=2)
+        assert filled[0, 3] == pytest.approx(2.0)   # odd phase
+        assert filled[0, 4] == pytest.approx(10.0)  # even phase
+
+    def test_seasonal_falls_back_to_household_mean(self):
+        # phase 1 never observed -> household mean
+        row = np.array([4.0, np.nan, 6.0, np.nan])
+        filled = impute(row[None, :], strategy="seasonal", period=2)
+        assert filled[0, 1] == pytest.approx(5.0)
+
+    def test_no_gaps_identity(self, rng):
+        readings = rng.random((4, 12))
+        for strategy in IMPUTATION_STRATEGIES:
+            np.testing.assert_array_equal(
+                impute(readings, strategy=strategy), readings
+            )
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            impute(np.ones((1, 2)), strategy="magic")
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            impute(np.ones((1, 2)), strategy="seasonal", period=0)
+
+    @settings(max_examples=20)
+    @given(
+        strategy=st.sampled_from(IMPUTATION_STRATEGIES),
+        seed=st.integers(0, 100),
+    )
+    def test_all_gaps_filled_property(self, strategy, seed):
+        rng = np.random.default_rng(seed)
+        readings = rng.random((5, 30))
+        gappy = inject_missing(readings, point_rate=0.3, rng=seed)
+        filled = impute(gappy, strategy=strategy, period=6)
+        assert not np.isnan(filled).any()
+
+    def test_imputed_values_bounded_by_clip(self, rng):
+        """Imputation never exceeds the household's own observed max,
+        so the sensitivity clip still holds."""
+        readings = rng.random((10, 50)) * 2.0
+        gappy = inject_missing(readings, point_rate=0.2, rng=5)
+        for strategy in IMPUTATION_STRATEGIES:
+            filled = impute(gappy, strategy=strategy, period=6)
+            assert filled.max() <= readings.max() + 1e-12
+
+
+class TestCleanReadings:
+    def test_returns_fraction(self, rng):
+        readings = rng.random((10, 40))
+        gappy = inject_missing(readings, point_rate=0.1, rng=6)
+        filled, fraction = clean_readings(gappy)
+        assert not np.isnan(filled).any()
+        assert fraction == pytest.approx(missing_fraction(gappy))
+
+    def test_pipeline_integration(self, rng):
+        """Gappy readings flow through the full publication pipeline."""
+        from repro.data.matrix import build_matrices
+
+        readings = rng.random((12, 24)) + 0.1
+        gappy = inject_missing(readings, point_rate=0.1, rng=7)
+        filled, __ = clean_readings(gappy, strategy="seasonal", period=6)
+        cells = rng.integers(0, 4, size=(12, 2))
+        cons, norm = build_matrices(filled, cells, (4, 4), clip_factor=1.5)
+        assert np.all(np.isfinite(norm.values))

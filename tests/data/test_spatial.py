@@ -1,0 +1,142 @@
+"""Tests for household placement distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.spatial import (
+    DISTRIBUTIONS,
+    density_placement,
+    la_like_density,
+    normal_placement,
+    place_households,
+    uniform_placement,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestUniformPlacement:
+    def test_shape_and_bounds(self):
+        cells = uniform_placement(100, (8, 12), rng=0)
+        assert cells.shape == (100, 2)
+        assert cells[:, 0].min() >= 0 and cells[:, 0].max() < 8
+        assert cells[:, 1].min() >= 0 and cells[:, 1].max() < 12
+
+    def test_covers_grid(self):
+        cells = uniform_placement(5000, (4, 4), rng=1)
+        occupied = {(x, y) for x, y in cells}
+        assert len(occupied) == 16
+
+    def test_roughly_uniform(self):
+        cells = uniform_placement(16000, (4, 4), rng=2)
+        counts = np.zeros((4, 4))
+        np.add.at(counts, (cells[:, 0], cells[:, 1]), 1)
+        assert counts.min() > 800  # expected 1000 per cell
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            uniform_placement(0, (4, 4))
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            uniform_placement(5, (0, 4))
+
+
+class TestNormalPlacement:
+    def test_bounds(self):
+        cells = normal_placement(500, (16, 16), rng=0)
+        assert cells.min() >= 0
+        assert cells[:, 0].max() < 16 and cells[:, 1].max() < 16
+
+    def test_concentrated_around_center(self):
+        cells = normal_placement(
+            3000, (32, 32), rng=1, center=(16.0, 16.0), std_fraction=0.1
+        )
+        distances = np.sqrt((cells[:, 0] - 16) ** 2 + (cells[:, 1] - 16) ** 2)
+        assert np.median(distances) < 6
+
+    def test_more_concentrated_than_uniform(self):
+        normal_cells = normal_placement(2000, (16, 16), rng=2)
+        uniform_cells = uniform_placement(2000, (16, 16), rng=2)
+
+        def occupancy_entropy(cells):
+            counts = np.zeros(16 * 16)
+            np.add.at(counts, cells[:, 0] * 16 + cells[:, 1], 1)
+            p = counts / counts.sum()
+            p = p[p > 0]
+            return -(p * np.log(p)).sum()
+
+        assert occupancy_entropy(normal_cells) < occupancy_entropy(uniform_cells)
+
+    def test_invalid_std(self):
+        with pytest.raises(ConfigurationError):
+            normal_placement(5, (4, 4), std_fraction=0.0)
+
+
+class TestLaDensity:
+    def test_sums_to_one(self):
+        density = la_like_density((32, 32))
+        assert density.sum() == pytest.approx(1.0)
+        assert np.all(density >= 0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(la_like_density((16, 16)), la_like_density((16, 16)))
+
+    def test_strongly_non_uniform(self):
+        density = la_like_density((32, 32))
+        assert density.max() > 10 * density.mean()
+
+    def test_custom_shape(self):
+        assert la_like_density((8, 10)).shape == (8, 10)
+
+
+class TestDensityPlacement:
+    def test_respects_density(self):
+        density = np.zeros((4, 4))
+        density[1, 2] = 1.0
+        cells = density_placement(50, density, rng=0)
+        assert np.all(cells[:, 0] == 1)
+        assert np.all(cells[:, 1] == 2)
+
+    def test_proportional_sampling(self):
+        density = np.array([[3.0, 1.0]])
+        cells = density_placement(8000, density, rng=1)
+        fraction = np.mean(cells[:, 1] == 0)
+        assert fraction == pytest.approx(0.75, abs=0.03)
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ConfigurationError):
+            density_placement(5, np.array([[1.0, -1.0]]))
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            density_placement(5, np.zeros((2, 2)))
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            density_placement(5, np.ones(4))
+
+
+class TestPlaceHouseholds:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_all_distributions(self, distribution):
+        cells = place_households(200, (16, 16), distribution, rng=3)
+        assert cells.shape == (200, 2)
+        assert cells.min() >= 0 and cells.max() < 16
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigurationError):
+            place_households(10, (4, 4), "pareto")
+
+    @settings(max_examples=15)
+    @given(
+        n=st.integers(1, 200),
+        side=st.sampled_from([4, 8, 16]),
+        distribution=st.sampled_from(DISTRIBUTIONS),
+    )
+    def test_bounds_property(self, n, side, distribution):
+        cells = place_households(n, (side, side), distribution, rng=0)
+        assert cells.shape == (n, 2)
+        assert cells.min() >= 0
+        assert cells.max() < side

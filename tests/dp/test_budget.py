@@ -1,0 +1,128 @@
+"""Tests for the privacy-budget accountant."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dp.budget import BudgetAccountant, BudgetSplit
+from repro.exceptions import BudgetExceededError, PrivacyError
+
+
+class TestBudgetAccountant:
+    def test_initial_state(self):
+        acc = BudgetAccountant(10.0)
+        assert acc.total_epsilon == 10.0
+        assert acc.spent_epsilon == 0.0
+        assert acc.remaining_epsilon == 10.0
+
+    def test_sequential_spend_accumulates(self):
+        acc = BudgetAccountant(10.0)
+        acc.spend(3.0)
+        acc.spend(4.0)
+        assert acc.spent_epsilon == pytest.approx(7.0)
+        assert acc.remaining_epsilon == pytest.approx(3.0)
+
+    def test_overspend_raises(self):
+        acc = BudgetAccountant(5.0)
+        acc.spend(4.0)
+        with pytest.raises(BudgetExceededError):
+            acc.spend(2.0)
+
+    def test_overspend_leaves_state_unchanged(self):
+        acc = BudgetAccountant(5.0)
+        acc.spend(4.0)
+        with pytest.raises(BudgetExceededError):
+            acc.spend(2.0)
+        assert acc.spent_epsilon == pytest.approx(4.0)
+
+    def test_exact_spend_allowed(self):
+        acc = BudgetAccountant(5.0)
+        acc.spend(5.0)
+        assert acc.remaining_epsilon == pytest.approx(0.0)
+
+    def test_float_split_spends_back_exactly(self):
+        acc = BudgetAccountant(1.0)
+        per = 1.0 / 7.0
+        for __ in range(7):
+            acc.spend(per)
+        acc.assert_within_budget()
+
+    def test_parallel_counts_maximum(self):
+        acc = BudgetAccountant(5.0)
+        acc.spend_parallel([1.0, 4.0, 2.0])
+        assert acc.spent_epsilon == pytest.approx(4.0)
+
+    def test_parallel_empty_rejected(self):
+        acc = BudgetAccountant(5.0)
+        with pytest.raises(PrivacyError):
+            acc.spend_parallel([])
+
+    def test_ledger_records_labels(self):
+        acc = BudgetAccountant(5.0)
+        acc.spend(1.0, label="first")
+        acc.spend_parallel([2.0, 2.0], label="cells")
+        labels = [entry[0] for entry in acc.ledger]
+        assert labels[0] == "first"
+        assert "cells" in labels[1]
+
+    @pytest.mark.parametrize("total", [0.0, -1.0, np.inf, np.nan])
+    def test_invalid_total(self, total):
+        with pytest.raises(PrivacyError):
+            BudgetAccountant(total)
+
+    @pytest.mark.parametrize("charge", [0.0, -0.5, np.nan, np.inf])
+    def test_invalid_charge(self, charge):
+        acc = BudgetAccountant(5.0)
+        with pytest.raises(PrivacyError):
+            acc.spend(charge)
+
+    @given(
+        charges=st.lists(st.floats(0.01, 1.0), min_size=1, max_size=20),
+    )
+    def test_never_exceeds_total_invariant(self, charges):
+        acc = BudgetAccountant(5.0)
+        for charge in charges:
+            try:
+                acc.spend(charge)
+            except BudgetExceededError:
+                break
+        acc.assert_within_budget()
+        assert acc.spent_epsilon <= acc.total_epsilon * (1 + 1e-9)
+
+
+class TestBudgetSplit:
+    def test_proportional_shares(self):
+        split = BudgetSplit.proportional(30.0, {"pattern": 1.0, "sanitize": 2.0})
+        assert split["pattern"] == pytest.approx(10.0)
+        assert split["sanitize"] == pytest.approx(20.0)
+
+    def test_shares_sum_to_total(self):
+        split = BudgetSplit.proportional(7.0, {"a": 3, "b": 5, "c": 11})
+        assert sum(split.shares.values()) == pytest.approx(7.0)
+
+    def test_overallocated_rejected(self):
+        with pytest.raises(PrivacyError):
+            BudgetSplit(total=1.0, shares={"a": 0.7, "b": 0.7})
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(PrivacyError):
+            BudgetSplit.proportional(1.0, {"a": 0.0})
+
+    def test_invalid_total(self):
+        with pytest.raises(PrivacyError):
+            BudgetSplit(total=-1.0)
+
+    @given(
+        total=st.floats(0.1, 100),
+        weights=st.dictionaries(
+            st.text(min_size=1, max_size=4),
+            st.floats(0.01, 10),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_proportional_invariants(self, total, weights):
+        split = BudgetSplit.proportional(total, weights)
+        assert sum(split.shares.values()) == pytest.approx(total)
+        assert all(share > 0 for share in split.shares.values())

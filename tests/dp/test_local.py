@@ -1,0 +1,146 @@
+"""Tests for the local-DP publication model."""
+
+import numpy as np
+import pytest
+
+from repro.dp.budget import BudgetAccountant
+from repro.dp.local import (
+    LocalDPPublisher,
+    LocalMeterReport,
+    aggregate_reports,
+    randomize_readings,
+)
+from repro.exceptions import ConfigurationError, DataError, PrivacyError
+
+
+class TestRandomizeReadings:
+    def test_shape_preserved(self, rng):
+        out = randomize_readings(rng.random(10), epsilon=5.0, clip_factor=1.0, rng=0)
+        assert out.shape == (10,)
+
+    def test_high_budget_recovers_normalized_series(self, rng):
+        readings = rng.random(20) * 2.0
+        out = randomize_readings(readings, epsilon=1e9, clip_factor=2.0, rng=0)
+        np.testing.assert_allclose(out, readings / 2.0, atol=1e-4)
+
+    def test_clipping_applied_before_noise(self):
+        readings = np.array([100.0, 0.5])
+        out = randomize_readings(readings, epsilon=1e9, clip_factor=1.0, rng=0)
+        np.testing.assert_allclose(out, [1.0, 0.5], atol=1e-4)
+
+    def test_longer_series_more_noise_per_point(self):
+        short = randomize_readings(np.zeros(5), 10.0, 1.0, rng=1)
+        long = randomize_readings(np.zeros(500), 10.0, 1.0, rng=1)
+        assert np.abs(long).mean() > np.abs(short).mean()
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyError):
+            randomize_readings(np.ones(3), epsilon=0.0, clip_factor=1.0)
+
+    def test_rank_validated(self):
+        with pytest.raises(DataError):
+            randomize_readings(np.ones((2, 3)), epsilon=1.0, clip_factor=1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            randomize_readings(np.array([]), epsilon=1.0, clip_factor=1.0)
+
+
+class TestAggregateReports:
+    def make_report(self, values, cell):
+        return LocalMeterReport(
+            readings=np.asarray(values, dtype=float), cell=cell, epsilon=1.0
+        )
+
+    def test_sums_per_cell(self):
+        reports = [
+            self.make_report([1.0, 2.0], (0, 0)),
+            self.make_report([3.0, 4.0], (0, 0)),
+            self.make_report([5.0, 6.0], (1, 1)),
+        ]
+        values = aggregate_reports(reports, (2, 2))
+        np.testing.assert_allclose(values[0, 0], [4.0, 6.0])
+        np.testing.assert_allclose(values[1, 1], [5.0, 6.0])
+        np.testing.assert_allclose(values[0, 1], [0.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            aggregate_reports([], (2, 2))
+
+    def test_mismatched_horizons_rejected(self):
+        reports = [
+            self.make_report([1.0], (0, 0)),
+            self.make_report([1.0, 2.0], (0, 0)),
+        ]
+        with pytest.raises(DataError):
+            aggregate_reports(reports, (2, 2))
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(DataError):
+            aggregate_reports([self.make_report([1.0], (5, 0))], (2, 2))
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_reports([self.make_report([1.0], (0, 0))], (0, 2))
+
+
+class TestLocalDPPublisher:
+    def test_end_to_end_shape(self, rng):
+        readings = rng.random((12, 6))
+        cells = rng.integers(0, 3, size=(12, 2))
+        values = LocalDPPublisher().publish(
+            readings, cells, (3, 3), epsilon=10.0, clip_factor=1.0, rng=0
+        )
+        assert values.shape == (3, 3, 6)
+
+    def test_high_budget_matches_central_aggregation(self, rng):
+        from repro.data.matrix import build_matrices
+
+        readings = rng.random((10, 5)) * 2
+        cells = rng.integers(0, 2, size=(10, 2))
+        values = LocalDPPublisher().publish(
+            readings, cells, (2, 2), epsilon=1e9, clip_factor=2.0, rng=0
+        )
+        __, norm = build_matrices(readings, cells, (2, 2), 2.0)
+        np.testing.assert_allclose(values, norm.values, atol=1e-3)
+
+    def test_budget_is_parallel_across_households(self):
+        readings = np.ones((8, 4))
+        cells = np.zeros((8, 2), dtype=int)
+        accountant = BudgetAccountant(5.0)
+        LocalDPPublisher().publish(
+            readings, cells, (1, 1), epsilon=5.0, clip_factor=1.0,
+            rng=0, accountant=accountant,
+        )
+        # households are disjoint records: one parallel charge
+        assert accountant.spent_epsilon == pytest.approx(5.0)
+
+    def test_noisier_than_central_identity(self, rng):
+        """The sqrt(m) LDP penalty: cells with several households carry
+        more noise than a single central Laplace draw."""
+        from repro.baselines.identity import Identity
+        from repro.data.matrix import ConsumptionMatrix, build_matrices
+
+        readings = np.full((64, 16), 0.5)
+        cells = np.repeat(np.arange(4), 16)[:, None] * np.array([[1, 0]])
+        cells = np.column_stack([cells[:, 0] % 2, cells[:, 0] // 2])
+        __, norm = build_matrices(readings, cells, (2, 2), 1.0)
+        identity = Identity().run(norm, epsilon=4.0, rng=1)
+        identity_error = np.abs(identity.sanitized.values - norm.values).mean()
+        local = LocalDPPublisher().publish(
+            readings, cells, (2, 2), epsilon=4.0, clip_factor=1.0, rng=2
+        )
+        local_error = np.abs(local - norm.values).mean()
+        assert local_error > 2.0 * identity_error
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(DataError):
+            LocalDPPublisher().publish(
+                rng.random(5), np.zeros((5, 2), dtype=int), (2, 2),
+                epsilon=1.0, clip_factor=1.0,
+            )
+        with pytest.raises(DataError):
+            LocalDPPublisher().publish(
+                rng.random((5, 3)), np.zeros((4, 2), dtype=int), (2, 2),
+                epsilon=1.0, clip_factor=1.0,
+            )

@@ -1,0 +1,147 @@
+"""Tests for the Laplace and geometric mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.mechanisms import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    laplace_noise,
+    laplace_scale,
+)
+from repro.exceptions import PrivacyError, SensitivityError
+
+
+class TestLaplaceScale:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        assert laplace_scale(2.0, 4.0) == pytest.approx(0.5)
+
+    def test_unit_values(self):
+        assert laplace_scale(1.0, 1.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0, np.inf, np.nan])
+    def test_invalid_epsilon_rejected(self, epsilon):
+        with pytest.raises(PrivacyError):
+            laplace_scale(1.0, epsilon)
+
+    @pytest.mark.parametrize("sensitivity", [0.0, -2.0, np.inf, np.nan])
+    def test_invalid_sensitivity_rejected(self, sensitivity):
+        with pytest.raises(SensitivityError):
+            laplace_scale(sensitivity, 1.0)
+
+    @given(
+        s=st.floats(0.001, 100, allow_nan=False),
+        e=st.floats(0.001, 100, allow_nan=False),
+    )
+    def test_scale_positive_and_monotone(self, s, e):
+        scale = laplace_scale(s, e)
+        assert scale > 0
+        assert laplace_scale(2 * s, e) == pytest.approx(2 * scale)
+        assert laplace_scale(s, 2 * e) == pytest.approx(scale / 2)
+
+
+class TestLaplaceNoise:
+    def test_shape(self):
+        noise = laplace_noise((3, 4), 1.0, 1.0, rng=0)
+        assert noise.shape == (3, 4)
+
+    def test_scalar_shape(self):
+        noise = laplace_noise((), 1.0, 1.0, rng=0)
+        assert noise.shape == ()
+
+    def test_deterministic_with_seed(self):
+        a = laplace_noise((10,), 1.0, 1.0, rng=42)
+        b = laplace_noise((10,), 1.0, 1.0, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_mean_and_variance(self):
+        noise = laplace_noise((200_000,), 2.0, 1.0, rng=1)
+        assert abs(noise.mean()) < 0.05
+        # Var(Lap(b)) = 2 b^2 with b = 2.
+        assert noise.var() == pytest.approx(8.0, rel=0.05)
+
+    def test_larger_epsilon_means_less_noise(self):
+        loose = laplace_noise((50_000,), 1.0, 0.1, rng=2)
+        tight = laplace_noise((50_000,), 1.0, 10.0, rng=2)
+        assert tight.std() < loose.std()
+
+
+class TestLaplaceMechanism:
+    def test_randomize_adds_noise(self):
+        mech = LaplaceMechanism(sensitivity=1.0)
+        values = np.zeros(1000)
+        noisy = mech.randomize(values, epsilon=1.0, rng=0)
+        assert noisy.shape == values.shape
+        assert not np.allclose(noisy, values)
+
+    def test_high_epsilon_is_nearly_exact(self):
+        mech = LaplaceMechanism(sensitivity=1.0)
+        values = np.arange(100, dtype=float)
+        noisy = mech.randomize(values, epsilon=1e9, rng=0)
+        np.testing.assert_allclose(noisy, values, atol=1e-5)
+
+    def test_variance_formula(self):
+        mech = LaplaceMechanism(sensitivity=3.0)
+        assert mech.variance(1.5) == pytest.approx(2 * (3.0 / 1.5) ** 2)
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(SensitivityError):
+            LaplaceMechanism(sensitivity=-1.0)
+
+    def test_scalar_input(self):
+        mech = LaplaceMechanism(sensitivity=1.0)
+        out = mech.randomize(5.0, epsilon=1e9, rng=0)
+        assert float(out) == pytest.approx(5.0, abs=1e-5)
+
+    def test_empirical_privacy_ratio(self):
+        """Likelihood ratio of outputs on neighbouring inputs <= e^eps.
+
+        We check the Laplace density ratio analytically at sampled
+        output points instead of estimating densities.
+        """
+        epsilon = 0.8
+        mech = LaplaceMechanism(sensitivity=1.0)
+        b = mech.scale(epsilon)
+        outputs = mech.randomize(np.zeros(1000), epsilon, rng=3)
+        # density ratio for neighbouring values 0 and 1
+        log_ratio = (np.abs(outputs - 1.0) - np.abs(outputs - 0.0)) / b
+        assert np.all(log_ratio <= epsilon + 1e-9)
+        assert np.all(log_ratio >= -epsilon - 1e-9)
+
+
+class TestGeometricMechanism:
+    def test_outputs_are_integers(self):
+        mech = GeometricMechanism()
+        values = np.arange(50)
+        noisy = mech.randomize(values, epsilon=1.0, rng=0)
+        assert np.issubdtype(noisy.dtype, np.integer)
+
+    def test_zero_mean(self):
+        mech = GeometricMechanism()
+        noisy = mech.randomize(np.zeros(100_000, dtype=int), epsilon=1.0, rng=1)
+        assert abs(noisy.mean()) < 0.05
+
+    def test_high_epsilon_nearly_exact(self):
+        mech = GeometricMechanism()
+        values = np.arange(100)
+        noisy = mech.randomize(values, epsilon=50.0, rng=2)
+        assert np.mean(noisy == values) > 0.99
+
+    @pytest.mark.parametrize("sensitivity", [0, -1, 1.5])
+    def test_invalid_sensitivity(self, sensitivity):
+        with pytest.raises(SensitivityError):
+            GeometricMechanism(sensitivity=sensitivity)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyError):
+            GeometricMechanism().randomize(np.zeros(3, dtype=int), epsilon=0.0)
+
+    @settings(max_examples=20)
+    @given(epsilon=st.floats(0.1, 5.0))
+    def test_more_budget_less_spread(self, epsilon):
+        mech = GeometricMechanism()
+        tight = mech.randomize(np.zeros(5000, dtype=int), epsilon * 4, rng=5)
+        loose = mech.randomize(np.zeros(5000, dtype=int), epsilon, rng=5)
+        assert tight.std() <= loose.std() + 1e-9

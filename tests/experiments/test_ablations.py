@@ -1,0 +1,94 @@
+"""Smoke tests for the ablation runners (tiny preset)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_attention,
+    ablation_budget_allocation,
+    ablation_local_dp,
+    ablation_rollout,
+    ablation_seed_denoising,
+)
+from tests.conftest import make_tiny_preset
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return make_tiny_preset()
+
+
+def _assert_finite(rows, keys=("random", "small", "large")):
+    for row in rows:
+        for key in keys:
+            assert np.isfinite(row[key]), (row, key)
+
+
+class TestAblationRunners:
+    def test_budget_allocation(self, preset):
+        rows = ablation_budget_allocation("CA", preset, rng=1)
+        assert [row["allocation"] for row in rows] == [
+            "optimal", "uniform", "proportional",
+        ]
+        _assert_finite(rows)
+
+    def test_rollout(self, preset):
+        rows = ablation_rollout("CA", preset, rng=2)
+        assert {row["rollout"] for row in rows} == {"anchored", "cell"}
+        for row in rows:
+            assert row["pattern_rmse"] >= row["pattern_mae"]
+        _assert_finite(rows)
+
+    def test_attention(self, preset):
+        rows = ablation_attention("CA", preset, rng=3)
+        assert {row["model"] for row in rows} == {"attention+GRU", "GRU-only"}
+        _assert_finite(rows)
+
+    def test_seed_denoising(self, preset):
+        rows = ablation_seed_denoising("CA", preset, rng=4)
+        assert {row["seeds"] for row in rows} == {"hierarchical", "leaf-only"}
+        _assert_finite(rows)
+
+    def test_local_dp(self, preset):
+        rows = ablation_local_dp("CA", preset, rng=5)
+        assert [row["deployment"] for row in rows] == [
+            "central/STPT", "central/Identity", "local/LDP",
+        ]
+        _assert_finite(rows)
+
+
+class TestAblationFlagsInCore:
+    def test_allocation_flag_reaches_sanitizer(self, preset, tiny_context):
+        from repro.experiments.harness import run_stpt
+
+        for strategy in ("optimal", "uniform", "proportional"):
+            config = preset.stpt_config(allocation=strategy)
+            result, __ = run_stpt(tiny_context, config, rng=6)
+            assert sum(result.sanitization.budgets.values()) == pytest.approx(
+                preset.epsilon_sanitize
+            )
+            if strategy == "uniform":
+                values = list(result.sanitization.budgets.values())
+                assert values == pytest.approx([values[0]] * len(values))
+
+    def test_invalid_allocation_rejected(self, preset):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            preset.stpt_config(allocation="greedy")
+
+
+class TestPrivacyModelAblation:
+    def test_rows_and_ordering(self, preset):
+        from repro.experiments.ablations import ablation_privacy_model
+
+        rows = ablation_privacy_model("CA", preset, rng=9)
+        settings = [row["setting"] for row in rows]
+        assert settings[0] == "user-level STPT"
+        assert any("event-level" in s for s in settings)
+        by_setting = {row["setting"]: row for row in rows}
+        event = by_setting["event-level Identity (weaker!)"]
+        user = by_setting["user-level Identity"]
+        # the weaker model buys accuracy: event-level noise is T times
+        # smaller per slice
+        assert event["small"] < user["small"]

@@ -1,0 +1,97 @@
+"""Smoke tests for every figure/table runner (tiny preset)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+from tests.conftest import make_tiny_preset
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return make_tiny_preset()
+
+
+class TestTable2:
+    def test_rows_and_targets(self, preset):
+        rows = figures.table2(preset, rng=0)
+        assert [row["dataset"] for row in rows] == ["CER", "CA", "MI", "TX"]
+        for row in rows:
+            assert row["mean_kwh"] == pytest.approx(row["target_mean"], rel=0.05)
+            assert row["max_kwh"] <= row["target_max"] + 1e-9
+
+
+class TestFigure9:
+    def test_weekday_columns(self):
+        # weekday factors need enough weeks to average out the slow
+        # weather component; use a longer horizon than the tiny preset
+        preset = make_tiny_preset(n_days=147)
+        rows = figures.figure9(preset, rng=0)
+        weekdays = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
+        for row in rows:
+            values = np.array([row[wd] for wd in weekdays])
+            assert values.mean() == pytest.approx(1.0, rel=1e-6)
+            # weekend modulation visible
+            assert (row["Sat"] + row["Sun"]) / 2 > (row["Tue"] + row["Wed"]) / 2
+
+
+class TestFigure6:
+    def test_single_dataset(self, preset):
+        rows = figures.figure6("CA", distributions=("uniform",), preset=preset, rng=1)
+        algorithms = {row["algorithm"] for row in rows}
+        assert "STPT" in algorithms
+        assert "Identity" in algorithms
+        assert "LGAN-DP" in algorithms
+        for row in rows:
+            for kind in ("random", "small", "large"):
+                assert np.isfinite(row[kind])
+
+
+class TestFigure7:
+    def test_wpo_worse_than_stpt_on_small(self, preset):
+        rows = figures.figure7("CA", preset=preset, rng=2)
+        by_algorithm = {row["algorithm"]: row for row in rows}
+        assert set(by_algorithm) == {"STPT", "WPO", "Identity"}
+
+
+class TestFigure8Sweeps:
+    def test_8ab_budget_sweep(self, preset):
+        rows = figures.figure8ab(
+            "CA", budgets_per_point=(0.05, 2.0), preset=preset, rng=3
+        )
+        assert len(rows) == 2
+        assert rows[1]["epsilon_pattern"] == pytest.approx(2.0 * preset.t_train)
+        for row in rows:
+            assert row["rmse"] >= row["mae"] >= 0
+
+    def test_8c_quantization_sweep(self, preset):
+        rows = figures.figure8c("CA", levels=(2, 8), preset=preset, rng=4)
+        assert [row["quantization_levels"] for row in rows] == [2, 8]
+
+    def test_8d_runtime(self, preset):
+        rows = figures.figure8d("CA", preset=preset, rng=5)
+        assert rows[0]["algorithm"] == "STPT"
+        assert rows[0]["seconds"] > 0
+        assert {row["algorithm"] for row in rows} >= {"Identity", "FAST", "WPO"}
+
+    def test_8ef_depth_sweep(self, preset):
+        rows = figures.figure8ef("CA", depths=(0, 2), preset=preset, rng=6)
+        assert [row["depth"] for row in rows] == [0, 2]
+
+    def test_8ef_default_depths_respect_window(self, preset):
+        rows = figures.figure8ef("CA", preset=preset, rng=6)
+        assert len(rows) >= 2  # at least depths 0..1 on the tiny preset
+
+    def test_8g_split_sweep(self, preset):
+        rows = figures.figure8g(
+            "CA", pattern_fractions=(0.2, 0.8), preset=preset, rng=7
+        )
+        assert len(rows) == 2
+
+    def test_8h_total_budget_sweep(self, preset):
+        rows = figures.figure8h("CA", totals=(3.0, 60.0), preset=preset, rng=8)
+        assert [row["epsilon_total"] for row in rows] == [3.0, 60.0]
+
+    def test_8i_model_sweep(self, preset):
+        rows = figures.figure8i("CA", families=("gru", "rnn"), preset=preset, rng=9)
+        assert [row["model"] for row in rows] == ["gru", "rnn"]

@@ -1,0 +1,139 @@
+"""Tests for the power-network graph use case (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.network import (
+    Battery,
+    Consumer,
+    PowerNetwork,
+    bounding_rectangle,
+)
+
+
+@pytest.fixture()
+def network():
+    net = PowerNetwork()
+    for i, (x, y) in enumerate([(0, 0), (0, 1), (5, 5), (5, 6), (6, 5)]):
+        net.add_consumer(Consumer(f"C{i}", x, y))
+    net.add_battery(Battery("B0", 1, 1, capacity=4))
+    return net
+
+
+@pytest.fixture()
+def sanitized():
+    # hot south-east corner, cold north-west
+    values = np.full((8, 8, 4), 0.1)
+    values[5:7, 5:7, :] = 10.0
+    return ConsumptionMatrix(values)
+
+
+class TestNodes:
+    def test_duplicate_names_rejected(self, network):
+        with pytest.raises(ConfigurationError):
+            network.add_consumer(Consumer("C0", 2, 2))
+        with pytest.raises(ConfigurationError):
+            network.add_battery(Battery("C0", 2, 2))
+
+    def test_invalid_coordinates(self):
+        with pytest.raises(ConfigurationError):
+            Consumer("X", -1, 0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Battery("B", 0, 0, capacity=0)
+
+
+class TestAssignment:
+    def test_assign_and_query(self, network):
+        network.assign("C0", "B0")
+        assert network.battery_of("C0") == "B0"
+        assert network.consumers_of("B0") == ["C0"]
+
+    def test_reassign_moves_consumer(self, network):
+        network.add_battery(Battery("B1", 6, 6))
+        network.assign("C0", "B0")
+        network.assign("C0", "B1")
+        assert network.battery_of("C0") == "B1"
+        assert network.consumers_of("B0") == []
+
+    def test_capacity_enforced(self, network):
+        for i in range(4):
+            network.assign(f"C{i}", "B0")
+        with pytest.raises(ConfigurationError):
+            network.assign("C4", "B0")
+
+    def test_unknown_nodes(self, network):
+        with pytest.raises(ConfigurationError):
+            network.assign("ghost", "B0")
+        with pytest.raises(ConfigurationError):
+            network.assign("C0", "ghost")
+
+    def test_unassigned_consumers(self, network):
+        network.assign("C0", "B0")
+        assert network.unassigned_consumers() == ["C1", "C2", "C3", "C4"]
+
+    def test_unassign(self, network):
+        network.assign("C0", "B0")
+        network.unassign("C0")
+        assert network.battery_of("C0") is None
+
+    def test_assign_idempotent(self, network):
+        network.assign("C0", "B0")
+        network.assign("C0", "B0")
+        assert network.consumers_of("B0") == ["C0"]
+
+
+class TestMBR:
+    def test_bounding_rectangle(self):
+        consumers = [Consumer("A", 1, 2), Consumer("B", 4, 0)]
+        query = bounding_rectangle(consumers, (0, 3))
+        assert (query.x0, query.x1) == (1, 5)
+        assert (query.y0, query.y1) == (0, 3)
+        assert (query.t0, query.t1) == (0, 3)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bounding_rectangle([], (0, 1))
+
+    def test_group_surplus_uses_sanitized_matrix(self, network, sanitized):
+        hot = network.group_surplus(["C2", "C3", "C4"], sanitized, (0, 4))
+        cold = network.group_surplus(["C0", "C1"], sanitized, (0, 4))
+        assert hot > cold
+
+    def test_surplus_out_of_bounds(self, network, sanitized):
+        with pytest.raises(DataError):
+            network.group_surplus(["C0"], sanitized, (0, 99))
+
+
+class TestRebalance:
+    def test_moves_battery_toward_surplus(self, network, sanitized):
+        # attach the two cold consumers; leave the hot trio free
+        network.assign("C0", "B0")
+        network.assign("C1", "B0")
+        steps = network.rebalance(sanitized, (0, 4), group_size=2)
+        assert len(steps) == 1
+        step = steps[0]
+        assert step.battery == "B0"
+        assert set(step.dropped) == {"C0", "C1"}
+        assert step.new_surplus > step.old_surplus
+        # the hot consumers are now connected
+        assert set(step.gained).issubset(set(network.consumers_of("B0")))
+
+    def test_no_move_when_attached_group_is_best(self, network, sanitized):
+        network.assign("C2", "B0")
+        network.assign("C3", "B0")
+        steps = network.rebalance(sanitized, (0, 4), group_size=2)
+        assert steps == []
+
+    def test_no_free_consumers_no_moves(self, network, sanitized):
+        for i in range(4):
+            network.assign(f"C{i}", "B0")
+        # only C4 is free: no full group of 2 available
+        assert network.rebalance(sanitized, (0, 4), group_size=2) == []
+
+    def test_invalid_group_size(self, network, sanitized):
+        with pytest.raises(ConfigurationError):
+            network.rebalance(sanitized, (0, 4), group_size=0)

@@ -1,0 +1,52 @@
+"""Finite-difference gradient checking used across the nn test files."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import mse_loss
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        f_plus = f()
+        x[idx] = original - eps
+        f_minus = f()
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_module_gradients(
+    module,
+    x: np.ndarray,
+    rng: np.random.Generator,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> None:
+    """Assert analytic input and parameter grads match finite differences."""
+    target = rng.standard_normal(np.asarray(module(x)).shape)
+
+    def loss() -> float:
+        return mse_loss(module(x), target)[0]
+
+    module.zero_grad()
+    value, grad = mse_loss(module(x), target)
+    dx = module.backward(grad)
+    ndx = numerical_gradient(loss, x)
+    np.testing.assert_allclose(dx, ndx, rtol=rtol, atol=atol)
+
+    for name, param in module.named_parameters():
+        analytic = param.grad.copy()
+        numeric = numerical_gradient(loss, param.value)
+        np.testing.assert_allclose(
+            analytic, numeric, rtol=rtol, atol=atol,
+            err_msg=f"gradient mismatch for parameter {name}",
+        )

@@ -1,0 +1,102 @@
+"""Tests for self-attention, positional encoding and encoder blocks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.attention import (
+    MultiHeadSelfAttention,
+    PositionalEncoding,
+    TransformerEncoderLayer,
+)
+from tests.nn.gradcheck import check_module_gradients
+
+
+class TestPositionalEncoding:
+    def test_adds_bounded_signal(self, rng):
+        pos = PositionalEncoding(8, max_len=32)
+        x = np.zeros((1, 10, 8))
+        out = pos(x)
+        assert np.all(np.abs(out) <= 1.0 + 1e-12)
+
+    def test_distinct_positions(self):
+        pos = PositionalEncoding(8, max_len=32)
+        out = pos(np.zeros((1, 10, 8)))[0]
+        assert not np.allclose(out[0], out[1])
+
+    def test_backward_is_identity(self, rng):
+        pos = PositionalEncoding(8)
+        grad = rng.standard_normal((2, 5, 8))
+        np.testing.assert_array_equal(pos.backward(grad), grad)
+
+    def test_too_long_sequence_rejected(self):
+        pos = PositionalEncoding(4, max_len=8)
+        with pytest.raises(ConfigurationError):
+            pos(np.zeros((1, 9, 4)))
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PositionalEncoding(7)
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=0)
+        assert attn(rng.standard_normal((3, 5, 8))).shape == (3, 5, 8)
+
+    def test_attention_rows_sum_to_one(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=0)
+        attn(rng.standard_normal((2, 6, 8)))
+        weights = attn.attention_weights
+        assert weights is not None
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-9)
+        assert np.all(weights >= 0)
+
+    def test_gradients_single_head(self, rng):
+        check_module_gradients(
+            MultiHeadSelfAttention(4, 1, rng=1), rng.standard_normal((2, 4, 4)), rng
+        )
+
+    def test_gradients_multi_head(self, rng):
+        check_module_gradients(
+            MultiHeadSelfAttention(6, 3, rng=2), rng.standard_normal((2, 4, 6)), rng
+        )
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiHeadSelfAttention(7, 2)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            MultiHeadSelfAttention(4, 1, rng=0).backward(np.zeros((1, 2, 4)))
+
+    def test_permutation_equivariance_without_position(self, rng):
+        """Self-attention alone treats time steps as a set."""
+        attn = MultiHeadSelfAttention(4, 1, rng=3)
+        x = rng.standard_normal((1, 5, 4))
+        perm = np.array([4, 2, 0, 1, 3])
+        out = attn(x)
+        out_perm = attn(x[:, perm, :])
+        np.testing.assert_allclose(out[:, perm, :], out_perm, atol=1e-10)
+
+
+class TestTransformerEncoderLayer:
+    def test_output_shape(self, rng):
+        block = TransformerEncoderLayer(8, 2, 16, rng=0)
+        assert block(rng.standard_normal((2, 5, 8))).shape == (2, 5, 8)
+
+    def test_gradients(self, rng):
+        check_module_gradients(
+            TransformerEncoderLayer(4, 2, 8, rng=1),
+            rng.standard_normal((2, 4, 4)),
+            rng,
+        )
+
+    def test_default_ffn_width(self):
+        block = TransformerEncoderLayer(8, 2, rng=0)
+        assert block.ff1.out_features == 32
+
+    def test_layer_normalized_output(self, rng):
+        block = TransformerEncoderLayer(8, 2, rng=0)
+        out = block(rng.standard_normal((2, 5, 8)) * 10)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-7)

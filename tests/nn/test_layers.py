@@ -1,0 +1,165 @@
+"""Tests for feed-forward layers and activation functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import (
+    Dropout,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    sigmoid,
+    softmax,
+)
+from tests.nn.gradcheck import check_module_gradients
+
+
+class TestLinear:
+    def test_output_shape_2d(self, rng):
+        layer = Linear(4, 3, rng=0)
+        assert layer(rng.standard_normal((5, 4))).shape == (5, 3)
+
+    def test_output_shape_3d(self, rng):
+        layer = Linear(4, 3, rng=0)
+        assert layer(rng.standard_normal((2, 7, 4))).shape == (2, 7, 3)
+
+    def test_wrong_trailing_dim_rejected(self, rng):
+        layer = Linear(4, 3, rng=0)
+        with pytest.raises(ConfigurationError):
+            layer(rng.standard_normal((5, 5)))
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, rng=0, bias=False)
+        assert len(list(layer.parameters())) == 1
+        out = layer(np.zeros((1, 3)))
+        np.testing.assert_allclose(out, np.zeros((1, 2)))
+
+    def test_gradients(self, rng):
+        check_module_gradients(Linear(4, 3, rng=1), rng.standard_normal((5, 4)), rng)
+
+    def test_gradients_3d(self, rng):
+        check_module_gradients(
+            Linear(3, 2, rng=1), rng.standard_normal((2, 4, 3)), rng
+        )
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2, rng=0).backward(np.zeros((1, 2)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 3)
+
+
+class TestLayerNorm:
+    def test_normalizes_features(self, rng):
+        layer = LayerNorm(8)
+        out = layer(rng.standard_normal((10, 8)) * 5 + 3)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradients(self, rng):
+        check_module_gradients(LayerNorm(6), rng.standard_normal((4, 6)), rng)
+
+    def test_gradients_3d(self, rng):
+        check_module_gradients(LayerNorm(5), rng.standard_normal((2, 3, 5)), rng)
+
+    def test_gamma_beta_affect_output(self, rng):
+        layer = LayerNorm(4)
+        x = rng.standard_normal((3, 4))
+        base = layer(x)
+        layer.gamma.value[:] = 2.0
+        layer.beta.value[:] = 1.0
+        np.testing.assert_allclose(layer(x), base * 2.0 + 1.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.5, rng=0)
+        layer.eval()
+        x = rng.standard_normal((5, 5))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_train_mode_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((100, 100))
+        out = layer(x)
+        kept = out != 0
+        # inverted dropout: kept entries are scaled by 1/keep
+        np.testing.assert_allclose(out[kept], 2.0)
+        assert 0.4 < kept.mean() < 0.6
+
+    def test_zero_probability_identity(self, rng):
+        layer = Dropout(0.0)
+        x = rng.standard_normal((4, 4))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((50, 50))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.0, 1.5])
+    def test_invalid_probability(self, p):
+        with pytest.raises(ConfigurationError):
+            Dropout(p)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [Tanh, ReLU, Sigmoid])
+    def test_gradients(self, cls, rng):
+        check_module_gradients(cls(), rng.standard_normal((4, 5)), rng)
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU()(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid()(rng.standard_normal(100) * 5)
+        assert np.all(out > 0) and np.all(out < 1)
+
+    @pytest.mark.parametrize("cls", [Tanh, ReLU, Sigmoid])
+    def test_backward_before_forward(self, cls):
+        with pytest.raises(RuntimeError):
+            cls().backward(np.ones(3))
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        l1, l2 = Linear(3, 4, rng=0), Linear(4, 2, rng=1)
+        model = Sequential(l1, l2)
+        x = rng.standard_normal((2, 3))
+        np.testing.assert_allclose(model(x), l2(l1(x)))
+
+    def test_gradients(self, rng):
+        model = Sequential(Linear(3, 4, rng=0), Tanh(), Linear(4, 2, rng=1))
+        check_module_gradients(model, rng.standard_normal((3, 3)), rng)
+
+
+class TestFunctional:
+    def test_sigmoid_extremes_stable(self):
+        out = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    @given(hnp.arrays(float, (4, 6), elements=st.floats(-50, 50)))
+    def test_softmax_rows_sum_to_one(self, x):
+        out = softmax(x, axis=-1)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+        assert np.all(out >= 0)
+
+    def test_softmax_shift_invariant(self, rng):
+        x = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), atol=1e-9)
+
+    @given(hnp.arrays(float, (10,), elements=st.floats(-30, 30)))
+    def test_sigmoid_symmetry(self, x):
+        np.testing.assert_allclose(sigmoid(-x), 1.0 - sigmoid(x), atol=1e-12)

@@ -1,0 +1,114 @@
+"""Tests for the forecaster architectures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.losses import mse_loss
+from repro.nn.models import (
+    GRUForecaster,
+    LSTMForecaster,
+    MODEL_FAMILIES,
+    RNNForecaster,
+    TransformerForecaster,
+    make_forecaster,
+)
+from tests.nn.gradcheck import numerical_gradient
+
+ALL_FORECASTERS = [
+    lambda: RNNForecaster(window=4, embed_dim=6, hidden_dim=5, rng=0),
+    lambda: GRUForecaster(window=4, embed_dim=6, hidden_dim=5, rng=1),
+    lambda: LSTMForecaster(window=4, embed_dim=6, hidden_dim=5, rng=2),
+    lambda: TransformerForecaster(window=4, embed_dim=6, num_heads=2, rng=3),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FORECASTERS)
+class TestForecasterInterface:
+    def test_forward_shape(self, factory, rng):
+        model = factory()
+        out = model(rng.random((7, 4)))
+        assert out.shape == (7,)
+
+    def test_rejects_wrong_rank(self, factory, rng):
+        model = factory()
+        with pytest.raises(ConfigurationError):
+            model(rng.random((2, 4, 1)))
+
+    def test_gradients(self, factory, rng):
+        model = factory()
+        x = rng.random((3, 4))
+        target = rng.random(3)
+
+        def loss():
+            return mse_loss(model(x), target)[0]
+
+        model.zero_grad()
+        __, grad = mse_loss(model(x), target)
+        dx = model.backward(grad)
+        numeric = numerical_gradient(loss, x)
+        np.testing.assert_allclose(dx, numeric, rtol=1e-3, atol=1e-6)
+
+    def test_autoregressive_shape(self, factory, rng):
+        model = factory()
+        out = model.predict_autoregressive(rng.random((5, 4)), steps=9)
+        assert out.shape == (5, 9)
+
+    def test_autoregressive_clip(self, factory, rng):
+        model = factory()
+        out = model.predict_autoregressive(
+            rng.random((3, 4)) * 10, steps=20, clip=(0.0, 1.0)
+        )
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_autoregressive_invalid_steps(self, factory, rng):
+        model = factory()
+        with pytest.raises(ConfigurationError):
+            model.predict_autoregressive(rng.random((1, 4)), steps=0)
+
+
+class TestResidualHead:
+    def test_residual_keeps_constant_level(self, rng):
+        """An untrained residual model stays near the seed level."""
+        model = GRUForecaster(window=4, embed_dim=6, hidden_dim=5, rng=0)
+        seed_low = np.full((1, 4), 0.1)
+        seed_high = np.full((1, 4), 5.0)
+        out_low = model.predict_autoregressive(seed_low, 10)
+        out_high = model.predict_autoregressive(seed_high, 10)
+        # the two roll-outs must stay separated by roughly the seed gap
+        assert out_high.mean() - out_low.mean() > 2.0
+
+    def test_non_residual_output_differs(self, rng):
+        x = rng.random((3, 4))
+        residual = GRUForecaster(window=4, embed_dim=6, hidden_dim=5, rng=0)
+        plain = GRUForecaster(window=4, embed_dim=6, hidden_dim=5, rng=0)
+        plain.residual = False
+        np.testing.assert_allclose(residual(x) - plain(x), x[:, -1], atol=1e-12)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("family", sorted(MODEL_FAMILIES))
+    def test_known_families(self, family):
+        model = make_forecaster(family, window=4, embed_dim=8, hidden_dim=8, rng=0)
+        assert model(np.random.default_rng(0).random((2, 4))).shape == (2,)
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError):
+            make_forecaster("cnn")
+
+    def test_window_respected(self):
+        model = make_forecaster("gru", window=9, embed_dim=8, hidden_dim=8, rng=0)
+        assert model.window == 9
+
+
+class TestAttentionToggle:
+    def test_attention_off_has_fewer_parameters(self):
+        with_attention = GRUForecaster(window=4, embed_dim=8, hidden_dim=8,
+                                       use_attention=True, rng=0)
+        without = GRUForecaster(window=4, embed_dim=8, hidden_dim=8,
+                                use_attention=False, rng=0)
+        assert without.num_parameters() < with_attention.num_parameters()
+
+    def test_lstm_defaults_to_no_attention(self):
+        model = LSTMForecaster(window=4, embed_dim=8, hidden_dim=8, rng=0)
+        assert not model.use_attention

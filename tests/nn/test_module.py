@@ -1,0 +1,102 @@
+"""Tests for the Parameter/Module system."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Sequential, Tanh
+from repro.nn.module import Module, Parameter
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        param = Parameter(np.ones((2, 3)))
+        np.testing.assert_array_equal(param.grad, np.zeros((2, 3)))
+
+    def test_zero_grad_resets(self):
+        param = Parameter(np.ones(3))
+        param.grad += 5.0
+        param.zero_grad()
+        np.testing.assert_array_equal(param.grad, np.zeros(3))
+
+    def test_shape(self):
+        assert Parameter(np.zeros((4, 5))).shape == (4, 5)
+
+
+class TestModuleRegistration:
+    def test_parameters_found(self):
+        layer = Linear(3, 2, rng=0)
+        names = {name for name, __ in layer.named_parameters()}
+        assert names == {"weight", "bias"}
+
+    def test_nested_parameters_found(self):
+        model = Sequential(Linear(3, 4, rng=0), Tanh(), Linear(4, 2, rng=1))
+        names = {name for name, __ in model.named_parameters()}
+        assert "layer_0.weight" in names
+        assert "layer_2.bias" in names
+        assert len(list(model.parameters())) == 4
+
+    def test_num_parameters(self):
+        layer = Linear(3, 2, rng=0)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad_recurses(self):
+        model = Sequential(Linear(2, 2, rng=0), Linear(2, 2, rng=1))
+        for param in model.parameters():
+            param.grad += 1.0
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2, rng=0), Tanh())
+        model.eval()
+        assert not model.training
+        assert all(not layer.training for layer in model.layers)
+        model.train()
+        assert model.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = Linear(3, 2, rng=0)
+        b = Linear(3, 2, rng=99)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.value, b.weight.value)
+        np.testing.assert_array_equal(a.bias.value, b.bias.value)
+
+    def test_state_dict_is_a_copy(self):
+        layer = Linear(2, 2, rng=0)
+        state = layer.state_dict()
+        state["weight"][:] = 0
+        assert not np.all(layer.weight.value == 0)
+
+    def test_missing_key_rejected(self):
+        layer = Linear(2, 2, rng=0)
+        state = layer.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        layer = Linear(2, 2, rng=0)
+        state = layer.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        layer = Linear(2, 2, rng=0)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+
+class TestForwardInterface:
+    def test_base_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()
+
+    def test_call_invokes_forward(self):
+        layer = Linear(2, 3, rng=0)
+        x = np.ones((1, 2))
+        np.testing.assert_array_equal(layer(x), layer.forward(x))

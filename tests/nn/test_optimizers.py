@@ -1,0 +1,124 @@
+"""Tests for SGD, RMSProp, Adam and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.module import Parameter
+from repro.nn.optimizers import SGD, Adam, RMSProp, clip_grad_norm
+
+
+def quadratic_descent(optimizer_factory, steps=200):
+    """Minimize ||x - 3||^2 and return the final parameter value."""
+    param = Parameter(np.array([10.0]))
+    optimizer = optimizer_factory([param])
+    for __ in range(steps):
+        optimizer.zero_grad()
+        param.grad += 2.0 * (param.value - 3.0)
+        optimizer.step()
+    return float(param.value[0])
+
+
+class TestConvergence:
+    def test_sgd(self):
+        assert quadratic_descent(lambda p: SGD(p, lr=0.1)) == pytest.approx(3.0, abs=1e-4)
+
+    def test_sgd_momentum(self):
+        final = quadratic_descent(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        assert final == pytest.approx(3.0, abs=1e-3)
+
+    def test_rmsprop(self):
+        final = quadratic_descent(lambda p: RMSProp(p, lr=0.05), steps=500)
+        assert final == pytest.approx(3.0, abs=1e-2)
+
+    def test_adam(self):
+        final = quadratic_descent(lambda p: Adam(p, lr=0.1), steps=500)
+        assert final == pytest.approx(3.0, abs=1e-2)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("factory", [SGD, RMSProp, Adam])
+    def test_positive_lr_required(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory([Parameter(np.zeros(1))], lr=0.0)
+
+    @pytest.mark.parametrize("factory", [SGD, RMSProp, Adam])
+    def test_empty_params_rejected(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory([], lr=0.1)
+
+    def test_sgd_momentum_range(self):
+        with pytest.raises(ConfigurationError):
+            SGD([Parameter(np.zeros(1))], momentum=1.0)
+
+    def test_rmsprop_alpha_range(self):
+        with pytest.raises(ConfigurationError):
+            RMSProp([Parameter(np.zeros(1))], alpha=1.0)
+
+    def test_adam_betas_range(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+
+class TestZeroGrad:
+    def test_resets_all(self):
+        params = [Parameter(np.zeros(3)), Parameter(np.zeros(2))]
+        optimizer = SGD(params, lr=0.1)
+        for param in params:
+            param.grad += 1.0
+        optimizer.zero_grad()
+        assert all(np.all(p.grad == 0) for p in params)
+
+
+class TestStepMechanics:
+    def test_sgd_step_direction(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.5)
+        param.grad += np.array([2.0])
+        optimizer.step()
+        assert param.value[0] == pytest.approx(0.0)
+
+    def test_adam_bias_correction_first_step(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=0.1)
+        param.grad += np.array([1.0])
+        optimizer.step()
+        # With bias correction the first step is ~ -lr * sign(grad).
+        assert param.value[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_rmsprop_scales_by_history(self):
+        param = Parameter(np.array([0.0, 0.0]))
+        optimizer = RMSProp([param], lr=0.1)
+        param.grad += np.array([1.0, 100.0])
+        optimizer.step()
+        # large-gradient coordinate moves a similar (normalized) amount
+        assert abs(param.value[1]) < abs(param.value[0]) * 1.05
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        param = Parameter(np.zeros(3))
+        param.grad += np.array([0.1, 0.1, 0.1])
+        before = param.grad.copy()
+        norm = clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_array_equal(param.grad, before)
+        assert norm == pytest.approx(np.linalg.norm(before))
+
+    def test_clips_above_threshold(self):
+        param = Parameter(np.zeros(2))
+        param.grad += np.array([3.0, 4.0])  # norm 5
+        clip_grad_norm([param], max_norm=1.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad += np.array([3.0])
+        b.grad += np.array([4.0])
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ConfigurationError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)

@@ -1,0 +1,101 @@
+"""Tests for recurrent cells and their BPTT sequence wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.recurrent import GRU, GRUCell, LSTM, LSTMCell, RNN, RNNCell
+from tests.nn.gradcheck import check_module_gradients
+
+
+@pytest.mark.parametrize("cls", [RNN, GRU, LSTM])
+class TestSequenceWrappers:
+    def test_output_shape(self, cls, rng):
+        model = cls(3, 5, rng=0)
+        out = model(rng.standard_normal((2, 7, 3)))
+        assert out.shape == (2, 7, 5)
+
+    def test_gradients(self, cls, rng):
+        check_module_gradients(cls(3, 4, rng=1), rng.standard_normal((2, 5, 3)), rng)
+
+    def test_deterministic_given_seed(self, cls, rng):
+        x = rng.standard_normal((2, 4, 3))
+        out_a = cls(3, 4, rng=11)(x)
+        out_b = cls(3, 4, rng=11)(x)
+        np.testing.assert_array_equal(out_a, out_b)
+
+    def test_hidden_state_evolves(self, cls, rng):
+        model = cls(3, 4, rng=0)
+        out = model(rng.standard_normal((1, 6, 3)))
+        # consecutive hidden states should not be identical
+        diffs = np.abs(np.diff(out, axis=1)).sum()
+        assert diffs > 1e-6
+
+    def test_invalid_sizes(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(0, 4)
+        with pytest.raises(ConfigurationError):
+            cls(3, -1)
+
+
+class TestCellSemantics:
+    def test_rnn_cell_is_tanh_affine(self, rng):
+        cell = RNNCell(2, 3, rng=0)
+        x = rng.standard_normal((4, 2))
+        h = rng.standard_normal((4, 3))
+        out, __ = cell.step(x, h)
+        expected = np.tanh(x @ cell.w.value + h @ cell.u.value + cell.b.value)
+        np.testing.assert_allclose(out, expected)
+
+    def test_gru_gates_bound_output(self, rng):
+        cell = GRUCell(2, 3, rng=0)
+        h = np.zeros((4, 3))
+        out, __ = cell.step(rng.standard_normal((4, 2)) * 100, h)
+        # with h = 0, h' = (1 - z) * n and |n| <= 1
+        assert np.all(np.abs(out) <= 1.0 + 1e-12)
+
+    def test_lstm_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(2, 3, rng=0)
+        hs = 3
+        np.testing.assert_allclose(cell.b.value[hs : 2 * hs], 1.0)
+
+    def test_lstm_state_tuple(self, rng):
+        cell = LSTMCell(2, 3, rng=0)
+        state = (np.zeros((1, 3)), np.zeros((1, 3)))
+        (h, c), __ = cell.step(rng.standard_normal((1, 2)), state)
+        assert h.shape == (1, 3)
+        assert c.shape == (1, 3)
+
+    def test_zero_input_zero_state_rnn(self):
+        cell = RNNCell(2, 3, rng=0)
+        out, __ = cell.step(np.zeros((1, 2)), np.zeros((1, 3)))
+        np.testing.assert_allclose(out, np.tanh(cell.b.value)[None, :])
+
+
+class TestInitialState:
+    def test_custom_h0_changes_output(self, rng):
+        model = GRU(2, 3, rng=0)
+        x = rng.standard_normal((1, 4, 2))
+        default = model(x)
+        custom = model(x, h0=np.ones((1, 3)))
+        assert not np.allclose(default, custom)
+
+    def test_lstm_custom_state(self, rng):
+        model = LSTM(2, 3, rng=0)
+        x = rng.standard_normal((1, 4, 2))
+        state0 = (np.ones((1, 3)), np.ones((1, 3)))
+        default = model(x)
+        custom = model(x, state0=state0)
+        assert not np.allclose(default, custom)
+
+
+class TestGradientFlowThroughTime:
+    def test_early_input_receives_gradient(self, rng):
+        """BPTT must propagate signal from the last output to t=0."""
+        model = GRU(2, 4, rng=0)
+        x = rng.standard_normal((1, 6, 2))
+        out = model(x)
+        grad_out = np.zeros_like(out)
+        grad_out[:, -1, :] = 1.0  # gradient only at the final step
+        dx = model.backward(grad_out)
+        assert np.abs(dx[:, 0, :]).sum() > 1e-8

@@ -1,0 +1,132 @@
+"""Tests for derived analytics (indirect MIN/MAX/AVG, Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import QueryError
+from repro.queries.derived import (
+    SpatialRegion,
+    average_consumption,
+    base_load,
+    consumption_profile,
+    peak_demand,
+    peak_to_average_ratio,
+    top_k_regions,
+)
+from repro.queries.range_query import RangeQuery
+
+
+@pytest.fixture()
+def matrix():
+    values = np.ones((8, 8, 10))
+    values[:, :, 3] = 4.0   # global peak at t=3
+    values[:, :, 7] = 0.25  # global trough at t=7
+    values[0:2, 0:2, :] *= 10.0  # hot corner
+    return ConsumptionMatrix(values)
+
+
+class TestSpatialRegion:
+    def test_area(self):
+        assert SpatialRegion(0, 2, 0, 3).area == 6
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(QueryError):
+            SpatialRegion(2, 2, 0, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(QueryError):
+            SpatialRegion(-1, 2, 0, 1)
+
+    def test_at_time(self):
+        query = SpatialRegion(1, 3, 2, 4).at_time(0, 5)
+        assert (query.x0, query.x1, query.t0, query.t1) == (1, 3, 0, 5)
+
+
+class TestAverage:
+    def test_average_is_sum_over_volume(self, matrix):
+        query = RangeQuery(2, 4, 2, 4, 0, 2)
+        assert average_consumption(matrix, query) == pytest.approx(
+            query.evaluate(matrix) / 8
+        )
+
+
+class TestProfile:
+    def test_profile_length(self, matrix):
+        profile = consumption_profile(matrix, SpatialRegion(0, 8, 0, 8))
+        assert profile.shape == (10,)
+
+    def test_profile_values(self, matrix):
+        region = SpatialRegion(4, 6, 4, 6)
+        profile = consumption_profile(matrix, region)
+        assert profile[0] == pytest.approx(4.0)   # 4 cells of 1.0
+        assert profile[3] == pytest.approx(16.0)  # peak slice
+
+    def test_time_window(self, matrix):
+        profile = consumption_profile(matrix, SpatialRegion(0, 8, 0, 8), 2, 5)
+        assert profile.shape == (3,)
+
+    def test_invalid_time_window(self, matrix):
+        with pytest.raises(QueryError):
+            consumption_profile(matrix, SpatialRegion(0, 8, 0, 8), 5, 2)
+
+
+class TestPeakAndBase:
+    def test_peak_found(self, matrix):
+        value, when = peak_demand(matrix, SpatialRegion(4, 8, 4, 8))
+        assert when == 3
+        assert value == pytest.approx(16 * 4.0)
+
+    def test_base_load_found(self, matrix):
+        value, when = base_load(matrix, SpatialRegion(4, 8, 4, 8))
+        assert when == 7
+        assert value == pytest.approx(16 * 0.25)
+
+    def test_window_offsets_respected(self, matrix):
+        __, when = peak_demand(matrix, SpatialRegion(4, 8, 4, 8), t0=4)
+        assert when >= 4
+
+    def test_par(self, matrix):
+        par = peak_to_average_ratio(matrix, SpatialRegion(4, 8, 4, 8))
+        profile = consumption_profile(matrix, SpatialRegion(4, 8, 4, 8))
+        assert par == pytest.approx(profile.max() / profile.mean())
+
+    def test_par_zero_region(self):
+        matrix = ConsumptionMatrix(np.zeros((4, 4, 4)))
+        with pytest.raises(QueryError):
+            peak_to_average_ratio(matrix, SpatialRegion(0, 4, 0, 4))
+
+
+class TestTopK:
+    def test_hot_corner_ranked_first(self, matrix):
+        regions = top_k_regions(matrix, block_side=2, k=3)
+        best_region, best_total = regions[0]
+        assert (best_region.x0, best_region.y0) == (0, 0)
+        assert best_total > regions[1][1]
+
+    def test_k_limits_results(self, matrix):
+        assert len(top_k_regions(matrix, block_side=4, k=2)) == 2
+
+    def test_sorted_descending(self, matrix):
+        totals = [t for __, t in top_k_regions(matrix, block_side=2, k=16)]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_invalid_k(self, matrix):
+        with pytest.raises(QueryError):
+            top_k_regions(matrix, block_side=2, k=0)
+
+    def test_invalid_block(self, matrix):
+        with pytest.raises(QueryError):
+            top_k_regions(matrix, block_side=99, k=1)
+
+    def test_post_processing_on_sanitized_release(self, tiny_context):
+        """Derived analytics run unchanged on a DP release."""
+        from repro.experiments.harness import run_stpt
+
+        result, __ = run_stpt(tiny_context, rng=3)
+        regions = top_k_regions(result.sanitized_kwh, block_side=2, k=3)
+        assert len(regions) == 3
+        value, when = peak_demand(
+            result.sanitized_kwh, SpatialRegion(0, 8, 0, 8)
+        )
+        assert 0 <= when < result.sanitized_kwh.n_steps

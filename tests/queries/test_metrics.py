@@ -1,0 +1,92 @@
+"""Tests for MRE/MAE/RMSE metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import ConfigurationError
+from repro.queries.metrics import (
+    mean_absolute_error,
+    mean_relative_error,
+    relative_errors,
+    root_mean_squared_error,
+    workload_mre,
+)
+from repro.queries.range_query import RangeQuery
+
+
+class TestRelativeErrors:
+    def test_formula(self):
+        errors = relative_errors(np.array([10.0]), np.array([12.0]))
+        np.testing.assert_allclose(errors, [20.0])
+
+    def test_perfect_answers(self):
+        errors = relative_errors(np.array([5.0, 10.0]), np.array([5.0, 10.0]))
+        np.testing.assert_allclose(errors, [0.0, 0.0])
+
+    def test_sanity_bound_floors_denominator(self):
+        true_values = np.array([100.0, 0.0])
+        noisy = np.array([100.0, 50.0])
+        errors = relative_errors(true_values, noisy, sanity_bound=50.0)
+        # zero-answer query divides by the bound instead of zero
+        np.testing.assert_allclose(errors, [0.0, 100.0])
+
+    def test_default_bound_prevents_blowup(self):
+        true_values = np.array([1000.0, 0.0])
+        noisy = np.array([1000.0, 1.0])
+        errors = relative_errors(true_values, noisy)
+        assert np.isfinite(errors).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            relative_errors(np.zeros(2), np.zeros(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_errors(np.array([]), np.array([]))
+
+
+class TestAggregates:
+    def test_mre_is_mean(self):
+        true_values = np.array([10.0, 10.0])
+        noisy = np.array([11.0, 13.0])
+        assert mean_relative_error(true_values, noisy) == pytest.approx(20.0)
+
+    def test_mae(self):
+        assert mean_absolute_error(
+            np.array([1.0, 2.0]), np.array([2.0, 0.0])
+        ) == pytest.approx(1.5)
+
+    def test_rmse_ge_mae(self, rng):
+        a = rng.random(50)
+        b = rng.random(50)
+        assert root_mean_squared_error(a, b) >= mean_absolute_error(a, b)
+
+    def test_rmse_formula(self):
+        assert root_mean_squared_error(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(np.sqrt(12.5))
+
+    @pytest.mark.parametrize("fn", [mean_absolute_error, root_mean_squared_error])
+    def test_shape_mismatch(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(np.zeros(2), np.zeros(3))
+
+
+class TestWorkloadMre:
+    def test_identical_matrices_zero(self, rng):
+        matrix = ConsumptionMatrix(rng.random((4, 4, 4)) + 0.5)
+        queries = [RangeQuery(0, 2, 0, 2, 0, 2), RangeQuery(1, 4, 1, 4, 1, 4)]
+        assert workload_mre(queries, matrix, matrix) == pytest.approx(0.0)
+
+    def test_scaled_matrix_error(self, rng):
+        values = rng.random((3, 3, 3)) + 1.0
+        true = ConsumptionMatrix(values)
+        noisy = ConsumptionMatrix(values * 1.1)
+        queries = [RangeQuery(0, 3, 0, 3, 0, 3)]
+        assert workload_mre(queries, true, noisy) == pytest.approx(10.0, rel=1e-6)
+
+    def test_accepts_plain_arrays(self, rng):
+        values = rng.random((3, 3, 3)) + 1.0
+        queries = [RangeQuery(0, 1, 0, 1, 0, 1)]
+        assert workload_mre(queries, values, values) == pytest.approx(0.0)

@@ -1,0 +1,145 @@
+"""Tests for range queries and workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.matrix import ConsumptionMatrix
+from repro.exceptions import ConfigurationError, QueryError
+from repro.queries.range_query import (
+    RangeQuery,
+    evaluate_queries,
+    large_queries,
+    make_workload,
+    random_queries,
+    small_queries,
+)
+
+
+class TestRangeQuery:
+    def test_evaluate_matches_manual_sum(self, rng):
+        values = rng.random((5, 6, 7))
+        query = RangeQuery(1, 4, 2, 5, 0, 3)
+        expected = values[1:4, 2:5, 0:3].sum()
+        assert query.evaluate(values) == pytest.approx(expected)
+
+    def test_volume_and_extent(self):
+        query = RangeQuery(0, 2, 1, 4, 0, 5)
+        assert query.extent == (2, 3, 5)
+        assert query.volume == 30
+
+    def test_fits(self):
+        query = RangeQuery(0, 2, 0, 2, 0, 2)
+        assert query.fits((2, 2, 2))
+        assert not query.fits((1, 2, 2))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery(2, 2, 0, 1, 0, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery(-1, 1, 0, 1, 0, 1)
+
+    def test_out_of_bounds_evaluation(self, rng):
+        query = RangeQuery(0, 10, 0, 1, 0, 1)
+        with pytest.raises(QueryError):
+            query.evaluate(rng.random((3, 3, 3)))
+
+    def test_wrong_rank(self):
+        with pytest.raises(QueryError):
+            RangeQuery(0, 1, 0, 1, 0, 1).evaluate(np.ones((2, 2)))
+
+    def test_consumption_matrix_accepted(self, rng):
+        matrix = ConsumptionMatrix(rng.random((3, 3, 3)))
+        query = RangeQuery(0, 3, 0, 3, 0, 3)
+        assert query.evaluate(matrix) == pytest.approx(matrix.total())
+
+    @settings(max_examples=30)
+    @given(
+        data=st.data(),
+        side=st.integers(2, 6),
+    )
+    def test_evaluation_property(self, data, side):
+        rng = np.random.default_rng(0)
+        values = rng.random((side, side, side))
+        x0 = data.draw(st.integers(0, side - 1))
+        x1 = data.draw(st.integers(x0 + 1, side))
+        query = RangeQuery(x0, x1, 0, side, 0, side)
+        expected = values[x0:x1].sum()
+        assert query.evaluate(values) == pytest.approx(expected)
+
+
+class TestWorkloadGenerators:
+    SHAPE = (8, 8, 10)
+
+    def test_small_queries_are_unit(self):
+        for query in small_queries(self.SHAPE, count=30, rng=0):
+            assert query.volume == 1
+
+    def test_large_queries_clamped(self):
+        for query in large_queries((4, 4, 5), count=20, rng=1):
+            assert query.extent == (4, 4, 5)
+
+    def test_large_queries_full_size(self):
+        for query in large_queries((16, 16, 20), count=20, rng=2):
+            assert query.extent == (10, 10, 10)
+
+    def test_random_queries_fit(self):
+        for query in random_queries(self.SHAPE, count=50, rng=3):
+            assert query.fits(self.SHAPE)
+
+    def test_counts(self):
+        assert len(random_queries(self.SHAPE, count=17, rng=0)) == 17
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            random_queries(self.SHAPE, count=0)
+
+    def test_deterministic(self):
+        a = random_queries(self.SHAPE, count=10, rng=5)
+        b = random_queries(self.SHAPE, count=10, rng=5)
+        assert a == b
+
+    def test_make_workload_dispatch(self):
+        queries = make_workload("small", self.SHAPE, count=5, rng=0)
+        assert all(q.volume == 1 for q in queries)
+
+    def test_make_workload_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_workload("medium", self.SHAPE)
+
+
+class TestPositiveAnswerRejectionSampling:
+    def test_reference_avoids_empty_cells(self):
+        values = np.zeros((4, 4, 4))
+        values[2, 2, :] = 5.0  # a single populated pillar
+        queries = small_queries((4, 4, 4), count=40, rng=0, reference=values)
+        answers = [q.evaluate(values) for q in queries]
+        assert all(a > 0 for a in answers)
+
+    def test_all_zero_reference_falls_back(self):
+        values = np.zeros((3, 3, 3))
+        queries = small_queries((3, 3, 3), count=5, rng=1, reference=values)
+        assert len(queries) == 5  # degenerate map still yields queries
+
+    def test_reference_matrix_object(self, rng):
+        matrix = ConsumptionMatrix(rng.random((4, 4, 4)))
+        queries = make_workload("random", (4, 4, 4), count=10, rng=2,
+                                reference=matrix)
+        assert len(queries) == 10
+
+    def test_reference_rank_validated(self):
+        with pytest.raises(QueryError):
+            small_queries((3, 3, 3), count=2, reference=np.ones((3, 3)))
+
+
+class TestEvaluateQueries:
+    def test_vectorized_evaluation(self, rng):
+        values = rng.random((4, 4, 4))
+        queries = random_queries((4, 4, 4), count=10, rng=0)
+        answers = evaluate_queries(queries, values)
+        assert answers.shape == (10,)
+        for query, answer in zip(queries, answers):
+            assert answer == pytest.approx(query.evaluate(values))

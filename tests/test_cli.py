@@ -1,0 +1,141 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import FIGURE_RUNNERS, main
+from repro.data.io import load_matrix
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "ca.npz"
+    code = main([
+        "generate", "--dataset", "CA", "--days", "28",
+        "--seed", "1", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_dataset(self, dataset_file):
+        assert dataset_file.exists()
+
+    def test_output_message(self, tmp_path, capsys):
+        path = tmp_path / "mi.npz"
+        main(["generate", "--dataset", "MI", "--days", "7",
+              "--seed", "0", "--out", str(path)])
+        out = capsys.readouterr().out
+        assert "250 households" in out
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "NYC", "--out", str(tmp_path / "x.npz")])
+
+
+PUBLISH_ARGS = [
+    "--grid", "8", "--t-train", "16", "--window", "3",
+    "--epochs", "1", "--embed-dim", "8", "--hidden-dim", "8",
+    "--quantization", "5", "--seed", "2",
+]
+
+
+class TestPublish:
+    def test_publish_writes_release(self, dataset_file, tmp_path):
+        out = tmp_path / "release.npz"
+        code = main([
+            "publish", "--data", str(dataset_file), "--out", str(out),
+            *PUBLISH_ARGS,
+        ])
+        assert code == 0
+        release = load_matrix(out)
+        assert release.shape == (8, 8, 12)
+
+    def test_publish_with_csv(self, dataset_file, tmp_path):
+        out = tmp_path / "release.npz"
+        csv = tmp_path / "release.csv"
+        code = main([
+            "publish", "--data", str(dataset_file), "--out", str(out),
+            "--csv", str(csv), *PUBLISH_ARGS,
+        ])
+        assert code == 0
+        assert csv.exists()
+
+    def test_missing_data_file_is_an_error(self, tmp_path, capsys):
+        code = main([
+            "publish", "--data", str(tmp_path / "nope.npz"),
+            "--out", str(tmp_path / "out.npz"), *PUBLISH_ARGS,
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_end_to_end(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "release.npz"
+        main(["publish", "--data", str(dataset_file), "--out", str(out),
+              *PUBLISH_ARGS])
+        code = main([
+            "evaluate", "--data", str(dataset_file), "--release", str(out),
+            "--grid", "8", "--t-train", "16", "--distribution", "uniform",
+            "--queries", "20", "--seed", "2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "random" in output and "mre_percent" in output
+
+    def test_shape_mismatch_reported(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "release.npz"
+        main(["publish", "--data", str(dataset_file), "--out", str(out),
+              *PUBLISH_ARGS])
+        code = main([
+            "evaluate", "--data", str(dataset_file), "--release", str(out),
+            "--grid", "8", "--t-train", "20",  # wrong horizon
+            "--queries", "5", "--seed", "2",
+        ])
+        assert code == 2
+        assert "does not match" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_runner_registry_covers_all_figures(self):
+        expected = {
+            "table2", "fig9", "fig6", "fig7", "fig8ab", "fig8c", "fig8d",
+            "fig8ef", "fig8g", "fig8h", "fig8i",
+            "ablation-allocation", "ablation-rollout", "ablation-attention",
+            "ablation-seeds", "ablation-local-dp", "ablation-privacy-model",
+            "ablation-refinement",
+        }
+        assert set(FIGURE_RUNNERS) == expected
+
+    def test_table2_runs(self, capsys):
+        code = main(["figure", "table2", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CER" in out and "target_mean" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestReport:
+    def test_filtered_report(self, tmp_path, capsys, monkeypatch):
+        # the report honours the active preset; shrink it for the test
+        from tests.conftest import make_tiny_preset
+        import repro.experiments.report as report_module
+
+        monkeypatch.setattr(
+            report_module, "active_preset", lambda: make_tiny_preset()
+        )
+        out = tmp_path / "report.md"
+        code = main([
+            "report", "--out", str(out), "--dataset", "CA",
+            "--seed", "3", "--sections", "Table 2",
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert "# STPT reproduction report" in text
+        assert "Table 2" in text
+        assert "Figure 6" not in text  # filtered out

@@ -1,0 +1,76 @@
+"""Cross-module integration tests: the full pipeline in every setting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import standard_benchmarks
+from repro.data.datasets import TABLE2
+from repro.experiments.harness import build_context, run_mechanism, run_stpt
+from tests.conftest import make_tiny_preset
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return make_tiny_preset()
+
+
+class TestPipelineMatrix:
+    """STPT end-to-end on every dataset x distribution combination."""
+
+    @pytest.mark.parametrize("dataset_name", sorted(TABLE2))
+    @pytest.mark.parametrize("distribution", ["uniform", "normal", "la"])
+    def test_full_pipeline(self, dataset_name, distribution, preset):
+        context = build_context(dataset_name, distribution, preset, rng=7)
+        result, mre = run_stpt(context, rng=8)
+        assert result.epsilon_spent == pytest.approx(preset.epsilon_total)
+        assert result.sanitized_kwh.shape == (
+            *preset.grid_shape, preset.t_test,
+        )
+        assert np.all(np.isfinite(result.sanitized_kwh.values))
+        for value in mre.values():
+            assert np.isfinite(value) and value >= 0
+
+
+class TestHarnessDeterminism:
+    def test_context_deterministic(self, preset):
+        a = build_context("CA", "normal", preset, rng=99)
+        b = build_context("CA", "normal", preset, rng=99)
+        np.testing.assert_array_equal(a.cons.values, b.cons.values)
+        np.testing.assert_array_equal(a.cells, b.cells)
+        assert a.workloads["random"] == b.workloads["random"]
+
+    def test_stpt_run_deterministic(self, preset):
+        context = build_context("CA", "uniform", preset, rng=100)
+        res_a, mre_a = run_stpt(context, rng=101)
+        res_b, mre_b = run_stpt(context, rng=101)
+        np.testing.assert_array_equal(
+            res_a.sanitized.values, res_b.sanitized.values
+        )
+        assert mre_a == mre_b
+
+
+class TestBaselineMatrix:
+    """Every Figure 6 baseline on one dataset with every distribution."""
+
+    @pytest.mark.parametrize("distribution", ["uniform", "normal", "la"])
+    def test_all_mechanisms_finite(self, distribution, preset):
+        context = build_context("CA", distribution, preset, rng=11)
+        for mechanism in standard_benchmarks():
+            mre, __ = run_mechanism(context, mechanism, rng=12)
+            for kind, value in mre.items():
+                assert np.isfinite(value), (mechanism.name, kind)
+
+
+class TestMassConservation:
+    """Sanitized totals stay in a plausible band of the true totals
+    (unbiased noise, generous budget)."""
+
+    def test_stpt_total_close_to_truth(self, preset):
+        context = build_context("CER", "uniform", preset, rng=13)
+        config = preset.stpt_config(
+            epsilon_pattern=100.0, epsilon_sanitize=1000.0
+        )
+        result, __ = run_stpt(context, config, rng=14)
+        true_total = context.test_norm.total()
+        released_total = result.sanitized.total()
+        assert released_total == pytest.approx(true_total, rel=0.05)

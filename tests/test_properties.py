@@ -1,0 +1,152 @@
+"""Cross-module property-based tests (hypothesis).
+
+These encode the invariants that make the system trustworthy as a
+whole, sampled over randomized inputs rather than fixed fixtures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pattern import PatternConfig
+from repro.core.quadtree import SpatioTemporalQuadtree, max_depth_for_grid
+from repro.core.quantization import k_quantize
+from repro.core.sanitizer import allocate_budget, sanitize_by_partitions
+from repro.core.stpt import STPT, STPTConfig
+from repro.data.matrix import ConsumptionMatrix, build_matrices
+from repro.queries.range_query import RangeQuery, random_queries
+
+
+def matrix_strategy(max_side=8, max_t=10):
+    """Random positive 3-D matrices with power-of-two square grids."""
+    return st.builds(
+        lambda side, t, seed: np.random.default_rng(seed).random(
+            (side, side, t)
+        )
+        + 0.05,
+        side=st.sampled_from([2, 4, 8]),
+        t=st.integers(3, max_t),
+        seed=st.integers(0, 10_000),
+    )
+
+
+class TestQuadtreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(values=matrix_strategy(), depth=st.integers(0, 2))
+    def test_levels_partition_time_and_space(self, values, depth):
+        depth = min(depth, max_depth_for_grid(values.shape[:2]))
+        if values.shape[2] < depth + 1:
+            return
+        levels = SpatioTemporalQuadtree(values, depth).build_levels()
+        # time segments tile [0, T)
+        covered = sorted(
+            t for level in levels for t in range(level.time_start, level.time_stop)
+        )
+        assert covered == list(range(values.shape[2]))
+        # every level's block map is a partition of the grid
+        for level in levels:
+            counts = np.bincount(level.block_map.ravel())
+            assert counts.sum() == values.shape[0] * values.shape[1]
+
+    @settings(max_examples=20, deadline=None)
+    @given(values=matrix_strategy(), depth=st.integers(0, 2))
+    def test_sensitivity_decreases_toward_root(self, values, depth):
+        depth = min(depth, max_depth_for_grid(values.shape[:2]))
+        if values.shape[2] < depth + 1:
+            return
+        levels = SpatioTemporalQuadtree(values, depth).build_levels()
+        sensitivities = [level.sensitivity for level in levels]
+        assert sensitivities == sorted(sensitivities)
+        assert sensitivities[-1] <= 1.0 + 1e-12
+
+
+class TestQuantizationSanitizationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(values=matrix_strategy(), k=st.integers(1, 10))
+    def test_budgets_sum_to_epsilon(self, values, k):
+        partitions = k_quantize(values, k)
+        budgets = allocate_budget(partitions.pillar_sensitivities(), 5.0)
+        assert sum(budgets.values()) == pytest.approx(5.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(values=matrix_strategy(), k=st.integers(1, 8), seed=st.integers(0, 999))
+    def test_release_shape_and_partition_constancy(self, values, k, seed):
+        partitions = k_quantize(values, k)
+        result = sanitize_by_partitions(values, partitions, 5.0, rng=seed)
+        assert result.values.shape == values.shape
+        for label in partitions.active_labels:
+            cells = result.values[partitions.mask(int(label))]
+            np.testing.assert_allclose(cells, cells[0])
+
+
+class TestQueryProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(values=matrix_strategy(), seed=st.integers(0, 999))
+    def test_query_additivity(self, values, seed):
+        """Splitting a query along time gives the same total."""
+        cx, cy, ct = values.shape
+        if ct < 2:
+            return
+        full = RangeQuery(0, cx, 0, cy, 0, ct)
+        mid = ct // 2
+        first = RangeQuery(0, cx, 0, cy, 0, mid)
+        second = RangeQuery(0, cx, 0, cy, mid, ct)
+        assert full.evaluate(values) == pytest.approx(
+            first.evaluate(values) + second.evaluate(values)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(values=matrix_strategy(), seed=st.integers(0, 999))
+    def test_queries_monotone_in_extent(self, values, seed):
+        """On non-negative data, a containing query answers at least
+        as much as the contained one."""
+        cx, cy, ct = values.shape
+        inner = RangeQuery(0, max(1, cx // 2), 0, max(1, cy // 2), 0, max(1, ct // 2))
+        outer = RangeQuery(0, cx, 0, cy, 0, ct)
+        assert outer.evaluate(values) >= inner.evaluate(values)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_stpt_budget_and_shape_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        readings = rng.random((12, 20)) + 0.05
+        cells = rng.integers(0, 4, size=(12, 2))
+        __, norm = build_matrices(readings, cells, (4, 4), clip_factor=1.5)
+        config = STPTConfig(
+            epsilon_pattern=3.0,
+            epsilon_sanitize=6.0,
+            t_train=12,
+            quantization_levels=4,
+            pattern=PatternConfig(window=3, epochs=1, embed_dim=8,
+                                  hidden_dim=8, depth=1),
+        )
+        result = STPT(config, rng=seed).publish(norm)
+        assert result.epsilon_spent == pytest.approx(9.0)
+        assert result.sanitized.shape == (4, 4, 8)
+        assert np.all(np.isfinite(result.sanitized.values))
+        result.accountant.assert_within_budget()
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_release_independent_of_query_workload(self, seed):
+        """The release is computed before queries exist — evaluating
+        different workloads must read the same matrix (no per-query
+        adaptivity that could break the DP guarantee)."""
+        rng = np.random.default_rng(seed)
+        values = rng.random((4, 4, 6)) + 0.1
+        matrix = ConsumptionMatrix(values)
+        partitions = k_quantize(values, 3)
+        release = sanitize_by_partitions(values, partitions, 4.0, rng=seed)
+        workload_a = random_queries(values.shape, count=5, rng=seed)
+        workload_b = random_queries(values.shape, count=5, rng=seed + 1)
+        for queries in (workload_a, workload_b):
+            for query in queries:
+                assert np.isfinite(query.evaluate(release.values))
+        # the release array itself is untouched by evaluation
+        release_again = sanitize_by_partitions(
+            values, partitions, 4.0, rng=seed
+        )
+        np.testing.assert_array_equal(release.values, release_again.values)

@@ -1,0 +1,61 @@
+"""Tests for the top-level package surface."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    BudgetExceededError,
+    ConfigurationError,
+    DataError,
+    PrivacyError,
+    QueryError,
+    ReproError,
+    SensitivityError,
+    TrainingError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            PrivacyError,
+            DataError,
+            QueryError,
+            TrainingError,
+            SensitivityError,
+            BudgetExceededError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_privacy_branch(self):
+        assert issubclass(BudgetExceededError, PrivacyError)
+        assert issubclass(SensitivityError, PrivacyError)
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_quickstart_runs(self, tiny_matrices):
+        """The README-style flow works end to end on tiny data."""
+        from repro import STPT, STPTConfig
+        from repro.core.pattern import PatternConfig
+
+        cons, norm, clip = tiny_matrices
+        config = STPTConfig(
+            epsilon_pattern=10.0,
+            epsilon_sanitize=20.0,
+            t_train=16,
+            quantization_levels=5,
+            pattern=PatternConfig(window=3, epochs=1, embed_dim=8, hidden_dim=8),
+        )
+        result = STPT(config, rng=0).publish(norm, clip_scale=clip)
+        assert result.sanitized_kwh.n_steps == norm.n_steps - 16

@@ -1,0 +1,58 @@
+"""Tests for RNG coercion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rng import derive_seed, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(0, 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        a, b = spawn(0, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_deterministic_from_seed(self):
+        a = [g.random() for g in spawn(7, 3)]
+        b = [g.random() for g in spawn(7, 3)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn(0, 0) == []
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5) == derive_seed(5)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(5, salt=1) != derive_seed(5, salt=2)
+
+    def test_range(self):
+        seed = derive_seed(0)
+        assert 0 <= seed < 2**63
