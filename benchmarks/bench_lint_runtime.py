@@ -1,0 +1,38 @@
+"""Runtime of a full-repo lint pass.
+
+Not a figure of the paper — a CI-latency guard: the linter runs inside
+the tier-1 suite (tests/lint/test_self_clean.py), so a whole-tree pass
+over src/ and tests/ must stay well under 10 seconds or it becomes the
+suite's bottleneck.
+"""
+
+import time
+from pathlib import Path
+
+from repro.lint.config import load_config
+from repro.lint.engine import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+MAX_SECONDS = 10.0
+
+
+def run():
+    config = load_config(start=REPO_ROOT)
+    started = time.perf_counter()
+    result = run_lint([REPO_ROOT / "src", REPO_ROOT / "tests"], config=config)
+    elapsed = time.perf_counter() - started
+    return [{
+        "files_checked": result.files_checked,
+        "findings": len(result.findings),
+        "suppressed": result.suppressed,
+        "seconds": round(elapsed, 3),
+    }]
+
+
+def test_lint_runtime(print_rows):
+    rows = print_rows("Full-repo lint pass (src/ + tests/)", run)
+    (row,) = rows
+    assert row["findings"] == 0
+    assert row["files_checked"] > 100
+    assert row["seconds"] < MAX_SECONDS

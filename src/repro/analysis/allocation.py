@@ -82,3 +82,9 @@ def suggest_budget_split(
     fraction = np.clip(wanted / epsilon_total, min_fraction, max_fraction)
     epsilon_pattern = float(epsilon_total * fraction)
     return epsilon_pattern, float(epsilon_total - epsilon_pattern)
+
+__all__ = [
+    "finest_level_snr",
+    "suggest_epsilon_pattern",
+    "suggest_budget_split",
+]

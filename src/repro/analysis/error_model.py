@@ -40,7 +40,7 @@ def expected_abs_sum_of_laplace(count: int, scale: float) -> float:
     """
     if count < 0 or scale < 0:
         raise ConfigurationError("count and scale must be non-negative")
-    if count == 0 or scale == 0.0:
+    if count == 0 or scale <= 0.0:
         return 0.0
     if count == 1:
         return scale
@@ -103,7 +103,7 @@ def stpt_query_noise_error(
         fraction = in_query / total
         scale = sensitivities[label] / budgets[label]
         variance += (fraction**2) * 2.0 * scale * scale
-    if variance == 0.0:
+    if variance <= 0.0:
         return 0.0
     return float(np.sqrt(2.0 * variance / np.pi))
 
@@ -135,3 +135,12 @@ def predicted_mre(
         sanity_bound = 0.01 * float(np.mean(np.abs(true_answers)))
     denominators = np.maximum(np.abs(true_answers), max(1e-12, sanity_bound))
     return float(np.mean(errors / denominators) * 100.0)
+
+__all__ = [
+    "expected_abs_sum_of_laplace",
+    "identity_query_error",
+    "uniform_grid_query_error",
+    "stpt_query_noise_error",
+    "predict_workload_error",
+    "predicted_mre",
+]

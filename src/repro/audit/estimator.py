@@ -127,3 +127,9 @@ def audit_epsilon(
         confidence=confidence,
         claimed_epsilon=claimed_epsilon,
     )
+
+__all__ = [
+    "AuditTarget",
+    "AuditResult",
+    "audit_epsilon",
+]

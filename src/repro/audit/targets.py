@@ -104,3 +104,10 @@ def broken_identity_target(
         return float(norm.values[target_cell[0], target_cell[1], :].sum())
 
     return run
+
+__all__ = [
+    "neighbouring_readings",
+    "mechanism_target",
+    "stpt_target",
+    "broken_identity_target",
+]

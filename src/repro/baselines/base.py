@@ -93,3 +93,10 @@ def spend_all_slices(
 
 def as_matrix(values: np.ndarray) -> ConsumptionMatrix:
     return ConsumptionMatrix(np.asarray(values, dtype=float))
+
+__all__ = [
+    "MechanismRun",
+    "Mechanism",
+    "spend_all_slices",
+    "as_matrix",
+]

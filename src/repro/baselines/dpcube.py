@@ -23,6 +23,7 @@ import numpy as np
 from repro.baselines.base import Mechanism, as_matrix
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
+from repro.dp.mechanisms import laplace_noise
 from repro.exceptions import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 
@@ -100,8 +101,8 @@ class DPCube(Mechanism):
             # over slices, parallel across cells, total eps_structure
             accountant.spend(eps_structure, label=f"{self.name}/structure")
         per_slice_structure = eps_structure / ct
-        noisy = values + generator.laplace(
-            0.0, 1.0 / per_slice_structure, size=values.shape
+        noisy = values + laplace_noise(
+            values.shape, 1.0, per_slice_structure, generator
         )
 
         # kd-tree over noisy counts (data already private: free splits)
@@ -147,9 +148,14 @@ class DPCube(Mechanism):
                 values[leaf.x0:leaf.x1, leaf.y0:leaf.y1, leaf.t0:leaf.t1].sum()
             )
             noisy_sum = true_sum + float(
-                generator.laplace(0.0, sensitivity / eps_leaf)
+                laplace_noise((), sensitivity, eps_leaf, generator)
             )
             out[leaf.x0:leaf.x1, leaf.y0:leaf.y1, leaf.t0:leaf.t1] = (
                 noisy_sum / leaf.volume
             )
         return as_matrix(out)
+
+__all__ = [
+    "DPCubeConfig",
+    "DPCube",
+]

@@ -51,3 +51,7 @@ class EventLevelIdentity(Mechanism):
             )
         noise = laplace_noise(norm_matrix.values.shape, 1.0, epsilon, generator)
         return as_matrix(norm_matrix.values + noise)
+
+__all__ = [
+    "EventLevelIdentity",
+]

@@ -21,6 +21,7 @@ import numpy as np
 from repro.baselines.base import Mechanism, as_matrix
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
+from repro.dp.mechanisms import laplace_noise
 from repro.exceptions import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 
@@ -80,7 +81,9 @@ class FAST(Mechanism):
             prior = estimate
             prior_var = error_var + cfg.process_variance
             if t == next_sample and samples_used < max_samples:
-                observation = series[t] + rng.laplace(0.0, 1.0 / eps_per_sample)
+                observation = series[t] + float(
+                    laplace_noise((), 1.0, eps_per_sample, rng)
+                )
                 samples_used += 1
                 gain = prior_var / (prior_var + measurement_var)
                 estimate = prior + gain * (observation - prior)
@@ -123,3 +126,8 @@ class FAST(Mechanism):
         for row in range(pillars.shape[0]):
             released[row] = self._filter_series(pillars[row], epsilon, generator)
         return as_matrix(released.reshape(cx, cy, ct))
+
+__all__ = [
+    "FASTConfig",
+    "FAST",
+]

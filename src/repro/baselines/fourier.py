@@ -21,6 +21,7 @@ import numpy as np
 from repro.baselines.base import Mechanism, as_matrix
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
+from repro.dp.mechanisms import laplace_noise
 from repro.exceptions import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 
@@ -54,11 +55,15 @@ class FourierPerturbation(Mechanism):
         # applies to the coefficients as computed.
         coeffs = np.fft.rfft(pillars, axis=1, norm="ortho")
         delta2 = np.sqrt(ct)
-        scale = np.sqrt(k) * delta2 / epsilon
+        coeff_sensitivity = np.sqrt(k) * delta2
         kept = coeffs[:, :k].copy()
-        kept += generator.laplace(0.0, scale, size=kept.shape)
-        kept += 1j * generator.laplace(0.0, scale, size=kept.shape)
+        kept += laplace_noise(kept.shape, coeff_sensitivity, epsilon, generator)
+        kept += 1j * laplace_noise(kept.shape, coeff_sensitivity, epsilon, generator)
         sanitized_coeffs = np.zeros_like(coeffs)
         sanitized_coeffs[:, :k] = kept
         series = np.fft.irfft(sanitized_coeffs, n=ct, axis=1, norm="ortho")
         return as_matrix(series.reshape(cx, cy, ct))
+
+__all__ = [
+    "FourierPerturbation",
+]

@@ -27,6 +27,7 @@ import numpy as np
 from repro.baselines.base import Mechanism, as_matrix, spend_all_slices
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
+from repro.dp.mechanisms import laplace_noise
 from repro.exceptions import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 
@@ -63,12 +64,15 @@ class GridConfig:
     c_uniform: float = 10.0
     c_adaptive: float = 5.0
     alpha: float = 0.5  # AG's first-level budget share
+    mass_budget_fraction: float = 0.05  # share buying the noisy total
 
     def __post_init__(self) -> None:
         if self.c_uniform <= 0 or self.c_adaptive <= 0:
             raise ConfigurationError("guideline constants must be positive")
         if not 0 < self.alpha < 1:
             raise ConfigurationError("alpha must lie in (0, 1)")
+        if not 0 < self.mass_budget_fraction < 1:
+            raise ConfigurationError("mass_budget_fraction must lie in (0, 1)")
 
 
 class UniformGrid(Mechanism):
@@ -95,14 +99,14 @@ class UniformGrid(Mechanism):
         cx, cy, ct = norm_matrix.shape
         if cx != cy:
             raise ConfigurationError("UG/AG assume a square grid")
-        eps_total_mass = 0.05 * epsilon
+        eps_total_mass = self.config.mass_budget_fraction * epsilon
         eps_release = epsilon - eps_total_mass
         if accountant is not None:
             # noisy total: sensitivity ct (a user touches every slice)
             accountant.spend(eps_total_mass, label=f"{self.name}/mass")
         noisy_mass = float(
             norm_matrix.values.sum()
-            + generator.laplace(0.0, ct / eps_total_mass)
+            + laplace_noise((), float(ct), eps_total_mass, generator)
         )
         per_slice = spend_all_slices(accountant, eps_release, ct, self.name)
         blocks = _granularity(
@@ -111,7 +115,7 @@ class UniformGrid(Mechanism):
         out = np.empty_like(norm_matrix.values)
         for t in range(ct):
             sums = _block_reduce(norm_matrix.values[:, :, t], blocks)
-            noisy = sums + generator.laplace(0.0, 1.0 / per_slice, size=sums.shape)
+            noisy = sums + laplace_noise(sums.shape, 1.0, per_slice, generator)
             out[:, :, t] = _block_expand(noisy, (cx, cy))
         return as_matrix(out)
 
@@ -136,13 +140,13 @@ class AdaptiveGrid(Mechanism):
         cx, cy, ct = norm_matrix.shape
         if cx != cy:
             raise ConfigurationError("UG/AG assume a square grid")
-        eps_total_mass = 0.05 * epsilon
+        eps_total_mass = cfg.mass_budget_fraction * epsilon
         eps_release = epsilon - eps_total_mass
         if accountant is not None:
             accountant.spend(eps_total_mass, label=f"{self.name}/mass")
         noisy_mass = float(
             norm_matrix.values.sum()
-            + generator.laplace(0.0, ct / eps_total_mass)
+            + laplace_noise((), float(ct), eps_total_mass, generator)
         )
         per_slice = spend_all_slices(accountant, eps_release, ct, self.name)
         eps_level1 = cfg.alpha * per_slice
@@ -160,8 +164,8 @@ class AdaptiveGrid(Mechanism):
         for t in range(ct):
             slice_values = norm_matrix.values[:, :, t]
             level1 = _block_reduce(slice_values, coarse)
-            noisy1 = level1 + generator.laplace(
-                0.0, 1.0 / eps_level1, size=level1.shape
+            noisy1 = level1 + laplace_noise(
+                level1.shape, 1.0, eps_level1, generator
             )
             fx = cx // coarse
             result = np.empty((cx, cy))
@@ -177,11 +181,17 @@ class AdaptiveGrid(Mechanism):
                         fx,
                     )
                     sums = _block_reduce(block, sub)
-                    noisy2 = sums + generator.laplace(
-                        0.0, 1.0 / eps_level2, size=sums.shape
+                    noisy2 = sums + laplace_noise(
+                        sums.shape, 1.0, eps_level2, generator
                     )
                     result[
                         bi * fx : (bi + 1) * fx, bj * fx : (bj + 1) * fx
                     ] = _block_expand(noisy2, (fx, fx))
             out[:, :, t] = result
         return as_matrix(out)
+
+__all__ = [
+    "GridConfig",
+    "UniformGrid",
+    "AdaptiveGrid",
+]

@@ -38,3 +38,7 @@ class Identity(Mechanism):
         )
         noise = laplace_noise(values.shape, 1.0, per_slice, generator)
         return as_matrix(values + noise)
+
+__all__ = [
+    "Identity",
+]

@@ -26,6 +26,7 @@ import numpy as np
 from repro.baselines.base import Mechanism, as_matrix
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
+from repro.dp.mechanisms import laplace_noise
 from repro.exceptions import ConfigurationError
 from repro.nn.layers import Linear, sigmoid
 from repro.nn.module import Module
@@ -145,8 +146,8 @@ class LGANDP(Mechanism):
         # The objective sees windows of normalized shapes; one user's
         # removal perturbs a mean-normalized window by O(1), so unit
         # sensitivity Laplace noise on the objective gradient is the
-        # Zhang et al. scheme.
-        objective_noise_scale = 1.0 / eps_per_iter / max(1, cfg.batch_size)
+        # Zhang et al. scheme; the mean over the batch divides it.
+        objective_sensitivity = 1.0 / max(1, cfg.batch_size)
 
         n = len(windows)
         for __ in range(cfg.iterations):
@@ -159,14 +160,14 @@ class LGANDP(Mechanism):
             d_opt.zero_grad()
             logits_real = discriminator(real)
             __, grad_real = _bce_with_logits(logits_real, np.ones(len(real)))
-            grad_real = grad_real + rng.laplace(
-                0.0, objective_noise_scale, size=grad_real.shape
+            grad_real = grad_real + laplace_noise(
+                grad_real.shape, objective_sensitivity, eps_per_iter, rng
             )
             discriminator.backward(grad_real)
             logits_fake = discriminator(fake)
             __, grad_fake = _bce_with_logits(logits_fake, np.zeros(len(fake)))
-            grad_fake = grad_fake + rng.laplace(
-                0.0, objective_noise_scale, size=grad_fake.shape
+            grad_fake = grad_fake + laplace_noise(
+                grad_fake.shape, objective_sensitivity, eps_per_iter, rng
             )
             discriminator.backward(grad_fake)
             clip_grad_norm(discriminator.parameters(), cfg.gradient_clip)
@@ -214,7 +215,7 @@ class LGANDP(Mechanism):
 
         # Noisy per-pillar scale: a user shifts its pillar's time-mean
         # by at most one (<=1 per slice, averaged over slices).
-        noisy_means = means + generator.laplace(0.0, 1.0 / eps_scale, size=means.shape)
+        noisy_means = means + laplace_noise(means.shape, 1.0, eps_scale, generator)
 
         z = generator.standard_normal((pillars.shape[0], cfg.noise_dim))
         synthetic_shape = gan(z)
@@ -228,3 +229,8 @@ class LGANDP(Mechanism):
         tiled = np.tile(synthetic_shape, (1, reps))[:, :ct]
         released = tiled * noisy_means[:, None]
         return as_matrix(released.reshape(cx, cy, ct))
+
+__all__ = [
+    "LGANConfig",
+    "LGANDP",
+]

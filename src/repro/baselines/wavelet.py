@@ -17,6 +17,7 @@ import numpy as np
 from repro.baselines.base import Mechanism, as_matrix
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
+from repro.dp.mechanisms import laplace_noise
 from repro.exceptions import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 
@@ -105,10 +106,16 @@ class WaveletPerturbation(Mechanism):
             )
         coeffs = haar_dwt(pillars)
         delta2 = np.sqrt(ct)
-        scale = np.sqrt(k) * delta2 / epsilon
+        coeff_sensitivity = np.sqrt(k) * delta2
         sanitized_coeffs = np.zeros_like(coeffs)
-        sanitized_coeffs[:, :k] = coeffs[:, :k] + generator.laplace(
-            0.0, scale, size=(coeffs.shape[0], k)
+        sanitized_coeffs[:, :k] = coeffs[:, :k] + laplace_noise(
+            (coeffs.shape[0], k), coeff_sensitivity, epsilon, generator
         )
         series = haar_idwt(sanitized_coeffs)[:, :ct]
         return as_matrix(series.reshape(cx, cy, ct))
+
+__all__ = [
+    "haar_dwt",
+    "haar_idwt",
+    "WaveletPerturbation",
+]

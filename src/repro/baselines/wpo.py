@@ -26,6 +26,7 @@ import numpy as np
 from repro.baselines.base import Mechanism, as_matrix, spend_all_slices
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
+from repro.dp.mechanisms import laplace_noise
 from repro.exceptions import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 
@@ -78,7 +79,7 @@ class WPO(Mechanism):
         # Map-wide total at each slice: one household shifts it by at
         # most one (unit sensitivity on normalized readings).
         totals = norm_matrix.values.sum(axis=(0, 1))
-        noisy_totals = totals + generator.laplace(0.0, 1.0 / per_slice, size=ct)
+        noisy_totals = totals + laplace_noise(ct, 1.0, per_slice, generator)
 
         # Ridge regression onto harmonic features — the convex
         # projection step (post-processing, free of budget).
@@ -91,3 +92,8 @@ class WPO(Mechanism):
         per_cell = smoothed / (cx * cy)
         values = np.broadcast_to(per_cell, (cx, cy, ct)).copy()
         return as_matrix(values)
+
+__all__ = [
+    "WPOConfig",
+    "WPO",
+]

@@ -9,6 +9,7 @@ Examples::
         --grid 16 --t-train 40 --distribution uniform
     python -m repro figure table2
     python -m repro figure fig6 --dataset CER
+    python -m repro lint src/ tests/ --format json
 """
 
 from __future__ import annotations
@@ -115,6 +116,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="substring filters on section titles (default: all)",
     )
 
+    lint = sub.add_parser(
+        "lint", help="run the DP-hygiene and numerics linter (repro.lint)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: configured include paths)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--select", action="append", metavar="RULES",
+        help="comma-separated rule ids to run (repeatable)",
+    )
+    lint.add_argument("--config", help="explicit pyproject.toml path")
+    lint.add_argument("--list-rules", action="store_true")
+
     return parser
 
 
@@ -206,6 +222,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.format]
+    for chunk in args.select or []:
+        argv += ["--select", chunk]
+    if args.config:
+        argv += ["--config", args.config]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     runner = FIGURE_RUNNERS[args.name]
     if args.name in _DATASET_FREE:
@@ -225,6 +255,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "figure": _cmd_figure,
         "report": _cmd_report,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

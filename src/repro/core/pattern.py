@@ -388,3 +388,9 @@ class PatternRecognizer:
             "mae": float(np.mean(np.abs(errors))),
             "rmse": float(np.sqrt(np.mean(errors**2))),
         }
+
+__all__ = [
+    "PatternConfig",
+    "PatternResult",
+    "PatternRecognizer",
+]

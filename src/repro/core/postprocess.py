@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
+from repro.dp.mechanisms import laplace_noise
 from repro.exceptions import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 
@@ -75,7 +76,7 @@ def release_noisy_totals(
         accountant.spend(epsilon, label="totals")
     per_slice = epsilon / ct
     totals = norm_matrix.values.sum(axis=(0, 1))
-    return totals + generator.laplace(0.0, 1.0 / per_slice, size=ct)
+    return totals + laplace_noise(ct, 1.0, per_slice, generator)
 
 
 def enforce_slice_totals(
@@ -116,3 +117,10 @@ def refine_release(
     if noisy_totals is not None:
         refined = enforce_slice_totals(refined, noisy_totals)
     return project_nonnegative(refined, preserve_total=True)
+
+__all__ = [
+    "project_nonnegative",
+    "release_noisy_totals",
+    "enforce_slice_totals",
+    "refine_release",
+]

@@ -182,3 +182,11 @@ def sanitize_levels(
             )
         )
     return sanitized
+
+__all__ = [
+    "max_depth_for_grid",
+    "QuadtreeLevel",
+    "segment_length",
+    "SpatioTemporalQuadtree",
+    "sanitize_levels",
+]

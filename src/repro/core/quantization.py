@@ -93,3 +93,8 @@ def k_quantize(values: np.ndarray, k: int) -> PartitionSet:
     # clip keeps max values inside the top bucket.
     labels = np.clip(np.searchsorted(edges, values, side="right") - 1, 0, k - 1)
     return PartitionSet(labels=labels.astype(int), k=k, bucket_edges=edges)
+
+__all__ = [
+    "PartitionSet",
+    "k_quantize",
+]

@@ -142,3 +142,11 @@ def expected_noise_variance(
     return float(
         sum(2.0 * (sensitivities[l] ** 2) / (budgets[l] ** 2) for l in budgets)
     )
+
+__all__ = [
+    "ALLOCATION_STRATEGIES",
+    "allocate_budget",
+    "SanitizationResult",
+    "sanitize_by_partitions",
+    "expected_noise_variance",
+]

@@ -187,3 +187,9 @@ class STPT:
             elapsed_seconds=elapsed,
             t_train=config.t_train,
         )
+
+__all__ = [
+    "STPTConfig",
+    "STPTResult",
+    "STPT",
+]

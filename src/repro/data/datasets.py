@@ -197,3 +197,10 @@ def generate_dataset(
     readings = np.minimum(clipped, spec.max_kwh)
     return SmartMeterDataset(spec=spec, readings=readings,
                              start_weekday=start_weekday)
+
+__all__ = [
+    "DatasetSpec",
+    "TABLE2",
+    "SmartMeterDataset",
+    "generate_dataset",
+]

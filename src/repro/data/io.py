@@ -112,3 +112,12 @@ def import_matrix_csv(path: str | Path) -> ConsumptionMatrix:
     for x, y, t, v in rows:
         values[x, y, t] = v
     return ConsumptionMatrix(values)
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_matrix",
+    "load_matrix",
+    "export_matrix_csv",
+    "import_matrix_csv",
+]

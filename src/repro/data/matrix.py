@@ -126,3 +126,8 @@ def build_matrices(
     clipped = clip_readings(readings, clip_factor) / clip_factor
     norm = ConsumptionMatrix.from_readings(clipped, cells, grid_shape)
     return cons, norm
+
+__all__ = [
+    "ConsumptionMatrix",
+    "build_matrices",
+]

@@ -177,3 +177,13 @@ def aggregate_daily(readings: np.ndarray) -> np.ndarray:
         raise ConfigurationError("need at least one full day of readings")
     trimmed = readings[:, : n_days * HOURS_PER_DAY]
     return trimmed.reshape(n_households, n_days, HOURS_PER_DAY).sum(axis=2)
+
+__all__ = [
+    "HOURS_PER_DAY",
+    "DAYS_PER_WEEK",
+    "ProfileConfig",
+    "daily_shape",
+    "weekly_shape",
+    "generate_profiles",
+    "aggregate_daily",
+]

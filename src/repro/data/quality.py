@@ -138,3 +138,11 @@ def clean_readings(
     """Convenience: impute and report the gap fraction that was filled."""
     fraction = missing_fraction(readings)
     return impute(readings, strategy=strategy, period=period), fraction
+
+__all__ = [
+    "IMPUTATION_STRATEGIES",
+    "inject_missing",
+    "missing_fraction",
+    "impute",
+    "clean_readings",
+]

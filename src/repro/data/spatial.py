@@ -140,3 +140,12 @@ def place_households(
     raise ConfigurationError(
         f"unknown distribution {distribution!r}; options: {DISTRIBUTIONS}"
     )
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "uniform_placement",
+    "normal_placement",
+    "la_like_density",
+    "density_placement",
+    "place_households",
+]

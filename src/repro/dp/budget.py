@@ -130,3 +130,8 @@ class BudgetAccountant:
             raise BudgetExceededError(
                 f"spent {self._spent} exceeds total {self._total}"
             )
+
+__all__ = [
+    "BudgetSplit",
+    "BudgetAccountant",
+]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dp.budget import BudgetAccountant
+from repro.dp.mechanisms import laplace_noise
 from repro.dp.sensitivity import clip_readings
 from repro.exceptions import ConfigurationError, DataError, PrivacyError
 from repro.rng import RngLike, ensure_rng
@@ -57,7 +58,7 @@ def randomize_readings(
         raise DataError("cannot randomize an empty series")
     normalized = clip_readings(readings, clip_factor) / clip_factor
     per_slice = epsilon / readings.size
-    noise = ensure_rng(rng).laplace(0.0, 1.0 / per_slice, size=readings.shape)
+    noise = laplace_noise(readings.shape, 1.0, per_slice, rng)
     return normalized + noise
 
 
@@ -127,3 +128,10 @@ class LocalDPPublisher:
             for i in range(readings.shape[0])
         ]
         return aggregate_reports(reports, grid_shape)
+
+__all__ = [
+    "LocalMeterReport",
+    "randomize_readings",
+    "aggregate_reports",
+    "LocalDPPublisher",
+]

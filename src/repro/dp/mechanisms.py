@@ -103,3 +103,10 @@ class GeometricMechanism:
         x = generator.geometric(1.0 - alpha, size=values.shape) - 1
         y = generator.geometric(1.0 - alpha, size=values.shape) - 1
         return values + x - y
+
+__all__ = [
+    "laplace_scale",
+    "laplace_noise",
+    "LaplaceMechanism",
+    "GeometricMechanism",
+]

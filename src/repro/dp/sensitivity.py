@@ -90,3 +90,11 @@ def unit_cell_sensitivity(clip_factor: float, normalized: bool = True) -> float:
     if not np.isfinite(clip_factor) or clip_factor <= 0:
         raise DataError(f"clip_factor must be positive, got {clip_factor!r}")
     return 1.0 if normalized else float(clip_factor)
+
+__all__ = [
+    "clip_readings",
+    "NormalizationParams",
+    "min_max_normalize",
+    "min_max_denormalize",
+    "unit_cell_sensitivity",
+]

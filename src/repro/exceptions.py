@@ -39,3 +39,14 @@ class QueryError(ReproError):
 
 class TrainingError(ReproError):
     """A neural-network training run was configured or converged badly."""
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PrivacyError",
+    "BudgetExceededError",
+    "SensitivityError",
+    "DataError",
+    "QueryError",
+    "TrainingError",
+]

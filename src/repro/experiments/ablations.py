@@ -227,3 +227,13 @@ def _pattern_error(result, context) -> dict[str, float]:
         "pattern_mae": float(np.mean(np.abs(errors))),
         "pattern_rmse": float(np.sqrt(np.mean(errors**2))),
     }
+
+__all__ = [
+    "ablation_budget_allocation",
+    "ablation_rollout",
+    "ablation_attention",
+    "ablation_seed_denoising",
+    "ablation_local_dp",
+    "ablation_refinement",
+    "ablation_privacy_model",
+]

@@ -396,3 +396,18 @@ def figure8i(
         __, mre = run_stpt(context, config, rng=derive_seed(generator))
         rows.append({"model": family, **mre})
     return rows
+
+__all__ = [
+    "table2",
+    "figure9",
+    "figure6",
+    "figure6_all",
+    "figure7",
+    "figure8ab",
+    "figure8c",
+    "figure8d",
+    "figure8ef",
+    "figure8g",
+    "figure8h",
+    "figure8i",
+]

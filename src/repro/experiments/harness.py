@@ -164,3 +164,13 @@ def format_table(
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+__all__ = [
+    "DATASET_NAMES",
+    "QUERY_KINDS",
+    "ExperimentContext",
+    "build_context",
+    "run_stpt",
+    "run_mechanism",
+    "format_table",
+]

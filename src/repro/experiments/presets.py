@@ -117,3 +117,11 @@ def active_preset() -> ScalePreset:
     if os.environ.get(PAPER_SCALE_ENV, "").strip() in ("1", "true", "yes"):
         return PAPER
     return CI
+
+__all__ = [
+    "PAPER_SCALE_ENV",
+    "ScalePreset",
+    "PAPER",
+    "CI",
+    "active_preset",
+]

@@ -115,3 +115,9 @@ def generate_report(
     )
     path.write_text("\n".join(lines))
     return path
+
+__all__ = [
+    "SectionRunner",
+    "REPORT_SECTIONS",
+    "generate_report",
+]

@@ -223,3 +223,11 @@ class PowerNetwork:
                     )
                 )
         return steps
+
+__all__ = [
+    "Consumer",
+    "Battery",
+    "bounding_rectangle",
+    "ReassignmentStep",
+    "PowerNetwork",
+]

@@ -1,0 +1,47 @@
+"""repro.lint — AST-based DP-hygiene and numerics linter.
+
+A repo-specific static-analysis pass that turns the codebase's privacy
+and reproducibility conventions into checked invariants:
+
+========  ==========================================================
+DP001     noise primitives drawn outside ``repro.dp.mechanisms``
+DP002     hard-coded ε splits outside ``repro.dp.budget`` allocators
+RNG001    numpy global-RNG use / seedless ``default_rng()``
+NUM001    exact float ``==``/``!=`` comparisons
+PY001     mutable default arguments
+PY002     re-exported modules missing ``__all__``
+========  ==========================================================
+
+Run it with ``python -m repro.lint src/ tests/`` or ``repro lint``;
+suppress a reviewed exception with ``# lint: disable=RULE`` on the
+offending line. See ``docs/linting.md`` for the full rule rationale.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintResult, run_lint
+from repro.lint.findings import Finding, PARSE_RULE
+from repro.lint.registry import (
+    Rule,
+    RuleOptions,
+    create_rules,
+    register,
+    registered_rule_ids,
+)
+from repro.lint.reporters import render, render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "PARSE_RULE",
+    "Rule",
+    "RuleOptions",
+    "create_rules",
+    "load_config",
+    "register",
+    "registered_rule_ids",
+    "render",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

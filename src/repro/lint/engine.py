@@ -1,0 +1,127 @@
+"""The lint runner: collect files, run rules, apply suppressions.
+
+``run_lint`` is the single entry point used by the CLI, the tests and
+the benchmark. The pipeline is deliberately linear:
+
+1. parse every python file under the requested paths into a
+   :class:`repro.lint.project.Project` (parse failures become ``PARSE``
+   findings — an uncheckable file must fail the run);
+2. run each enabled rule, skipping files on the rule's allow-list
+   (built-in default, overridable per rule in ``pyproject.toml``);
+3. drop findings answered by a ``# lint: disable=RULE`` comment on the
+   offending line (or ``disable-file`` anywhere in the file);
+4. return the surviving findings sorted by location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, PARSE_RULE
+from repro.lint.project import ModuleInfo, Project, path_matches
+from repro.lint.registry import RuleOptions, create_rules
+from repro.lint.suppress import SuppressionIndex, scan_suppressions
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _suppression_for(
+    module: ModuleInfo, cache: dict[str, SuppressionIndex]
+) -> SuppressionIndex:
+    index = cache.get(module.rel)
+    if index is None:
+        index = scan_suppressions(module.source)
+        cache[module.rel] = index
+    return index
+
+
+def run_lint(
+    paths: Sequence[Path | str] | None = None,
+    config: LintConfig | None = None,
+    enable: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint ``paths`` (default: the config's include paths).
+
+    ``enable`` narrows the rule set for this run; otherwise the
+    config's ``enable`` list (or every registered rule) applies.
+    """
+    if config is None:
+        config = LintConfig(root=Path.cwd())
+    if paths is None:
+        target_paths = config.include_paths()
+    else:
+        # Explicitly requested paths must exist: a typo'd path would
+        # otherwise lint zero files and report a (false) clean run.
+        target_paths = [Path(p) for p in paths]
+        missing = [str(p) for p in target_paths if not p.exists()]
+        if missing:
+            raise ConfigurationError(
+                f"path(s) do not exist: {', '.join(missing)}"
+            )
+    project = Project.from_paths(config.root, target_paths, config.exclude)
+    rules = create_rules(enable if enable is not None else config.enable)
+
+    raw: list[Finding] = [
+        Finding(
+            path=failure.rel,
+            line=failure.line,
+            col=failure.col,
+            rule=PARSE_RULE,
+            message=failure.message,
+        )
+        for failure in project.failures
+    ]
+    for rule in rules:
+        options = RuleOptions(
+            allow=config.rule_allow(rule.id, rule.default_allow),
+            extra=config.rule_options.get(rule.id, {}),
+        )
+        produced: list[Finding] = []
+        for module in project.modules:
+            if path_matches(module.rel, options.allow):
+                continue
+            produced.extend(rule.check_module(module, options))
+        produced.extend(rule.check_project(project, options))
+        # Project-scope rules emit findings for arbitrary files; the
+        # allow-list is enforced uniformly on the finding's path.
+        raw.extend(
+            finding
+            for finding in produced
+            if not path_matches(finding.path, options.allow)
+        )
+
+    modules_by_rel = {module.rel: module for module in project.modules}
+    suppression_cache: dict[str, SuppressionIndex] = {}
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        module = modules_by_rel.get(finding.path)
+        if module is not None and finding.rule != PARSE_RULE:
+            index = _suppression_for(module, suppression_cache)
+            if index.is_suppressed(finding.rule, finding.line):
+                suppressed += 1
+                continue
+        kept.append(finding)
+    return LintResult(
+        findings=tuple(sorted(set(kept))),
+        files_checked=len(project.modules) + len(project.failures),
+        suppressed=suppressed,
+    )
+
+
+__all__ = ["LintResult", "run_lint"]

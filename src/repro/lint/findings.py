@@ -1,0 +1,44 @@
+"""The record type every lint rule produces.
+
+A :class:`Finding` pins one defect to a file, line and column together
+with the rule id that produced it. Findings order lexicographically by
+location so reports are stable across runs and platforms, which keeps
+the self-clean tier-1 test and CI diffs deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Pseudo-rule id attached to files the engine could not parse. It is
+#: not a registered rule (it cannot be disabled or suppressed): a file
+#: that does not parse cannot be checked, so it must fail the run.
+PARSE_RULE = "PARSE"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One defect located at ``path:line:col``, attributed to ``rule``."""
+
+    path: str  #: project-root-relative posix path
+    line: int  #: 1-based line of the offending node
+    col: int  #: 0-based column of the offending node
+    rule: str  #: rule id, e.g. ``"DP001"``
+    message: str  #: human-readable description with a suggested fix
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable view used by the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+__all__ = ["Finding", "PARSE_RULE"]

@@ -1,0 +1,175 @@
+"""File collection and parsed-module model.
+
+The engine lints a *project*: a root directory (normally the one that
+holds ``pyproject.toml``) plus the set of python files found under the
+requested paths. Every file is parsed once into a :class:`ModuleInfo`
+carrying its AST, source text and — when the file sits inside a
+package — its dotted module name, which project-scope rules (PY002)
+use to resolve re-export edges between ``__init__`` files and the
+modules they lift names from.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+def path_matches(rel: str, patterns: Iterable[str]) -> bool:
+    """True when a root-relative posix path matches any pattern.
+
+    A pattern matches via :func:`fnmatch.fnmatchcase` (so ``*`` crosses
+    directory separators), by exact equality, or as a directory prefix:
+    ``"tests"`` covers every file below ``tests/``.
+    """
+    for pattern in patterns:
+        pattern = pattern.rstrip("/")
+        if not pattern:
+            continue
+        if rel == pattern or fnmatch.fnmatchcase(rel, pattern):
+            return True
+        if rel.startswith(pattern + "/"):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One successfully parsed python file."""
+
+    path: Path  #: absolute filesystem path
+    rel: str  #: posix path relative to the project root
+    source: str
+    tree: ast.Module
+    dotted: str | None  #: dotted module name, if inside a package
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    def has_module_all(self) -> bool:
+        """Whether the module declares ``__all__`` at top level."""
+        for node in self.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return True
+        return False
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the engine could not parse (reported as ``PARSE``)."""
+
+    rel: str
+    line: int
+    col: int
+    message: str
+
+
+def _dotted_name(path: Path) -> str | None:
+    """Dotted module name derived from enclosing ``__init__.py`` chain."""
+    parts: list[str] = []
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    if not parts and path.name != "__init__.py":
+        return None
+    parts.reverse()
+    if path.name != "__init__.py":
+        parts.append(path.stem)
+    return ".".join(parts) if parts else None
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield resolved
+
+
+@dataclass
+class Project:
+    """The parsed universe one lint run operates on."""
+
+    root: Path
+    modules: list[ModuleInfo] = field(default_factory=list)
+    failures: list[ParseFailure] = field(default_factory=list)
+
+    @classmethod
+    def from_paths(
+        cls,
+        root: Path,
+        paths: Iterable[Path],
+        exclude: Iterable[str] = (),
+    ) -> "Project":
+        root = root.resolve()
+        project = cls(root=root)
+        exclude = tuple(exclude)
+        for file_path in _iter_python_files(paths):
+            rel = Path(os.path.relpath(file_path, root)).as_posix()
+            if path_matches(rel, exclude):
+                continue
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as error:
+                project.failures.append(
+                    ParseFailure(rel=rel, line=1, col=0, message=str(error))
+                )
+                continue
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError as error:
+                project.failures.append(
+                    ParseFailure(
+                        rel=rel,
+                        line=error.lineno or 1,
+                        col=(error.offset or 1) - 1,
+                        message=f"syntax error: {error.msg}",
+                    )
+                )
+                continue
+            project.modules.append(
+                ModuleInfo(
+                    path=file_path,
+                    rel=rel,
+                    source=source,
+                    tree=tree,
+                    dotted=_dotted_name(file_path),
+                )
+            )
+        return project
+
+    def module_by_dotted(self, dotted: str) -> ModuleInfo | None:
+        return self._dotted_index().get(dotted)
+
+    def _dotted_index(self) -> dict[str, ModuleInfo]:
+        index = getattr(self, "_dotted_cache", None)
+        if index is None:
+            index = {m.dotted: m for m in self.modules if m.dotted}
+            object.__setattr__(self, "_dotted_cache", index)
+        return index
+
+
+__all__ = ["ModuleInfo", "ParseFailure", "Project", "path_matches"]

@@ -1,0 +1,57 @@
+"""Finding reporters: human text and machine JSON.
+
+Both render a :class:`repro.lint.engine.LintResult`. The text form is
+the conventional ``path:line:col: RULE message`` (clickable in most
+editors and CI log viewers); the JSON form carries the same findings
+plus run summary counters for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+REPORTERS = ("text", "json")
+
+
+def render_text(result: LintResult) -> str:
+    """One line per finding plus a summary trailer."""
+    lines = [finding.format() for finding in result.findings]
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    summary = (
+        f"{len(result.findings)} {noun} in {result.files_checked} files "
+        f"({result.suppressed} suppressed)"
+    )
+    if result.ok:
+        summary = (
+            f"clean: {result.files_checked} files checked "
+            f"({result.suppressed} suppressed)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document with findings and summary counters."""
+    payload = {
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": {
+            "findings": len(result.findings),
+            "files_checked": result.files_checked,
+            "suppressed": result.suppressed,
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render(result: LintResult, fmt: str) -> str:
+    if fmt == "json":
+        return render_json(result)
+    if fmt == "text":
+        return render_text(result)
+    raise ValueError(f"unknown report format {fmt!r}")
+
+
+__all__ = ["REPORTERS", "render", "render_json", "render_text"]

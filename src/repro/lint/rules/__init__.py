@@ -1,0 +1,15 @@
+"""Built-in rule set; importing this package registers every rule."""
+
+from repro.lint.rules.dp import EpsilonArithmeticRule, NoisePrimitiveRule
+from repro.lint.rules.hygiene import MutableDefaultRule, ReexportedModuleAllRule
+from repro.lint.rules.numerics import FloatEqualityRule
+from repro.lint.rules.rng import GlobalRngRule
+
+__all__ = [
+    "EpsilonArithmeticRule",
+    "FloatEqualityRule",
+    "GlobalRngRule",
+    "MutableDefaultRule",
+    "NoisePrimitiveRule",
+    "ReexportedModuleAllRule",
+]

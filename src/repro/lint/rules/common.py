@@ -1,0 +1,80 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.project import ModuleInfo
+
+
+def finding_at(
+    module: ModuleInfo, node: ast.AST, rule_id: str, message: str
+) -> Finding:
+    """Build a finding anchored at ``node`` inside ``module``."""
+    return Finding(
+        path=module.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule_id,
+        message=message,
+    )
+
+
+def dotted_chain(node: ast.expr) -> tuple[str, ...] | None:
+    """``np.random.seed`` -> ``("np", "random", "seed")``; None if not a
+    plain name/attribute chain."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return tuple(parts)
+
+
+def identifier_of(node: ast.expr) -> str | None:
+    """The terminal identifier of a name or attribute expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def is_numeric_literal(node: ast.expr) -> bool:
+    """A bare int/float constant (bools excluded)."""
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+def is_float_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def source_of(node: ast.AST, limit: int = 60) -> str:
+    """Compact source rendering of a node for finding messages."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all exprs
+        text = type(node).__name__
+    text = " ".join(text.split())
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text
+
+
+__all__ = [
+    "dotted_chain",
+    "finding_at",
+    "identifier_of",
+    "is_float_literal",
+    "is_numeric_literal",
+    "source_of",
+]

@@ -1,0 +1,137 @@
+"""Differential-privacy hygiene rules: DP001 and DP002.
+
+These encode the two invariants STPT's user-level ε-DP proof leans on:
+every noise draw is calibrated by an explicit ``sensitivity / epsilon``
+pair at a single choke point, and every division of a privacy budget
+happens in an allocator that an accountant can audit. Noise drawn "off
+ledger" or an ad-hoc ``eps / 2`` both silently weaken the nominal
+guarantee — the failure mode implementation studies of DP systems
+report most often.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.project import ModuleInfo
+from repro.lint.registry import Rule, RuleOptions, register
+from repro.lint.rules.common import (
+    finding_at,
+    identifier_of,
+    is_numeric_literal,
+    source_of,
+)
+
+#: Distribution methods that implement a DP primitive in this codebase.
+NOISE_PRIMITIVES = frozenset({"laplace", "geometric"})
+
+
+@register
+class NoisePrimitiveRule(Rule):
+    """DP001 — raw noise draws outside ``repro.dp.mechanisms``.
+
+    Any ``<obj>.laplace(...)`` / ``<obj>.geometric(...)`` call is a
+    noise primitive. Outside the mechanisms module the scale argument
+    is a hand-rolled ``sensitivity / epsilon`` the budget ledger never
+    sees; such draws must go through
+    :func:`repro.dp.mechanisms.laplace_noise` or a mechanism object so
+    the (sensitivity, epsilon) pair is explicit and validated.
+    """
+
+    id = "DP001"
+    title = "noise primitive drawn outside repro.dp.mechanisms"
+    rationale = (
+        "Raw laplace()/geometric() draws bypass the epsilon/sensitivity "
+        "validation and the budget ledger, silently weakening the ε-DP "
+        "guarantee."
+    )
+    default_allow = ("src/repro/dp/mechanisms.py",)
+
+    def check_module(
+        self, module: ModuleInfo, options: RuleOptions
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in NOISE_PRIMITIVES:
+                continue
+            yield finding_at(
+                module,
+                node,
+                self.id,
+                f"raw {func.attr}() noise draw outside repro.dp.mechanisms; "
+                "route it through laplace_noise()/LaplaceMechanism so the "
+                "(sensitivity, epsilon) calibration is explicit and checked",
+            )
+
+
+def _is_epsilon_identifier(name: str | None) -> bool:
+    if not name:
+        return False
+    tokens = name.lower().split("_")
+    return "eps" in tokens or "epsilon" in tokens
+
+
+@register
+class EpsilonArithmeticRule(Rule):
+    """DP002 — hard-coded ε splits outside the budget allocators.
+
+    Multiplying or dividing an ε-named value by a numeric literal
+    (``eps / 2``, ``0.5 * epsilon``) is a budget split decision hidden
+    in a call site. Splits belong in ``repro.dp.budget`` (``BudgetSplit``)
+    or behind a validated config field so composition can be audited in
+    one place. Dividing by a *variable* (``epsilon / n_slices``) is the
+    sequential-composition idiom and stays legal.
+    """
+
+    id = "DP002"
+    title = "hard-coded epsilon split outside repro.dp.budget"
+    rationale = (
+        "Literal budget fractions scattered through call sites make "
+        "sequential-composition accounting unreviewable; allocators and "
+        "validated config fields keep every split auditable."
+    )
+    default_allow = (
+        "src/repro/dp/budget.py",
+        "src/repro/analysis/allocation.py",
+        "tests",
+        "benchmarks",
+    )
+
+    def check_module(
+        self, module: ModuleInfo, options: RuleOptions
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, ast.Div):
+                flagged = _is_epsilon_identifier(
+                    identifier_of(node.left)
+                ) and is_numeric_literal(node.right)
+            elif isinstance(node.op, ast.Mult):
+                flagged = (
+                    _is_epsilon_identifier(identifier_of(node.left))
+                    and is_numeric_literal(node.right)
+                ) or (
+                    _is_epsilon_identifier(identifier_of(node.right))
+                    and is_numeric_literal(node.left)
+                )
+            else:
+                flagged = False
+            if flagged:
+                yield finding_at(
+                    module,
+                    node,
+                    self.id,
+                    f"hard-coded epsilon split '{source_of(node)}'; move the "
+                    "fraction into repro.dp.budget.BudgetSplit or a validated "
+                    "config field",
+                )
+
+
+__all__ = ["EpsilonArithmeticRule", "NoisePrimitiveRule", "NOISE_PRIMITIVES"]

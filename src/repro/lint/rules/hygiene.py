@@ -1,0 +1,153 @@
+"""General python hygiene rules: PY001 and PY002.
+
+PY001 (mutable default arguments) is the classic shared-state trap —
+in this codebase a mutable default on a mechanism or config constructor
+would leak state *between privacy releases*, which is worse than the
+usual aesthetic complaint.
+
+PY002 enforces the public-surface convention the package ``__init__``
+files rely on: a module whose names are lifted into a package namespace
+must declare ``__all__`` so the re-export set is a reviewable contract
+(and so ``tests/test_public_api.py``-style checks have something to
+diff against) rather than whatever happens not to start with an
+underscore.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.project import ModuleInfo, Project
+from repro.lint.registry import Rule, RuleOptions, register
+from repro.lint.rules.common import finding_at, source_of
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """PY001 — mutable default argument."""
+
+    id = "PY001"
+    title = "mutable default argument"
+    rationale = (
+        "A mutable default is created once and shared by every call; "
+        "state leaking between calls (and between privacy releases) is "
+        "the result. Default to None and construct inside the function."
+    )
+
+    def check_module(
+        self, module: ModuleInfo, options: RuleOptions
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield finding_at(
+                        module,
+                        default,
+                        self.id,
+                        f"mutable default '{source_of(default)}' is created "
+                        "once and shared across calls; default to None and "
+                        "build it inside the function",
+                    )
+
+
+def _resolve_reexport_targets(
+    project: Project, init: ModuleInfo, node: ast.ImportFrom
+) -> Iterator[ModuleInfo]:
+    """Modules whose names ``init`` lifts via one ``from ... import``."""
+    if init.dotted is None:
+        return
+    if node.level:
+        # Relative import: anchor at the init's package, minus any
+        # extra leading dots.
+        base_parts = init.dotted.split(".")
+        if node.level - 1 >= len(base_parts):
+            return
+        base_parts = base_parts[: len(base_parts) - (node.level - 1)]
+        prefix = ".".join(base_parts)
+        target = f"{prefix}.{node.module}" if node.module else prefix
+    else:
+        if node.module is None:
+            return
+        target = node.module
+    direct = project.module_by_dotted(target)
+    if direct is not None and not direct.is_package_init:
+        yield direct
+        return
+    # `from package import submodule` — each alias may be a module.
+    for alias in node.names:
+        sub = project.module_by_dotted(f"{target}.{alias.name}")
+        if sub is not None and not sub.is_package_init:
+            yield sub
+
+
+@register
+class ReexportedModuleAllRule(Rule):
+    """PY002 — re-exported module without ``__all__`` (project scope)."""
+
+    id = "PY002"
+    title = "re-exported module missing __all__"
+    rationale = (
+        "Package __init__ files lift names out of these modules; without "
+        "__all__ the module has no declared public surface, so re-export "
+        "drift and accidental API growth go unreviewed."
+    )
+
+    def check_project(
+        self, project: Project, options: RuleOptions
+    ) -> Iterable[Finding]:
+        reexported: dict[str, tuple[ModuleInfo, set[str]]] = {}
+        for init in project.modules:
+            if not init.is_package_init:
+                continue
+            for node in ast.walk(init.tree):
+                if not isinstance(node, ast.ImportFrom):
+                    continue
+                for target in _resolve_reexport_targets(project, init, node):
+                    entry = reexported.setdefault(target.rel, (target, set()))
+                    entry[1].add(init.rel)
+        for target, initiators in reexported.values():
+            if target.has_module_all():
+                continue
+            origins = ", ".join(sorted(initiators))
+            yield finding_at(
+                target,
+                target.tree,
+                self.id,
+                f"module {target.dotted} is re-exported from {origins} but "
+                "declares no __all__; list its public names so the package "
+                "surface is a reviewed contract",
+            )
+
+
+__all__ = ["MutableDefaultRule", "ReexportedModuleAllRule"]

@@ -1,0 +1,64 @@
+"""NUM001 — exact float equality.
+
+The sanitization pipeline moves everything through floating point:
+normalized readings, Laplace scales, error models. ``x == 0.3`` on any
+of those is a latent bug — the value is one rounding away from the
+literal, and on array expressions the comparison silently broadcasts
+into a mask that is almost-all-False. The rule flags ``==``/``!=``
+against a float literal; the fix is an inequality against the intended
+threshold or a tolerance comparison (``math.isclose``/``np.isclose``).
+
+Integer-literal comparisons stay legal: exact small-int arithmetic is
+well-defined in IEEE754 and idiomatic (``count == 0``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.project import ModuleInfo
+from repro.lint.registry import Rule, RuleOptions, register
+from repro.lint.rules.common import finding_at, is_float_literal, source_of
+
+
+@register
+class FloatEqualityRule(Rule):
+    """NUM001 — ``==`` / ``!=`` against a float literal."""
+
+    id = "NUM001"
+    title = "exact float equality comparison"
+    rationale = (
+        "Float results are one rounding away from any literal; exact "
+        "==/!= comparisons on computed values (and especially on array "
+        "expressions) select almost nothing. Use an inequality or "
+        "math.isclose/np.isclose."
+    )
+    default_allow = ("tests", "benchmarks")
+
+    def check_module(
+        self, module: ModuleInfo, options: RuleOptions
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if is_float_literal(left) or is_float_literal(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield finding_at(
+                        module,
+                        node,
+                        self.id,
+                        f"exact float {symbol} in '{source_of(node)}'; compare "
+                        "with a tolerance (math.isclose/np.isclose) or an "
+                        "inequality against the intended threshold",
+                    )
+                    break  # one finding per comparison chain
+
+
+__all__ = ["FloatEqualityRule"]

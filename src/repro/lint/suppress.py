@@ -1,0 +1,85 @@
+"""Per-line suppression comments.
+
+Two directive forms are recognized, both scanned from real comment
+tokens (so occurrences inside string literals never count):
+
+* ``# lint: disable=RULE1,RULE2`` — suppress those rules on the line
+  the comment sits on. This is the form to use at a call site that is
+  a deliberate, reviewed exception.
+* ``# lint: disable-file=RULE1,RULE2`` — suppress those rules for the
+  whole containing file, wherever the comment appears.
+
+``all`` (or ``*``) may be used in place of a rule id to suppress every
+rule. Rule ids are matched case-insensitively.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_DIRECTIVE = re.compile(
+    r"#\s*lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<rules>[\w*,\s]+)"
+)
+
+
+def _parse_rule_list(raw: str) -> frozenset[str]:
+    rules = set()
+    for part in raw.split(","):
+        part = part.strip().upper()
+        if not part:
+            continue
+        rules.add("ALL" if part == "*" else part)
+    return frozenset(rules)
+
+
+class SuppressionIndex:
+    """Which rules are suppressed on which lines of one file."""
+
+    def __init__(
+        self,
+        line_rules: dict[int, frozenset[str]],
+        file_rules: frozenset[str] = frozenset(),
+    ) -> None:
+        self._line_rules = dict(line_rules)
+        self._file_rules = frozenset(file_rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rule = rule.upper()
+        active = self._file_rules | self._line_rules.get(line, frozenset())
+        return "ALL" in active or rule in active
+
+    def __bool__(self) -> bool:
+        return bool(self._line_rules or self._file_rules)
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Build the suppression index for one file's source text.
+
+    The caller is expected to have parsed ``source`` successfully
+    already; tokenization errors are treated as "no suppressions"
+    rather than masking the parse failure the engine reports anyway.
+    """
+    line_rules: dict[int, frozenset[str]] = {}
+    file_rules: frozenset[str] = frozenset()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return SuppressionIndex({})
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        rules = _parse_rule_list(match.group("rules"))
+        if match.group("scope") == "disable-file":
+            file_rules = file_rules | rules
+        else:
+            line = token.start[0]
+            line_rules[line] = line_rules.get(line, frozenset()) | rules
+    return SuppressionIndex(line_rules, file_rules)
+
+
+__all__ = ["SuppressionIndex", "scan_suppressions"]

@@ -154,3 +154,9 @@ class TransformerEncoderLayer(Module):
         d_sum1 = self.norm1.backward(d_y1)
         d_attn = self.attn.backward(self.drop_attn.backward(d_sum1))
         return d_sum1 + d_attn
+
+__all__ = [
+    "PositionalEncoding",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+]

@@ -109,7 +109,7 @@ class Dropout(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float)
-        if not self.training or self.p == 0.0:
+        if not self.training or self.p <= 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.p
@@ -205,3 +205,15 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     shifted = x - x.max(axis=axis, keepdims=True)
     ex = np.exp(shifted)
     return ex / ex.sum(axis=axis, keepdims=True)
+
+__all__ = [
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Tanh",
+    "ReLU",
+    "Sigmoid",
+    "Sequential",
+    "sigmoid",
+    "softmax",
+]

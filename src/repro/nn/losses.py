@@ -56,3 +56,9 @@ def huber_loss(
     )
     grads = np.where(quadratic, diff, delta * np.sign(diff))
     return float(np.mean(values)), grads / diff.size
+
+__all__ = [
+    "mse_loss",
+    "l1_loss",
+    "huber_loss",
+]

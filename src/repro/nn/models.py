@@ -267,3 +267,13 @@ def make_forecaster(
         use_attention=use_attention,
         rng=rng,
     )
+
+__all__ = [
+    "SequenceForecaster",
+    "GRUForecaster",
+    "RNNForecaster",
+    "LSTMForecaster",
+    "TransformerForecaster",
+    "MODEL_FAMILIES",
+    "make_forecaster",
+]

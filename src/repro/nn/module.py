@@ -114,3 +114,8 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+__all__ = [
+    "Parameter",
+    "Module",
+]

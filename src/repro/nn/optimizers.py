@@ -123,3 +123,11 @@ def clip_grad_norm(params, max_norm: float) -> float:
         for p in params:
             p.grad *= scale
     return total
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "RMSProp",
+    "Adam",
+    "clip_grad_norm",
+]

@@ -293,3 +293,12 @@ class LSTM(Module):
 def _check_sizes(input_size: int, hidden_size: int) -> None:
     if input_size <= 0 or hidden_size <= 0:
         raise ConfigurationError("input_size and hidden_size must be positive")
+
+__all__ = [
+    "RNNCell",
+    "GRUCell",
+    "LSTMCell",
+    "RNN",
+    "GRU",
+    "LSTM",
+]

@@ -113,7 +113,7 @@ class Trainer:
         if patience is not None:
             if patience <= 0:
                 raise ConfigurationError("patience must be positive")
-            if validation_fraction == 0.0:
+            if validation_fraction <= 0.0:
                 raise ConfigurationError(
                     "early stopping needs a validation split"
                 )
@@ -216,3 +216,11 @@ def train_forecaster(
         rng=rng,
     )
     return trainer.fit(inputs, targets)
+
+__all__ = [
+    "make_windows",
+    "iterate_minibatches",
+    "TrainingHistory",
+    "Trainer",
+    "train_forecaster",
+]

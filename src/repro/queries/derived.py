@@ -134,3 +134,13 @@ def top_k_regions(
             scored.append((region, float(total)))
     scored.sort(key=lambda pair: pair[1], reverse=True)
     return scored[:k]
+
+__all__ = [
+    "SpatialRegion",
+    "average_consumption",
+    "consumption_profile",
+    "peak_demand",
+    "base_load",
+    "peak_to_average_ratio",
+    "top_k_regions",
+]

@@ -81,3 +81,12 @@ def workload_mre(
     true_answers = evaluate_queries(queries, true_matrix)
     noisy_answers = evaluate_queries(queries, noisy_matrix)
     return mean_relative_error(true_answers, noisy_answers, sanity_bound=sanity_bound)
+
+__all__ = [
+    "SANITY_BOUND_FRACTION",
+    "relative_errors",
+    "mean_relative_error",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "workload_mre",
+]

@@ -175,3 +175,13 @@ def make_workload(
             f"unknown workload {kind!r}; options: {sorted(WORKLOADS)}"
         ) from None
     return factory(shape, count=count, rng=rng, reference=reference)
+
+__all__ = [
+    "RangeQuery",
+    "evaluate_queries",
+    "small_queries",
+    "large_queries",
+    "random_queries",
+    "WORKLOADS",
+    "make_workload",
+]

@@ -114,7 +114,8 @@ class TestRefineRelease:
         per-cell error of a noisy release."""
         truth = np.zeros((6, 6, 4))
         truth[0, 0, :] = 5.0
-        noisy = truth + rng.laplace(0, 1.0, size=truth.shape)
+        # Synthetic noisy release for the refinement test, not DP noise.
+        noisy = truth + rng.laplace(0, 1.0, size=truth.shape)  # lint: disable=DP001
         release = ConsumptionMatrix(noisy)
         refined = refine_release(release)
         before = np.abs(release.values - truth).mean()

@@ -1,0 +1,103 @@
+"""Edge cases for privacy-budget accounting.
+
+Complements ``test_budget.py`` with the boundary behaviour the linter
+work leans on: degenerate epsilons are rejected up front, proportional
+allocations sum back to the total within 1e-12, and a floating-point
+split can be spent back exactly without tripping the ledger.
+"""
+
+import math
+
+import pytest
+
+from repro.dp.budget import BudgetAccountant, BudgetSplit
+from repro.exceptions import BudgetExceededError, PrivacyError
+
+
+class TestDegenerateEpsilons:
+    @pytest.mark.parametrize(
+        "epsilon", [0.0, -1.0, -1e-300, math.nan, math.inf, -math.inf]
+    )
+    def test_accountant_rejects(self, epsilon):
+        with pytest.raises(PrivacyError):
+            BudgetAccountant(epsilon)
+
+    @pytest.mark.parametrize(
+        "epsilon", [0.0, -1.0, -1e-300, math.nan, math.inf, -math.inf]
+    )
+    def test_split_rejects(self, epsilon):
+        with pytest.raises(PrivacyError):
+            BudgetSplit(total=epsilon)
+
+    @pytest.mark.parametrize("charge", [0.0, -0.5, math.nan, math.inf])
+    def test_charges_rejected(self, charge):
+        accountant = BudgetAccountant(1.0)
+        with pytest.raises(PrivacyError):
+            accountant.spend(charge)
+        assert accountant.spent_epsilon == 0.0
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(PrivacyError):
+            BudgetSplit.proportional(1.0, {"a": 0.0, "b": 0.0})
+        with pytest.raises(PrivacyError):
+            BudgetSplit.proportional(1.0, {"a": -1.0, "b": 0.5})
+
+
+class TestAllocationSums:
+    @pytest.mark.parametrize("total", [0.1, 1.0, 7.3, 20.0])
+    def test_proportional_shares_sum_to_total(self, total):
+        weights = {f"part{i}": 1.0 + 0.37 * i for i in range(9)}
+        split = BudgetSplit.proportional(total, weights)
+        assert sum(split.shares.values()) == pytest.approx(total, abs=1e-12)
+
+    def test_awkward_weights_stay_within_tolerance(self):
+        # Weights engineered so no share is exactly representable.
+        weights = {f"w{i}": 1.0 / (3.0 + i) for i in range(7)}
+        split = BudgetSplit.proportional(1.0, weights)
+        assert sum(split.shares.values()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_shares_proportional_to_weights(self):
+        split = BudgetSplit.proportional(6.0, {"a": 1.0, "b": 2.0})
+        assert split["a"] == pytest.approx(2.0)
+        assert split["b"] == pytest.approx(4.0)
+
+    def test_overallocated_shares_rejected(self):
+        with pytest.raises(PrivacyError):
+            BudgetSplit(total=1.0, shares={"a": 0.7, "b": 0.4})
+
+
+class TestSpendBackExactly:
+    def test_float_split_spends_back_to_zero(self):
+        total = 10.0
+        weights = {f"leaf{i}": 1.0 / (2.0 + i) for i in range(11)}
+        split = BudgetSplit.proportional(total, weights)
+        accountant = BudgetAccountant(total)
+        for key in weights:
+            accountant.spend(split[key], label=key)
+        accountant.assert_within_budget()
+        assert accountant.spent_epsilon == pytest.approx(total, abs=1e-12)
+        assert accountant.remaining_epsilon == pytest.approx(0.0, abs=1e-12)
+
+    def test_one_ulp_overshoot_tolerated_but_capped(self):
+        accountant = BudgetAccountant(1.0)
+        third = 1.0 / 3.0
+        for _ in range(3):
+            accountant.spend(third)
+        # Spend the float remainder plus 1e-12: overshoots the total by
+        # less than the ledger tolerance, so it is accepted and the
+        # running total clamps at the budget.
+        accountant.spend(1.0 - accountant.spent_epsilon + 1e-12)
+        assert accountant.spent_epsilon <= 1.0
+
+    def test_real_overspend_still_raises(self):
+        accountant = BudgetAccountant(1.0)
+        accountant.spend(0.75)
+        with pytest.raises(BudgetExceededError):
+            accountant.spend(0.75)
+        assert accountant.spent_epsilon == pytest.approx(0.75)
+
+    def test_parallel_spend_counts_only_the_maximum(self):
+        accountant = BudgetAccountant(1.0)
+        debited = accountant.spend_parallel([0.2, 0.9, 0.4], label="cells")
+        assert debited == pytest.approx(0.9)
+        assert accountant.spent_epsilon == pytest.approx(0.9)

@@ -1,0 +1,48 @@
+"""Shared helpers for the linter tests.
+
+``lint_snippet`` writes a known-bad (or known-good) source snippet into
+a throwaway project rooted at ``tmp_path`` and lints it with exactly
+one rule enabled, so every rule test asserts precise findings —
+rule id, file and line — without touching the real tree or the repo's
+pyproject configuration.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintResult, run_lint
+
+
+def write_module(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def lint_snippet(tmp_path):
+    """Lint one snippet at a chosen project-relative path."""
+
+    def runner(
+        source: str,
+        rule: str,
+        rel: str = "src/pkg/mod.py",
+        allow: tuple[str, ...] | None = (),
+        extra_files: dict[str, str] | None = None,
+    ) -> LintResult:
+        write_module(tmp_path, rel, source)
+        for extra_rel, extra_source in (extra_files or {}).items():
+            write_module(tmp_path, extra_rel, extra_source)
+        rule_options = {} if allow is None else {rule: {"allow": list(allow)}}
+        config = LintConfig(
+            root=tmp_path, include=("src",), rule_options=rule_options
+        )
+        return run_lint([tmp_path / "src"], config=config, enable=[rule])
+
+    return runner

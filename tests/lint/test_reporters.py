@@ -1,0 +1,82 @@
+"""Text and JSON reporters."""
+
+import json
+
+import pytest
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+from repro.lint.reporters import render, render_json, render_text
+
+FINDING = Finding(
+    path="src/pkg/mod.py",
+    line=4,
+    col=11,
+    rule="DP001",
+    message="raw laplace() noise draw",
+)
+
+
+class TestTextReporter:
+    def test_clean_summary(self):
+        result = LintResult(findings=(), files_checked=7, suppressed=2)
+        assert render_text(result) == "clean: 7 files checked (2 suppressed)"
+
+    def test_finding_line_format(self):
+        result = LintResult(findings=(FINDING,), files_checked=3, suppressed=0)
+        lines = render_text(result).splitlines()
+        assert lines[0] == (
+            "src/pkg/mod.py:4:11: DP001 raw laplace() noise draw"
+        )
+        assert lines[1] == "1 finding in 3 files (0 suppressed)"
+
+    def test_plural_findings(self):
+        other = Finding(
+            path="src/pkg/other.py", line=1, col=0,
+            rule="PY001", message="mutable default",
+        )
+        result = LintResult(
+            findings=(FINDING, other), files_checked=3, suppressed=1
+        )
+        assert render_text(result).splitlines()[-1] == (
+            "2 findings in 3 files (1 suppressed)"
+        )
+
+
+class TestJsonReporter:
+    def test_document_shape(self):
+        result = LintResult(findings=(FINDING,), files_checked=3, suppressed=1)
+        payload = json.loads(render_json(result))
+        assert payload["summary"] == {
+            "findings": 1,
+            "files_checked": 3,
+            "suppressed": 1,
+            "ok": False,
+        }
+        assert payload["findings"] == [
+            {
+                "path": "src/pkg/mod.py",
+                "line": 4,
+                "col": 11,
+                "rule": "DP001",
+                "message": "raw laplace() noise draw",
+            }
+        ]
+
+    def test_clean_document_is_ok(self):
+        result = LintResult(findings=(), files_checked=3, suppressed=0)
+        payload = json.loads(render_json(result))
+        assert payload["summary"]["ok"] is True
+        assert payload["findings"] == []
+
+
+class TestRenderDispatch:
+    def test_dispatch(self):
+        result = LintResult(findings=(), files_checked=1, suppressed=0)
+        assert render(result, "text") == render_text(result)
+        assert render(result, "json") == render_json(result)
+
+    def test_unknown_format_rejected(self):
+        result = LintResult(findings=(), files_checked=1, suppressed=0)
+        with pytest.raises(ValueError):
+            render(result, "xml")

@@ -1,0 +1,142 @@
+"""DP001 (raw noise draws) and DP002 (hard-coded epsilon splits)."""
+
+from repro.lint.findings import Finding
+
+
+def only_finding(result) -> Finding:
+    assert len(result.findings) == 1, result.findings
+    return result.findings[0]
+
+
+class TestNoisePrimitiveRule:
+    def test_method_laplace_flagged_with_location(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def leak(rng, scale):
+                return rng.laplace(0.0, scale)
+            """,
+            rule="DP001",
+        )
+        finding = only_finding(result)
+        assert finding.rule == "DP001"
+        assert finding.path == "src/pkg/mod.py"
+        assert (finding.line, finding.col) == (2, 11)
+        assert "laplace()" in finding.message
+
+    def test_geometric_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def leak(generator, p):
+                return generator.geometric(p)
+            """,
+            rule="DP001",
+        )
+        assert only_finding(result).rule == "DP001"
+        assert only_finding(result).line == 2
+
+    def test_any_receiver_counts(self, lint_snippet):
+        # The rule is a module-boundary check, so even exotic receivers
+        # (e.g. scipy.stats) are flagged outside mechanisms.py.
+        result = lint_snippet(
+            """\
+            import numpy as np
+
+            def leak(values):
+                return np.random.default_rng(0).laplace(0.0, 1.0)
+            """,
+            rule="DP001",
+        )
+        assert only_finding(result).line == 4
+
+    def test_plain_function_call_not_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            from repro.dp.mechanisms import laplace_noise
+
+            def release(values, sensitivity, epsilon, rng):
+                return values + laplace_noise(
+                    values.shape, sensitivity, epsilon, rng
+                )
+            """,
+            rule="DP001",
+        )
+        assert result.ok
+
+    def test_default_allow_covers_mechanisms_module(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def laplace_noise(shape, sensitivity, epsilon, rng):
+                return rng.laplace(0.0, sensitivity / epsilon, size=shape)
+            """,
+            rule="DP001",
+            rel="src/repro/dp/mechanisms.py",
+            allow=None,  # keep the rule's built-in allow-list
+        )
+        assert result.ok
+
+
+class TestEpsilonArithmeticRule:
+    def test_division_by_literal_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def split(epsilon):
+                half = epsilon / 2
+                return half
+            """,
+            rule="DP002",
+        )
+        finding = only_finding(result)
+        assert finding.rule == "DP002"
+        assert finding.line == 2
+        assert "epsilon / 2" in finding.message
+
+    def test_literal_times_epsilon_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def split(eps_total):
+                return 0.5 * eps_total
+            """,
+            rule="DP002",
+        )
+        assert only_finding(result).line == 2
+
+    def test_attribute_epsilon_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def split(cfg):
+                return cfg.epsilon / 4.0
+            """,
+            rule="DP002",
+        )
+        assert only_finding(result).line == 2
+
+    def test_division_by_variable_is_sequential_composition(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def per_slice(epsilon, n_slices):
+                return epsilon / n_slices
+            """,
+            rule="DP002",
+        )
+        assert result.ok
+
+    def test_non_epsilon_names_ignored(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def halve(count, weight):
+                return count / 2 + weight * 0.5
+            """,
+            rule="DP002",
+        )
+        assert result.ok
+
+    def test_epsilon_substring_does_not_match(self, lint_snippet):
+        # 'steps' contains 'eps' but is not an epsilon-ish identifier.
+        result = lint_snippet(
+            """\
+            def pace(steps):
+                return steps / 2
+            """,
+            rule="DP002",
+        )
+        assert result.ok

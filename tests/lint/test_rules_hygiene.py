@@ -1,0 +1,133 @@
+"""PY001 (mutable defaults) and PY002 (re-exported module __all__)."""
+
+
+class TestMutableDefaultRule:
+    def test_list_literal_default_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def collect(items=[]):
+                return items
+            """,
+            rule="PY001",
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "PY001"
+        assert finding.path == "src/pkg/mod.py"
+        assert (finding.line, finding.col) == (1, 18)
+        assert "[]" in finding.message
+
+    def test_keyword_only_dict_default_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def configure(*, mapping={}):
+                return mapping
+            """,
+            rule="PY001",
+        )
+        assert [f.line for f in result.findings] == [1]
+
+    def test_factory_call_default_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def collect(seen=set()):
+                return seen
+            """,
+            rule="PY001",
+        )
+        assert len(result.findings) == 1
+
+    def test_lambda_default_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            append = lambda acc=list(): acc
+            """,
+            rule="PY001",
+        )
+        assert [f.line for f in result.findings] == [1]
+
+    def test_immutable_defaults_allowed(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def configure(items=None, count=0, name="x", shape=()):
+                return items, count, name, shape
+            """,
+            rule="PY001",
+        )
+        assert result.ok
+
+
+class TestReexportedModuleAllRule:
+    def test_reexported_module_without_all_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def thing():
+                return 1
+            """,
+            rule="PY002",
+            extra_files={
+                "src/pkg/__init__.py": "from pkg.mod import thing\n",
+            },
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "PY002"
+        assert finding.path == "src/pkg/mod.py"
+        assert finding.line == 1
+        assert "pkg.mod" in finding.message
+        assert "src/pkg/__init__.py" in finding.message
+
+    def test_relative_import_resolved(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def thing():
+                return 1
+            """,
+            rule="PY002",
+            extra_files={
+                "src/pkg/__init__.py": "from .mod import thing\n",
+            },
+        )
+        assert [f.path for f in result.findings] == ["src/pkg/mod.py"]
+
+    def test_from_package_import_module_resolved(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def thing():
+                return 1
+            """,
+            rule="PY002",
+            extra_files={
+                "src/pkg/__init__.py": "from . import mod\n",
+            },
+        )
+        assert [f.path for f in result.findings] == ["src/pkg/mod.py"]
+
+    def test_module_with_all_is_clean(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def thing():
+                return 1
+
+
+            __all__ = ["thing"]
+            """,
+            rule="PY002",
+            extra_files={
+                "src/pkg/__init__.py": "from pkg.mod import thing\n",
+            },
+        )
+        assert result.ok
+
+    def test_unexported_module_needs_no_all(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def helper():
+                return 1
+            """,
+            rule="PY002",
+            extra_files={
+                "src/pkg/__init__.py": "",
+            },
+        )
+        assert result.ok

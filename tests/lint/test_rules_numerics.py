@@ -1,0 +1,80 @@
+"""NUM001 — exact float equality comparisons."""
+
+
+class TestFloatEqualityRule:
+    def test_eq_against_float_literal_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def check(x):
+                if x == 0.3:
+                    return True
+                return False
+            """,
+            rule="NUM001",
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "NUM001"
+        assert finding.path == "src/pkg/mod.py"
+        assert (finding.line, finding.col) == (2, 7)
+        assert "x == 0.3" in finding.message
+
+    def test_noteq_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def check(scale):
+                return scale != 1.5
+            """,
+            rule="NUM001",
+        )
+        assert [f.line for f in result.findings] == [2]
+
+    def test_float_literal_on_left_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def check(x):
+                return 0.0 == x
+            """,
+            rule="NUM001",
+        )
+        assert [f.line for f in result.findings] == [2]
+
+    def test_one_finding_per_comparison_chain(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def check(x):
+                return 0.0 == x == 1.0
+            """,
+            rule="NUM001",
+        )
+        assert len(result.findings) == 1
+
+    def test_integer_equality_allowed(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def check(count, name):
+                return count == 0 and name != "x"
+            """,
+            rule="NUM001",
+        )
+        assert result.ok
+
+    def test_variable_comparison_allowed(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def check(a, b):
+                return a == b
+            """,
+            rule="NUM001",
+        )
+        assert result.ok
+
+    def test_float_inequalities_allowed(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def check(scale):
+                return scale <= 0.0 or scale > 1.0
+            """,
+            rule="NUM001",
+        )
+        assert result.ok

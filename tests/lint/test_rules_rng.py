@@ -1,0 +1,96 @@
+"""RNG001 — global numpy RNG state and seedless ``default_rng()``."""
+
+
+class TestGlobalRngRule:
+    def test_global_draw_flagged_with_location(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            import numpy as np
+
+            def jitter(data):
+                np.random.shuffle(data)
+                return data
+            """,
+            rule="RNG001",
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "RNG001"
+        assert finding.path == "src/pkg/mod.py"
+        assert (finding.line, finding.col) == (4, 4)
+        assert "np.random.shuffle()" in finding.message
+
+    def test_numpy_spelling_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            import numpy
+
+            def draw():
+                return numpy.random.normal(0.0, 1.0)
+            """,
+            rule="RNG001",
+        )
+        assert [f.line for f in result.findings] == [4]
+
+    def test_seedless_default_rng_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            import numpy as np
+
+            def draw():
+                rng = np.random.default_rng()
+                return rng.normal()
+            """,
+            rule="RNG001",
+        )
+        assert [f.line for f in result.findings] == [4]
+        assert "seedless" in result.findings[0].message
+
+    def test_seeded_default_rng_allowed(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            import numpy as np
+
+            def draw(seed):
+                explicit = np.random.default_rng(0)
+                threaded = np.random.default_rng(seed)
+                return explicit, threaded
+            """,
+            rule="RNG001",
+        )
+        assert result.ok
+
+    def test_bare_seedless_default_rng_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            from numpy.random import default_rng
+
+            def draw():
+                return default_rng()
+            """,
+            rule="RNG001",
+        )
+        assert [f.line for f in result.findings] == [4]
+
+    def test_bitgenerator_construction_allowed(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            import numpy as np
+
+            def make(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+            """,
+            rule="RNG001",
+        )
+        assert result.ok
+
+    def test_threaded_generator_methods_allowed(self, lint_snippet):
+        # Draws on an explicit Generator object are the sanctioned idiom.
+        result = lint_snippet(
+            """\
+            def draw(rng):
+                return rng.normal(0.0, 1.0, size=8)
+            """,
+            rule="RNG001",
+        )
+        assert result.ok

@@ -1,0 +1,105 @@
+"""Suppression directives: the scanner and its engine integration."""
+
+import textwrap
+
+from repro.lint.suppress import scan_suppressions
+
+
+class TestScanSuppressions:
+    def test_same_line_disable(self):
+        index = scan_suppressions("x = f()  # lint: disable=DP001\n")
+        assert index.is_suppressed("DP001", 1)
+        assert not index.is_suppressed("DP001", 2)
+        assert not index.is_suppressed("RNG001", 1)
+
+    def test_comma_separated_rules(self):
+        index = scan_suppressions("x = f()  # lint: disable=DP001, RNG001\n")
+        assert index.is_suppressed("DP001", 1)
+        assert index.is_suppressed("RNG001", 1)
+        assert not index.is_suppressed("NUM001", 1)
+
+    def test_disable_file_applies_everywhere(self):
+        source = textwrap.dedent(
+            """\
+            x = 1
+            # lint: disable-file=NUM001
+            y = 2
+            """
+        )
+        index = scan_suppressions(source)
+        assert index.is_suppressed("NUM001", 1)
+        assert index.is_suppressed("NUM001", 99)
+        assert not index.is_suppressed("DP001", 1)
+
+    def test_wildcards(self):
+        assert scan_suppressions("x = f()  # lint: disable=all\n").is_suppressed(
+            "DP001", 1
+        )
+        assert scan_suppressions("x = f()  # lint: disable=*\n").is_suppressed(
+            "RNG001", 1
+        )
+
+    def test_case_insensitive(self):
+        index = scan_suppressions("x = f()  # lint: disable=dp001\n")
+        assert index.is_suppressed("DP001", 1)
+
+    def test_directive_inside_string_ignored(self):
+        index = scan_suppressions('x = "# lint: disable=DP001"\n')
+        assert not index
+        assert not index.is_suppressed("DP001", 1)
+
+    def test_plain_comment_is_not_a_directive(self):
+        index = scan_suppressions("x = f()  # disables nothing\n")
+        assert not index
+
+
+class TestEngineSuppression:
+    SNIPPET = """\
+        def leak(rng, scale):
+            first = rng.laplace(0.0, scale)  # lint: disable=DP001
+            second = rng.laplace(0.0, scale)
+            return first + second
+        """
+
+    def test_same_line_disable_suppresses_only_that_line(self, lint_snippet):
+        result = lint_snippet(self.SNIPPET, rule="DP001")
+        assert [f.line for f in result.findings] == [3]
+        assert result.suppressed == 1
+
+    def test_other_rule_directive_does_not_suppress(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def leak(rng, scale):
+                return rng.laplace(0.0, scale)  # lint: disable=RNG001
+            """,
+            rule="DP001",
+        )
+        assert [f.rule for f in result.findings] == ["DP001"]
+        assert result.suppressed == 0
+
+    def test_disable_file_suppresses_all_occurrences(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            # lint: disable-file=DP001
+
+            def leak(rng, scale):
+                first = rng.laplace(0.0, scale)
+                second = rng.laplace(0.0, scale)
+                return first + second
+            """,
+            rule="DP001",
+        )
+        assert result.ok
+        assert result.suppressed == 2
+
+    def test_parse_failures_cannot_be_suppressed(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            # lint: disable-file=all
+            def broken(:
+                pass
+            """,
+            rule="DP001",
+        )
+        assert [f.rule for f in result.findings] == ["PARSE"]
+        assert result.suppressed == 0

@@ -120,6 +120,74 @@ class TestFigure:
             main(["figure", "fig99"])
 
 
+class TestLint:
+    """The ``repro lint`` subcommand delegates to repro.lint.cli."""
+
+    @pytest.fixture()
+    def lint_project(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\ninclude = ["src"]\n', encoding="utf-8"
+        )
+        module = tmp_path / "src" / "pkg" / "mod.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "def fine(count):\n    return count == 0\n", encoding="utf-8"
+        )
+        return tmp_path
+
+    def test_clean_tree_exits_zero(self, lint_project, capsys):
+        code = main([
+            "lint", str(lint_project / "src"),
+            "--config", str(lint_project / "pyproject.toml"),
+        ])
+        assert code == 0
+        assert "clean: 1 files checked" in capsys.readouterr().out
+
+    def test_findings_give_nonzero_exit(self, lint_project, capsys):
+        bad = lint_project / "src" / "pkg" / "bad.py"
+        bad.write_text(
+            "def leak(rng):\n    return rng.laplace(0.0, 1.0)\n",
+            encoding="utf-8",
+        )
+        code = main([
+            "lint", str(lint_project / "src"),
+            "--config", str(lint_project / "pyproject.toml"),
+        ])
+        assert code == 1
+        assert "src/pkg/bad.py:2:11: DP001" in capsys.readouterr().out
+
+    def test_json_format(self, lint_project, capsys):
+        import json
+
+        code = main([
+            "lint", str(lint_project / "src"),
+            "--config", str(lint_project / "pyproject.toml"),
+            "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["ok"] is True
+
+    def test_select_forwarded(self, lint_project, capsys):
+        bad = lint_project / "src" / "pkg" / "bad.py"
+        bad.write_text(
+            "def leak(rng):\n    return rng.laplace(0.0, 1.0)\n",
+            encoding="utf-8",
+        )
+        code = main([
+            "lint", str(lint_project / "src"),
+            "--config", str(lint_project / "pyproject.toml"),
+            "--select", "PY001",
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DP001" in out and "RNG001" in out
+
+
 class TestReport:
     def test_filtered_report(self, tmp_path, capsys, monkeypatch):
         # the report honours the active preset; shrink it for the test
