@@ -1,6 +1,12 @@
 """Benchmark mechanisms the paper compares STPT against (Section 5.1)."""
 
-from repro.baselines.base import Mechanism, MechanismRun
+from repro.baselines.base import (
+    MECHANISM_REGISTRY,
+    Mechanism,
+    MechanismRun,
+    available_mechanisms,
+    get_mechanism,
+)
 from repro.baselines.dpcube import DPCube, DPCubeConfig
 from repro.baselines.event_level import EventLevelIdentity
 from repro.baselines.fast import FAST, FASTConfig
@@ -35,8 +41,11 @@ def extended_benchmarks() -> list[Mechanism]:
 
 
 __all__ = [
+    "MECHANISM_REGISTRY",
     "Mechanism",
     "MechanismRun",
+    "available_mechanisms",
+    "get_mechanism",
     "UniformGrid",
     "AdaptiveGrid",
     "GridConfig",

@@ -10,30 +10,39 @@ slice of its pillar, hence:
 * across spatial cells it is parallel (cells partition the users).
 
 Each mechanism documents how it spreads its budget over that structure.
+
+Concrete subclasses self-register in :data:`MECHANISM_REGISTRY` (keyed
+by their class-level ``name``, or the class name when ``name`` is only
+set per-instance, as the parameterized Fourier/Wavelet families do), so
+the CLI and the experiment harness can instantiate them by string. Each
+mechanism also adapts to the staged execution engine via
+:meth:`Mechanism.as_stage` — a single budget-spending
+:class:`~repro.pipeline.Stage` that composes with context-building and
+evaluation stages, and through which :meth:`Mechanism.run` itself
+executes.
 """
 
 from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
-from repro.exceptions import PrivacyError
+from repro.exceptions import ConfigurationError, PrivacyError
+from repro.pipeline import ArtifactStore, Pipeline, PublicationResult, Stage
 from repro.rng import RngLike, ensure_rng
 
+#: The unified release record. ``MechanismRun`` predates the pipeline
+#: refactor and is kept as an alias; new code should name
+#: :class:`repro.pipeline.PublicationResult` directly.
+MechanismRun = PublicationResult
 
-@dataclass
-class MechanismRun:
-    """A sanitized release plus bookkeeping."""
-
-    sanitized: ConsumptionMatrix
-    epsilon: float
-    elapsed_seconds: float
-    mechanism: str
+#: Concrete mechanisms by registry name, populated by
+#: ``Mechanism.__init_subclass__`` at import time.
+MECHANISM_REGISTRY: dict[str, type["Mechanism"]] = {}
 
 
 class Mechanism(abc.ABC):
@@ -41,6 +50,17 @@ class Mechanism(abc.ABC):
 
     #: Display name used by the experiment harness and figures.
     name: str = "mechanism"
+
+    def __init_subclass__(cls, register: bool = True, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if not register:
+            return
+        # ``inspect.isabstract`` is unreliable while the class is still
+        # being created, so check the abstract marker directly.
+        if getattr(cls.sanitize, "__isabstractmethod__", False):
+            return
+        key = cls.__dict__.get("name") or cls.__name__
+        MECHANISM_REGISTRY[str(key)] = cls
 
     @abc.abstractmethod
     def sanitize(
@@ -52,29 +72,103 @@ class Mechanism(abc.ABC):
     ) -> ConsumptionMatrix:
         """Return an ε-DP version of ``norm_matrix`` (normalized scale)."""
 
+    # ------------------------------------------------------------------
+    # pipeline adapter
+    # ------------------------------------------------------------------
+
+    def as_stage(
+        self,
+        epsilon: float,
+        input_name: str = "norm",
+        output: str = "sanitized",
+    ) -> Stage:
+        """This mechanism as one budget-spending pipeline stage.
+
+        The stage reads the ``input_name`` artifact, charges ``epsilon``
+        on the pipeline's accountant and emits the sanitized matrix as
+        ``output``. ``spends_budget=True`` means it is never served from
+        an artifact cache — every run draws fresh noise.
+        """
+        if epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+
+        def sanitize_stage(ctx, **artifacts):
+            return self.sanitize(
+                artifacts[input_name],
+                epsilon,
+                rng=ctx.rng,
+                accountant=ctx.accountant,
+            )
+
+        return Stage(
+            name=f"baseline/{self.name}",
+            fn=sanitize_stage,
+            inputs=(input_name,),
+            output=output,
+            config={"mechanism": self.name, "epsilon": epsilon},
+            spends_budget=True,
+            uses_rng=True,
+        )
+
     def run(
         self,
         norm_matrix: ConsumptionMatrix,
         epsilon: float,
         rng: RngLike = None,
+        store: ArtifactStore | None = None,
     ) -> MechanismRun:
-        """Sanitize with timing and budget enforcement."""
+        """Sanitize with timing and budget enforcement.
+
+        Runs as a single-stage :class:`~repro.pipeline.Pipeline`, so the
+        release carries a :class:`~repro.pipeline.RunRecord` like every
+        STPT phase does. Output is bit-identical to calling
+        :meth:`sanitize` directly with the same generator.
+        """
         if epsilon <= 0:
             raise PrivacyError(f"epsilon must be positive, got {epsilon}")
         accountant = BudgetAccountant(epsilon)
         generator = ensure_rng(rng)
         started = time.perf_counter()
-        sanitized = self.sanitize(
-            norm_matrix, epsilon, rng=generator, accountant=accountant
+        pipeline = Pipeline(
+            [self.as_stage(epsilon)], store=store, name=f"baseline/{self.name}"
+        )
+        run = pipeline.run(
+            {"norm": norm_matrix}, rng=generator, accountant=accountant
         )
         elapsed = time.perf_counter() - started
         accountant.assert_within_budget()
         return MechanismRun(
-            sanitized=sanitized,
+            sanitized=run.artifact("sanitized"),
             epsilon=epsilon,
             elapsed_seconds=elapsed,
             mechanism=self.name,
+            records=list(run.records),
         )
+
+
+def available_mechanisms() -> list[str]:
+    """Sorted registry names of every importable concrete mechanism."""
+    import repro.baselines  # noqa: F401  (imports populate the registry)
+
+    return sorted(MECHANISM_REGISTRY)
+
+
+def get_mechanism(name: str, *args, **kwargs) -> Mechanism:
+    """Instantiate a registered mechanism by name.
+
+    Extra arguments go to the constructor, e.g.
+    ``get_mechanism("FourierPerturbation", k=20)``.
+    """
+    import repro.baselines  # noqa: F401  (imports populate the registry)
+
+    try:
+        cls = MECHANISM_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mechanism {name!r}; "
+            f"available: {sorted(MECHANISM_REGISTRY)}"
+        ) from None
+    return cls(*args, **kwargs)
 
 
 def spend_all_slices(
@@ -95,8 +189,11 @@ def as_matrix(values: np.ndarray) -> ConsumptionMatrix:
     return ConsumptionMatrix(np.asarray(values, dtype=float))
 
 __all__ = [
+    "MECHANISM_REGISTRY",
     "MechanismRun",
     "Mechanism",
+    "available_mechanisms",
+    "get_mechanism",
     "spend_all_slices",
     "as_matrix",
 ]

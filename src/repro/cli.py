@@ -10,6 +10,9 @@ Examples::
     python -m repro figure table2
     python -m repro figure fig6 --dataset CER
     python -m repro lint src/ tests/ --format json
+    python -m repro pipeline run --data ca.npz --grid 16 --t-train 40 \
+        --cache-dir .repro-cache
+    python -m repro pipeline inspect --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from repro.data.spatial import DISTRIBUTIONS, place_households
 from repro.exceptions import ReproError
 from repro.experiments import ablations, figures
 from repro.experiments.harness import format_table
+from repro.pipeline import ArtifactStore
 from repro.queries.metrics import workload_mre
 from repro.queries.range_query import make_workload
 
@@ -76,20 +80,24 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True, help="output .npz path")
 
     pub = sub.add_parser("publish", help="run STPT on a dataset file")
-    pub.add_argument("--data", required=True, help="dataset .npz from 'generate'")
-    pub.add_argument("--grid", type=int, default=32, help="grid side (power of 2)")
-    pub.add_argument("--distribution", choices=DISTRIBUTIONS, default="uniform")
-    pub.add_argument("--t-train", type=int, default=100)
-    pub.add_argument("--epsilon-pattern", type=float, default=10.0)
-    pub.add_argument("--epsilon-sanitize", type=float, default=20.0)
-    pub.add_argument("--quantization", type=int, default=20)
-    pub.add_argument("--window", type=int, default=6)
-    pub.add_argument("--epochs", type=int, default=20)
-    pub.add_argument("--embed-dim", type=int, default=32)
-    pub.add_argument("--hidden-dim", type=int, default=32)
-    pub.add_argument("--seed", type=int, default=0)
+    _add_publish_arguments(pub)
     pub.add_argument("--out", required=True, help="sanitized matrix .npz path")
     pub.add_argument("--csv", help="optionally also export CSV here")
+
+    pipe = sub.add_parser(
+        "pipeline", help="staged execution engine: run with a cache, inspect one"
+    )
+    pipe_sub = pipe.add_subparsers(dest="pipeline_command", required=True)
+    prun = pipe_sub.add_parser(
+        "run",
+        help="run the STPT publish pipeline and print per-stage records",
+    )
+    _add_publish_arguments(prun)
+    prun.add_argument("--out", help="optionally save the sanitized matrix here")
+    pins = pipe_sub.add_parser(
+        "inspect", help="list the artifacts stored in a cache directory"
+    )
+    pins.add_argument("--cache-dir", required=True)
 
     eva = sub.add_parser("evaluate", help="MRE of a release vs the raw data")
     eva.add_argument("--data", required=True)
@@ -134,6 +142,32 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_publish_arguments(parser: argparse.ArgumentParser) -> None:
+    """Data/config options shared by ``publish`` and ``pipeline run``."""
+    parser.add_argument(
+        "--data", required=True, help="dataset .npz from 'generate'"
+    )
+    parser.add_argument(
+        "--grid", type=int, default=32, help="grid side (power of 2)"
+    )
+    parser.add_argument(
+        "--distribution", choices=DISTRIBUTIONS, default="uniform"
+    )
+    parser.add_argument("--t-train", type=int, default=100)
+    parser.add_argument("--epsilon-pattern", type=float, default=10.0)
+    parser.add_argument("--epsilon-sanitize", type=float, default=20.0)
+    parser.add_argument("--quantization", type=int, default=20)
+    parser.add_argument("--window", type=int, default=6)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument("--embed-dim", type=int, default=32)
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir",
+        help="artifact cache directory; deterministic stages replay from it",
+    )
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     dataset = generate_dataset(args.dataset, n_days=args.days, rng=args.seed)
     save_dataset(dataset, args.out)
@@ -157,7 +191,8 @@ def _matrices_for(args: argparse.Namespace):
     return dataset, cons, norm, clip
 
 
-def _cmd_publish(args: argparse.Namespace) -> int:
+def _publish_result(args: argparse.Namespace):
+    """Run STPT per the shared publish options; returns (result, store)."""
     __, cons, norm, clip = _matrices_for(args)
     config = STPTConfig(
         epsilon_pattern=args.epsilon_pattern,
@@ -171,16 +206,53 @@ def _cmd_publish(args: argparse.Namespace) -> int:
             hidden_dim=args.hidden_dim,
         ),
     )
-    result = STPT(config, rng=args.seed).publish(norm, clip_scale=clip)
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    result = STPT(config, rng=args.seed, store=store).publish(
+        norm, clip_scale=clip
+    )
+    return result, store
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    result, store = _publish_result(args)
     save_matrix(result.sanitized_kwh, args.out)
     print(
         f"wrote {args.out}: {result.sanitized_kwh.shape}, "
         f"epsilon spent {result.epsilon_spent:.2f}, "
         f"{result.elapsed_seconds:.1f}s"
     )
+    if store is not None:
+        stats = store.stats
+        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es)")
     if args.csv:
         export_matrix_csv(result.sanitized_kwh, args.csv)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    if args.pipeline_command == "inspect":
+        store = ArtifactStore(args.cache_dir)
+        rows = store.entries()
+        if not rows:
+            print(f"no artifacts in {args.cache_dir}")
+            return 0
+        print(format_table(rows, columns=["stage", "tier", "bytes", "key"]))
+        print(f"{len(rows)} artifact(s)")
+        return 0
+
+    result, store = _publish_result(args)
+    print(format_table([record.as_row() for record in result.records]))
+    print(
+        f"epsilon spent {result.epsilon_spent:.2f}, "
+        f"total {result.elapsed_seconds:.1f}s"
+    )
+    if store is not None:
+        stats = store.stats
+        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es)")
+    if args.out:
+        save_matrix(result.sanitized_kwh, args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -256,6 +328,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _cmd_figure,
         "report": _cmd_report,
         "lint": _cmd_lint,
+        "pipeline": _cmd_pipeline,
     }
     try:
         return handlers[args.command](args)

@@ -105,15 +105,28 @@ class PatternRecognizer:
             raise TrainingError("fit() has not been called")
         return self._result
 
-    def fit(
+    @classmethod
+    def from_result(cls, result: PatternResult) -> "PatternRecognizer":
+        """Rebuild a recognizer around an already-fitted result.
+
+        Used when the training artifact comes out of the pipeline's
+        cache: :meth:`generate` and :meth:`evaluate` only read
+        ``self.result``, so no generator state needs restoring.
+        """
+        recognizer = cls(result.epsilon_pattern, result.config)
+        recognizer._result = result
+        return recognizer
+
+    def sanitize_tree(
         self,
         norm_train_values: np.ndarray,
         accountant: BudgetAccountant | None = None,
-    ) -> PatternResult:
-        """Sanitize the quadtree and train the forecaster.
+    ) -> list[QuadtreeLevel]:
+        """Phase 1: build the quadtree and release its noisy levels.
 
-        ``norm_train_values`` is the training slice of the normalized
-        consumption matrix, shape ``(Cx, Cy, T_train)``.
+        This is the only budget-spending part of pattern recognition
+        (``epsilon_pattern``, Theorem 6 sensitivities); everything after
+        it is post-processing of the returned DP artifacts.
         """
         norm_train_values = np.asarray(norm_train_values, dtype=float)
         cx, cy, t_train = norm_train_values.shape
@@ -123,7 +136,7 @@ class PatternRecognizer:
 
         tree = SpatioTemporalQuadtree(norm_train_values, depth)
         levels = tree.build_levels()
-        sanitized = sanitize_levels(
+        return sanitize_levels(
             levels,
             self.epsilon_pattern,
             t_train,
@@ -131,6 +144,18 @@ class PatternRecognizer:
             accountant=accountant,
         )
 
+    def fit_sanitized(
+        self,
+        sanitized: list[QuadtreeLevel],
+        t_train: int,
+        grid_shape: tuple[int, int],
+    ) -> PatternResult:
+        """Phase 2: train the forecaster on sanitized level series.
+
+        Deterministic given the generator state — it consumes no raw
+        data and spends no budget, which is what makes the training
+        artifact safe to cache and replay.
+        """
         # Series are stacked, not concatenated: windows never straddle
         # two neighbourhoods (Section 4.2). Training copies are clipped
         # to the plausible value range — Laplace tails at the noisy
@@ -172,10 +197,28 @@ class PatternRecognizer:
             config=self.config,
             epsilon_pattern=self.epsilon_pattern,
             t_train=t_train,
-            grid_shape=(cx, cy),
+            grid_shape=(int(grid_shape[0]), int(grid_shape[1])),
             history=list(history.epoch_losses),
         )
         return self._result
+
+    def fit(
+        self,
+        norm_train_values: np.ndarray,
+        accountant: BudgetAccountant | None = None,
+    ) -> PatternResult:
+        """Sanitize the quadtree and train the forecaster.
+
+        ``norm_train_values`` is the training slice of the normalized
+        consumption matrix, shape ``(Cx, Cy, T_train)``. Equivalent to
+        :meth:`sanitize_tree` followed by :meth:`fit_sanitized`, which
+        the staged pipeline calls separately so training can be cached
+        while the noise release never is.
+        """
+        norm_train_values = np.asarray(norm_train_values, dtype=float)
+        cx, cy, t_train = norm_train_values.shape
+        sanitized = self.sanitize_tree(norm_train_values, accountant=accountant)
+        return self.fit_sanitized(sanitized, t_train, (cx, cy))
 
     def _level_mean_variance(self, level: QuadtreeLevel) -> float:
         """Noise variance of a block's time-mean at one level."""

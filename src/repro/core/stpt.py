@@ -8,6 +8,18 @@ consumption matrix for the test horizon together with all phase
 artifacts. The total privacy cost is
 ``epsilon_total = epsilon_pattern + epsilon_sanitize`` (Eq. 7), which a
 :class:`repro.dp.budget.BudgetAccountant` enforces throughout.
+
+Since the staged-execution refactor, ``publish`` runs as a four-stage
+:class:`repro.pipeline.Pipeline` mirroring Algorithm 1's phases::
+
+    pattern-noise  ──ε_pattern──▶  pattern-train  ──▶  quantize  ──▶  sanitize ──ε_sanitize──▶
+
+The two noise-drawing stages are never cached; ``pattern-train`` (the
+expensive forecaster fit, pure post-processing of the DP level release)
+and ``quantize`` replay from an :class:`repro.pipeline.ArtifactStore`
+when one is attached. Outputs are bit-identical for a fixed seed with
+or without a store, cold or warm — cached stochastic stages restore the
+generator position they left behind.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ from repro.core.sanitizer import SanitizationResult, sanitize_by_partitions
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
 from repro.exceptions import ConfigurationError, DataError
+from repro.pipeline import ArtifactStore, Pipeline, PublicationResult, Stage
 from repro.rng import RngLike, ensure_rng
 
 
@@ -102,17 +115,20 @@ class STPTConfig:
 
 
 @dataclass
-class STPTResult:
-    """Everything produced by one STPT run."""
+class STPTResult(PublicationResult):
+    """Everything produced by one STPT run.
 
-    sanitized: ConsumptionMatrix          # normalized scale, test horizon
+    Extends the unified :class:`repro.pipeline.PublicationResult`
+    (``sanitized`` / ``epsilon`` / ``elapsed_seconds`` / ``records``)
+    with the phase artifacts specific to Algorithm 1.
+    """
+
     sanitized_kwh: ConsumptionMatrix      # rescaled by the clipping factor
     pattern_matrix: np.ndarray            # C_pattern over the test horizon
     partitions: PartitionSet
     pattern_result: PatternResult
     sanitization: SanitizationResult
     accountant: BudgetAccountant
-    elapsed_seconds: float
     t_train: int
 
     @property
@@ -120,17 +136,138 @@ class STPTResult:
         return self.accountant.spent_epsilon
 
 
+#: Stage names of the publish pipeline, in execution order.
+STPT_STAGES = (
+    "stpt/pattern-noise",
+    "stpt/pattern-train",
+    "stpt/quantize",
+    "stpt/sanitize",
+)
+
+
+def build_stpt_stages(config: STPTConfig, t_test: int) -> list[Stage]:
+    """The four stages of Algorithm 1 for one configuration.
+
+    Artifact flow (initial artifacts ``norm_train``, ``norm_test``)::
+
+        norm_train ─▶ pattern-noise ─▶ sanitized_levels
+        sanitized_levels ─▶ pattern-train ─▶ pattern (result, C_pattern)
+        pattern ─▶ quantize ─▶ partitions
+        partitions + norm_test ─▶ sanitize ─▶ sanitization
+
+    Only ``pattern-train`` and ``quantize`` are cacheable; the two
+    noise-drawing stages declare ``spends_budget=True`` and always
+    execute.
+    """
+    if t_test <= 0:
+        raise ConfigurationError("t_test must be positive")
+
+    def pattern_noise(ctx, norm_train):
+        recognizer = PatternRecognizer(
+            config.epsilon_pattern, config.pattern, rng=ctx.rng
+        )
+        return recognizer.sanitize_tree(norm_train, accountant=ctx.accountant)
+
+    def pattern_train(ctx, sanitized_levels):
+        recognizer = PatternRecognizer(
+            config.epsilon_pattern, config.pattern, rng=ctx.rng
+        )
+        grid_shape = sanitized_levels[0].block_map.shape
+        result = recognizer.fit_sanitized(
+            sanitized_levels, config.t_train, grid_shape
+        )
+        pattern_matrix = recognizer.generate(t_test, rollout=config.rollout)
+        return result, pattern_matrix
+
+    def quantize(ctx, pattern):
+        __, pattern_matrix = pattern
+        return k_quantize(pattern_matrix, config.quantization_levels)
+
+    def sanitize(ctx, partitions, norm_test):
+        return sanitize_by_partitions(
+            norm_test,
+            partitions,
+            config.epsilon_sanitize,
+            rng=ctx.rng,
+            accountant=ctx.accountant,
+            allocation=config.allocation,
+        )
+
+    return [
+        Stage(
+            name="stpt/pattern-noise",
+            fn=pattern_noise,
+            inputs=("norm_train",),
+            output="sanitized_levels",
+            config={
+                "epsilon_pattern": config.epsilon_pattern,
+                "depth": config.pattern.depth,
+            },
+            spends_budget=True,
+            uses_rng=True,
+        ),
+        Stage(
+            name="stpt/pattern-train",
+            fn=pattern_train,
+            inputs=("sanitized_levels",),
+            output="pattern",
+            config={
+                "epsilon_pattern": config.epsilon_pattern,
+                "pattern": config.pattern,
+                "t_train": config.t_train,
+                "t_test": t_test,
+                "rollout": config.rollout,
+            },
+            uses_rng=True,
+        ),
+        Stage(
+            name="stpt/quantize",
+            fn=quantize,
+            inputs=("pattern",),
+            output="partitions",
+            config={"quantization_levels": config.quantization_levels},
+        ),
+        Stage(
+            name="stpt/sanitize",
+            fn=sanitize,
+            inputs=("partitions", "norm_test"),
+            output="sanitization",
+            config={
+                "epsilon_sanitize": config.epsilon_sanitize,
+                "allocation": config.allocation,
+            },
+            spends_budget=True,
+            uses_rng=True,
+        ),
+    ]
+
+
+def build_stpt_pipeline(
+    config: STPTConfig, t_test: int, store: ArtifactStore | None = None
+) -> Pipeline:
+    """A ready-to-run publish pipeline for ``config``."""
+    return Pipeline(build_stpt_stages(config, t_test), store=store, name="stpt")
+
+
 class STPT:
     """Spatio-Temporal Private Timeseries publisher."""
 
-    def __init__(self, config: STPTConfig | None = None, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        config: STPTConfig | None = None,
+        rng: RngLike = None,
+        store: ArtifactStore | None = None,
+    ) -> None:
         self.config = config or STPTConfig()
         self._rng = ensure_rng(rng)
+        self._store = store
 
     def publish(
         self,
         norm_matrix: ConsumptionMatrix,
         clip_scale: float = 1.0,
+        store: ArtifactStore | None = None,
+        stage_rngs: dict[str, RngLike] | None = None,
     ) -> STPTResult:
         """Run Algorithm 1 and publish the test horizon.
 
@@ -138,7 +275,11 @@ class STPT:
         full horizon; indices ``[0, t_train)`` feed pattern
         recognition and ``[t_train, T)`` are sanitized and released.
         ``clip_scale`` converts normalized values back to kWh (the
-        clipping factor used during normalization).
+        clipping factor used during normalization). ``store`` (or the
+        store given at construction) lets deterministic stages replay
+        from cache; ``stage_rngs`` pins named stages to dedicated
+        generators — the hook ε-sweeps use to share one pattern release
+        across points (see ``repro.experiments.harness.run_stpt_sweep``).
         """
         config = self.config
         values = norm_matrix.values
@@ -154,42 +295,45 @@ class STPT:
         started = time.perf_counter()
 
         accountant = BudgetAccountant(config.epsilon_total)
-
-        recognizer = PatternRecognizer(
-            config.epsilon_pattern, config.pattern, rng=self._rng
+        pipeline = build_stpt_pipeline(
+            config, t_test, store=store if store is not None else self._store
         )
-        pattern_result = recognizer.fit(
-            values[:, :, : config.t_train], accountant=accountant
-        )
-        pattern_matrix = recognizer.generate(t_test, rollout=config.rollout)
-
-        partitions = k_quantize(pattern_matrix, config.quantization_levels)
-        sanitization = sanitize_by_partitions(
-            values[:, :, config.t_train :],
-            partitions,
-            config.epsilon_sanitize,
+        run = pipeline.run(
+            {
+                "norm_train": values[:, :, : config.t_train],
+                "norm_test": values[:, :, config.t_train :],
+            },
             rng=self._rng,
             accountant=accountant,
-            allocation=config.allocation,
+            stage_rngs=stage_rngs,
         )
         accountant.assert_within_budget()
 
+        pattern_result, pattern_matrix = run.artifact("pattern")
+        partitions = run.artifact("partitions")
+        sanitization = run.artifact("sanitization")
         sanitized = ConsumptionMatrix(sanitization.values)
         elapsed = time.perf_counter() - started
         return STPTResult(
             sanitized=sanitized,
+            epsilon=accountant.spent_epsilon,
+            elapsed_seconds=elapsed,
             sanitized_kwh=ConsumptionMatrix(sanitization.values * clip_scale),
             pattern_matrix=pattern_matrix,
             partitions=partitions,
             pattern_result=pattern_result,
             sanitization=sanitization,
             accountant=accountant,
-            elapsed_seconds=elapsed,
             t_train=config.t_train,
+            mechanism="STPT",
+            records=list(run.records),
         )
 
 __all__ = [
     "STPTConfig",
     "STPTResult",
     "STPT",
+    "STPT_STAGES",
+    "build_stpt_stages",
+    "build_stpt_pipeline",
 ]

@@ -22,6 +22,7 @@ from repro.experiments.harness import (
     build_context,
     run_mechanism,
     run_stpt,
+    run_stpt_sweep,
 )
 from repro.experiments.presets import ScalePreset, active_preset
 from repro.rng import RngLike, derive_seed, ensure_rng
@@ -232,12 +233,15 @@ def figure8c(
     context = build_context(
         dataset_name, "uniform", preset, rng=derive_seed(generator)
     )
-    rows = []
-    for k in levels:
-        config = preset.stpt_config(quantization_levels=k)
-        __, mre = run_stpt(context, config, rng=derive_seed(generator))
-        rows.append({"quantization_levels": k, **mre})
-    return rows
+    # All sweep points share the pattern phase (only the quantization
+    # granularity differs), so the sweep helper replays the trained
+    # forecaster from cache after the first point.
+    configs = [preset.stpt_config(quantization_levels=k) for k in levels]
+    sweep = run_stpt_sweep(context, configs, rng=derive_seed(generator))
+    return [
+        {"quantization_levels": k, **mre}
+        for k, (__, mre) in zip(levels, sweep)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -331,15 +335,21 @@ def figure8g(
         dataset_name, "uniform", preset, rng=derive_seed(generator)
     )
     total = preset.epsilon_total
-    rows = []
-    for fraction in pattern_fractions:
-        config = preset.stpt_config(
+    # ε_pattern differs per point, so pattern caching cannot kick in
+    # here — the sweep helper still shares the cached context phases
+    # and keeps the per-point rng discipline uniform across figures.
+    configs = [
+        preset.stpt_config(
             epsilon_pattern=total * fraction,
             epsilon_sanitize=total * (1.0 - fraction),
         )
-        __, mre = run_stpt(context, config, rng=derive_seed(generator))
-        rows.append({"pattern_fraction": fraction, **mre})
-    return rows
+        for fraction in pattern_fractions
+    ]
+    sweep = run_stpt_sweep(context, configs, rng=derive_seed(generator))
+    return [
+        {"pattern_fraction": fraction, **mre}
+        for fraction, (__, mre) in zip(pattern_fractions, sweep)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -360,15 +370,18 @@ def figure8h(
         dataset_name, "uniform", preset, rng=derive_seed(generator)
     )
     ratio = preset.epsilon_pattern / preset.epsilon_total
-    rows = []
-    for total in totals:
-        config = preset.stpt_config(
+    configs = [
+        preset.stpt_config(
             epsilon_pattern=total * ratio,
             epsilon_sanitize=total * (1.0 - ratio),
         )
-        __, mre = run_stpt(context, config, rng=derive_seed(generator))
-        rows.append({"epsilon_total": total, **mre})
-    return rows
+        for total in totals
+    ]
+    sweep = run_stpt_sweep(context, configs, rng=derive_seed(generator))
+    return [
+        {"epsilon_total": total, **mre}
+        for total, (__, mre) in zip(totals, sweep)
+    ]
 
 
 # ---------------------------------------------------------------------------

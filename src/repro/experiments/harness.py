@@ -5,13 +5,21 @@ preset) combination — synthetic corpus, consumption matrices, query
 workloads — and the runner functions evaluate STPT or a baseline
 mechanism against it, returning plain dictionaries the figure runners
 and benchmarks print.
+
+Context building runs as a four-stage cacheable
+:class:`~repro.pipeline.Pipeline` (dataset → placement → matrices →
+workloads); none of the stages touches private data with noise, so all
+four replay from an :class:`~repro.pipeline.ArtifactStore`. Combined
+with :func:`run_stpt_sweep` — which pins the pattern phase of every
+sweep point to one generator so the trained forecaster replays from
+cache — an ε-sweep pays for data generation and pattern training once.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -22,12 +30,21 @@ from repro.data.matrix import ConsumptionMatrix, build_matrices
 from repro.data.spatial import place_households
 from repro.exceptions import ConfigurationError
 from repro.experiments.presets import ScalePreset, active_preset
+from repro.pipeline import ArtifactStore, Pipeline, RunRecord, Stage
 from repro.queries.metrics import workload_mre
 from repro.queries.range_query import RangeQuery, make_workload
 from repro.rng import RngLike, derive_seed, ensure_rng
 
 DATASET_NAMES = ("CER", "CA", "MI", "TX")
 QUERY_KINDS = ("random", "small", "large")
+
+#: Stage names of the context-building pipeline, in execution order.
+CONTEXT_STAGES = (
+    "context/dataset",
+    "context/placement",
+    "context/matrices",
+    "context/workloads",
+)
 
 
 @dataclass
@@ -45,6 +62,7 @@ class ExperimentContext:
     test_cons: ConsumptionMatrix     # kWh, test horizon
     test_norm: ConsumptionMatrix     # normalized, test horizon
     workloads: dict[str, list[RangeQuery]] = field(default_factory=dict)
+    records: list[RunRecord] = field(default_factory=list)
 
     def mre_of(self, sanitized_kwh: ConsumptionMatrix) -> dict[str, float]:
         """MRE of a kWh-scale release for every query class."""
@@ -57,57 +75,142 @@ class ExperimentContext:
         return ConsumptionMatrix(sanitized_norm.values * self.clip_factor)
 
 
+def build_context_stages(
+    dataset_name: str,
+    distribution: str,
+    preset: ScalePreset,
+) -> list[Stage]:
+    """The four cacheable stages that materialize one setting.
+
+    All stages are DP-free (they produce the *private input*, they do
+    not release anything), so every one of them may replay from an
+    artifact store. Generator consumption — one ``derive_seed`` for the
+    dataset, one for placement, one per query kind — matches the
+    pre-pipeline monolith, keeping contexts bit-identical for a fixed
+    seed.
+    """
+    spec = TABLE2[dataset_name]
+    if dataset_name == "CER":
+        spec = spec.scaled(preset.cer_household_fraction)
+
+    def dataset_stage(ctx):
+        return generate_dataset(
+            spec, n_days=preset.n_days, rng=derive_seed(ctx.rng)
+        )
+
+    def placement_stage(ctx, dataset):
+        return place_households(
+            dataset.n_households,
+            preset.grid_shape,
+            distribution,
+            rng=derive_seed(ctx.rng),
+        )
+
+    def matrices_stage(ctx, dataset, cells):
+        clip = dataset.daily_clip_factor()
+        cons, norm = build_matrices(
+            dataset.daily_readings(), cells, preset.grid_shape, clip
+        )
+        return {
+            "clip": clip,
+            "cons": cons,
+            "norm": norm,
+            "test_cons": cons.time_slice(preset.t_train),
+            "test_norm": norm.time_slice(preset.t_train),
+        }
+
+    def workloads_stage(ctx, matrices):
+        test_cons = matrices["test_cons"]
+        return {
+            kind: make_workload(
+                kind,
+                test_cons.shape,
+                count=preset.query_count,
+                rng=derive_seed(ctx.rng),
+                reference=test_cons,
+            )
+            for kind in QUERY_KINDS
+        }
+
+    return [
+        Stage(
+            name="context/dataset",
+            fn=dataset_stage,
+            output="dataset",
+            config={"spec": spec, "n_days": preset.n_days},
+            uses_rng=True,
+        ),
+        Stage(
+            name="context/placement",
+            fn=placement_stage,
+            inputs=("dataset",),
+            output="cells",
+            config={
+                "grid_shape": preset.grid_shape,
+                "distribution": distribution,
+            },
+            uses_rng=True,
+        ),
+        Stage(
+            name="context/matrices",
+            fn=matrices_stage,
+            inputs=("dataset", "cells"),
+            output="matrices",
+            config={
+                "grid_shape": preset.grid_shape,
+                "t_train": preset.t_train,
+            },
+        ),
+        Stage(
+            name="context/workloads",
+            fn=workloads_stage,
+            inputs=("matrices",),
+            output="workloads",
+            config={"query_count": preset.query_count, "kinds": QUERY_KINDS},
+            uses_rng=True,
+        ),
+    ]
+
+
 def build_context(
     dataset_name: str,
     distribution: str,
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    store: ArtifactStore | None = None,
 ) -> ExperimentContext:
-    """Generate data, matrices and workloads for one setting."""
+    """Generate data, matrices and workloads for one setting.
+
+    With ``store`` set, every stage replays from cache on repeat calls
+    with the same (dataset, distribution, preset, seed) — which is how
+    ε-sweeps and benchmark suites avoid regenerating the corpus.
+    """
     if dataset_name not in TABLE2:
         raise ConfigurationError(
             f"unknown dataset {dataset_name!r}; options: {sorted(TABLE2)}"
         )
     preset = preset or active_preset()
     generator = ensure_rng(rng)
-    spec = TABLE2[dataset_name]
-    if dataset_name == "CER":
-        spec = spec.scaled(preset.cer_household_fraction)
-    dataset = generate_dataset(spec, n_days=preset.n_days, rng=derive_seed(generator))
-    clip = dataset.daily_clip_factor()
-    cells = place_households(
-        dataset.n_households,
-        preset.grid_shape,
-        distribution,
-        rng=derive_seed(generator),
+    pipeline = Pipeline(
+        build_context_stages(dataset_name, distribution, preset),
+        store=store,
+        name="context",
     )
-    cons, norm = build_matrices(
-        dataset.daily_readings(), cells, preset.grid_shape, clip
-    )
-    test_cons = cons.time_slice(preset.t_train)
-    test_norm = norm.time_slice(preset.t_train)
-    workloads = {
-        kind: make_workload(
-            kind,
-            test_cons.shape,
-            count=preset.query_count,
-            rng=derive_seed(generator),
-            reference=test_cons,
-        )
-        for kind in QUERY_KINDS
-    }
+    run = pipeline.run(rng=generator)
+    matrices = run.artifact("matrices")
     return ExperimentContext(
         dataset_name=dataset_name,
         distribution=distribution,
         preset=preset,
-        dataset=dataset,
-        cells=cells,
-        clip_factor=clip,
-        cons=cons,
-        norm=norm,
-        test_cons=test_cons,
-        test_norm=test_norm,
-        workloads=workloads,
+        dataset=run.artifact("dataset"),
+        cells=run.artifact("cells"),
+        clip_factor=matrices["clip"],
+        cons=matrices["cons"],
+        norm=matrices["norm"],
+        test_cons=matrices["test_cons"],
+        test_norm=matrices["test_norm"],
+        workloads=run.artifact("workloads"),
+        records=list(run.records),
     )
 
 
@@ -115,13 +218,55 @@ def run_stpt(
     context: ExperimentContext,
     config: STPTConfig | None = None,
     rng: RngLike = None,
+    store: ArtifactStore | None = None,
 ) -> tuple[STPTResult, dict[str, float]]:
     """Run STPT on a context; returns the result and per-workload MRE."""
     config = config or context.preset.stpt_config()
-    result = STPT(config, rng=rng).publish(
+    result = STPT(config, rng=rng, store=store).publish(
         context.norm, clip_scale=context.clip_factor
     )
     return result, context.mre_of(result.sanitized_kwh)
+
+
+def run_stpt_sweep(
+    context: ExperimentContext,
+    configs: Sequence[STPTConfig],
+    rng: RngLike = None,
+    store: ArtifactStore | None = None,
+) -> list[tuple[STPTResult, dict[str, float]]]:
+    """Run STPT once per config, replaying shared phases from cache.
+
+    Every sweep point pins the two pattern stages to a generator seeded
+    identically (``pattern_seed`` derived once from ``rng``), so points
+    whose pattern-phase configuration coincides — e.g. an
+    ``epsilon_sanitize`` or quantization sweep — draw the *same* DP
+    level release and replay the expensive forecaster training from
+    ``store`` instead of refitting. The sanitize phase keeps a fresh
+    per-point generator, so every point's release noise is independent.
+
+    Privacy-wise the reuse is sound: the shared pattern release is one
+    ε_pattern-DP artifact and everything derived from it is
+    post-processing; the sweep as a whole costs
+    ε_pattern + Σ ε_sanitize, even though each returned result's own
+    accountant reports its configured total.
+    """
+    generator = ensure_rng(rng)
+    if store is None:
+        store = ArtifactStore()
+    pattern_seed = derive_seed(generator)
+    out = []
+    for config in configs:
+        pattern_rng = ensure_rng(pattern_seed)
+        result = STPT(config, rng=derive_seed(generator), store=store).publish(
+            context.norm,
+            clip_scale=context.clip_factor,
+            stage_rngs={
+                "stpt/pattern-noise": pattern_rng,
+                "stpt/pattern-train": pattern_rng,
+            },
+        )
+        out.append((result, context.mre_of(result.sanitized_kwh)))
+    return out
 
 
 def run_mechanism(
@@ -166,11 +311,14 @@ def format_table(
     return "\n".join(lines)
 
 __all__ = [
+    "CONTEXT_STAGES",
     "DATASET_NAMES",
     "QUERY_KINDS",
     "ExperimentContext",
     "build_context",
+    "build_context_stages",
     "run_stpt",
+    "run_stpt_sweep",
     "run_mechanism",
     "format_table",
 ]

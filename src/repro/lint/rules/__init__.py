@@ -1,11 +1,16 @@
 """Built-in rule set; importing this package registers every rule."""
 
-from repro.lint.rules.dp import EpsilonArithmeticRule, NoisePrimitiveRule
+from repro.lint.rules.dp import (
+    CacheWriteRule,
+    EpsilonArithmeticRule,
+    NoisePrimitiveRule,
+)
 from repro.lint.rules.hygiene import MutableDefaultRule, ReexportedModuleAllRule
 from repro.lint.rules.numerics import FloatEqualityRule
 from repro.lint.rules.rng import GlobalRngRule
 
 __all__ = [
+    "CacheWriteRule",
     "EpsilonArithmeticRule",
     "FloatEqualityRule",
     "GlobalRngRule",

@@ -1,4 +1,4 @@
-"""Differential-privacy hygiene rules: DP001 and DP002.
+"""Differential-privacy hygiene rules: DP001, DP002 and DP003.
 
 These encode the two invariants STPT's user-level ε-DP proof leans on:
 every noise draw is calibrated by an explicit ``sensitivity / epsilon``
@@ -15,7 +15,7 @@ import ast
 from typing import Iterable
 
 from repro.lint.findings import Finding
-from repro.lint.project import ModuleInfo
+from repro.lint.project import ModuleInfo, path_matches
 from repro.lint.registry import Rule, RuleOptions, register
 from repro.lint.rules.common import (
     finding_at,
@@ -134,4 +134,141 @@ class EpsilonArithmeticRule(Rule):
                 )
 
 
-__all__ = ["EpsilonArithmeticRule", "NoisePrimitiveRule", "NOISE_PRIMITIVES"]
+#: Identifier tokens marking a ``.put`` receiver as an artifact store.
+STORE_TOKENS = frozenset({"store", "cache", "artifact", "artifacts"})
+
+#: Modules whose code draws calibrated noise; cache writes from here are
+#: categorically suspect regardless of call-site shape.
+DP_MODULE_PREFIXES = ("src/repro/dp",)
+
+
+def _is_storeish(node: ast.expr) -> bool:
+    """Does this expression plausibly denote an artifact store?"""
+    if isinstance(node, ast.Call):
+        return identifier_of(node.func) == "ArtifactStore"
+    name = identifier_of(node)
+    if not name:
+        return False
+    if name == "ArtifactStore":
+        return True
+    return any(token in STORE_TOKENS for token in name.lower().split("_"))
+
+
+def _store_put_calls(root: ast.AST) -> Iterable[ast.Call]:
+    for node in ast.walk(root):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "put"
+            and _is_storeish(node.func.value)
+        ):
+            yield node
+
+
+def _spends_budget_stage_fns(
+    module: ModuleInfo,
+) -> Iterable[ast.AST]:
+    """Function bodies passed as ``fn`` to ``Stage(..., spends_budget=True)``."""
+    defs: dict[str, ast.AST] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs[node.name] = node
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and identifier_of(node.func) == "Stage"
+        ):
+            continue
+        spends = any(
+            kw.arg == "spends_budget"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+        if not spends:
+            continue
+        fn_expr: ast.expr | None = None
+        for kw in node.keywords:
+            if kw.arg == "fn":
+                fn_expr = kw.value
+        if fn_expr is None and len(node.args) >= 2:
+            fn_expr = node.args[1]
+        if isinstance(fn_expr, ast.Lambda):
+            yield fn_expr
+        elif fn_expr is not None:
+            name = identifier_of(fn_expr)
+            if name and name in defs:
+                yield defs[name]
+
+
+@register
+class CacheWriteRule(Rule):
+    """DP003 — artifact-cache writes from noise-drawing code.
+
+    The artifact store may only hold outputs of deterministic,
+    budget-free stages: a cached noisy release replayed on a later run
+    is a release the accountant never charged for, silently breaking
+    the ε ledger (and re-serving the *same* noise defeats the privacy
+    analysis of the Laplace mechanism). Two code shapes are flagged:
+
+    * any store write (``<store>.put(...)``) inside ``repro.dp``
+      modules — mechanism/budget code has no business persisting what
+      it just perturbed;
+    * a store write inside a function passed as ``fn`` to
+      ``Stage(..., spends_budget=True)`` — the runner refuses to cache
+      such stages, and a manual ``put`` from inside one is exactly the
+      bypass the refusal exists to prevent.
+    """
+
+    id = "DP003"
+    title = "artifact-store write from budget-spending code"
+    rationale = (
+        "Caching a noisy release lets a later run replay it without the "
+        "accountant charging ε, and re-serving identical noise voids the "
+        "Laplace mechanism's guarantee; only deterministic DP-free stage "
+        "outputs may enter the artifact store."
+    )
+    default_allow = (
+        "src/repro/pipeline",
+        "tests",
+        "benchmarks",
+    )
+
+    def check_module(
+        self, module: ModuleInfo, options: RuleOptions
+    ) -> Iterable[Finding]:
+        flagged: set[int] = set()
+        if path_matches(module.rel, DP_MODULE_PREFIXES):
+            for call in _store_put_calls(module.tree):
+                flagged.add(id(call))
+                yield finding_at(
+                    module,
+                    call,
+                    self.id,
+                    f"artifact-store write '{source_of(call)}' inside a "
+                    "repro.dp module; noise-drawing code must never persist "
+                    "its output to a cache",
+                )
+        for fn_node in _spends_budget_stage_fns(module):
+            for call in _store_put_calls(fn_node):
+                if id(call) in flagged:
+                    continue
+                flagged.add(id(call))
+                yield finding_at(
+                    module,
+                    call,
+                    self.id,
+                    f"artifact-store write '{source_of(call)}' inside a "
+                    "spends_budget=True stage function; budget-spending "
+                    "stages are uncacheable by design — remove the put",
+                )
+
+
+__all__ = [
+    "CacheWriteRule",
+    "EpsilonArithmeticRule",
+    "NoisePrimitiveRule",
+    "DP_MODULE_PREFIXES",
+    "NOISE_PRIMITIVES",
+    "STORE_TOKENS",
+]

@@ -1,0 +1,152 @@
+"""Stable content fingerprints for artifact-cache keys.
+
+A cache key must change whenever anything that can change a stage's
+output changes: the stage's configuration, the bytes of every input
+artifact, and — for stochastic stages — the exact state of the random
+generator the stage is about to consume. :func:`fingerprint` walks a
+value structurally (dataclasses by field, arrays by raw bytes, mappings
+by sorted key, plain objects by ``__dict__``) and folds everything into
+one SHA-256 digest, so two values fingerprint equal iff a stage could
+not tell them apart.
+
+Structural traversal matters: serializations like pickle are not
+canonical — the same logical value can pickle to different bytes before
+and after a disk round-trip (array contiguity, object-graph memo
+layout) — which would make warm-cache keys drift across processes.
+Only objects with no inspectable state fall back to pickle; an
+artifact that cannot be pickled cannot live in the on-disk store
+either, so that fallback fails exactly where disk caching would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import pickle
+from typing import Any
+
+import numpy as np
+
+from repro.rng import RngLike, ensure_rng
+
+#: Bumped whenever the fingerprint scheme changes incompatibly, so a
+#: stale on-disk cache from an older scheme can never serve a hit.
+SCHEME_VERSION = "1"
+
+
+def _update(hasher: "hashlib._Hash", obj: Any, seen: set[int] | None = None) -> None:
+    """Fold ``obj`` into ``hasher`` with type tags preventing collisions
+    between values of different shapes (e.g. ``(1, 2)`` vs ``[1, 2]``)."""
+    if obj is None:
+        hasher.update(b"N;")
+    elif isinstance(obj, bool):
+        hasher.update(b"B" + (b"1" if obj else b"0") + b";")
+    elif isinstance(obj, (int, np.integer)):
+        hasher.update(b"I" + str(int(obj)).encode() + b";")
+    elif isinstance(obj, (float, np.floating)):
+        # repr round-trips doubles exactly; NaN/inf render distinctly.
+        hasher.update(b"F" + repr(float(obj)).encode() + b";")
+    elif isinstance(obj, str):
+        encoded = obj.encode("utf-8")
+        hasher.update(b"S" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(obj, bytes):
+        hasher.update(b"Y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        contiguous = np.ascontiguousarray(obj)
+        hasher.update(
+            b"A" + str(contiguous.dtype).encode() + str(contiguous.shape).encode()
+        )
+        hasher.update(contiguous.tobytes())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        hasher.update(b"D" + f"{cls.__module__}.{cls.__qualname__}".encode() + b"{")
+        for f in dataclasses.fields(obj):
+            _update(hasher, f.name, seen)
+            _update(hasher, getattr(obj, f.name), seen)
+        hasher.update(b"}")
+    elif isinstance(obj, dict):
+        hasher.update(b"M{")
+        for key in sorted(obj, key=repr):
+            _update(hasher, key, seen)
+            _update(hasher, obj[key], seen)
+        hasher.update(b"}")
+    elif isinstance(obj, (list, tuple)):
+        hasher.update((b"L[" if isinstance(obj, list) else b"T["))
+        for item in obj:
+            _update(hasher, item, seen)
+        hasher.update(b"]")
+    elif isinstance(obj, (set, frozenset)):
+        hasher.update(b"Z{")
+        for item in sorted(obj, key=repr):
+            _update(hasher, item, seen)
+        hasher.update(b"}")
+    elif isinstance(obj, np.random.Generator):
+        hasher.update(b"G")
+        _update(hasher, obj.bit_generator.state, seen)
+    else:
+        state = _object_state(obj)
+        if state is not None:
+            if seen is None:
+                seen = set()
+            if id(obj) in seen:
+                # Back-reference in a cyclic graph: mark and stop. The
+                # first visit already folded the object's content in.
+                hasher.update(b"R;")
+                return
+            seen.add(id(obj))
+            try:
+                cls = type(obj)
+                hasher.update(
+                    b"O" + f"{cls.__module__}.{cls.__qualname__}".encode() + b"{"
+                )
+                for key in sorted(state):
+                    _update(hasher, key, seen)
+                    _update(hasher, state[key], seen)
+                hasher.update(b"}")
+            finally:
+                seen.discard(id(obj))
+        else:
+            hasher.update(b"P" + pickle.dumps(obj, protocol=4))
+
+
+def _object_state(obj: Any) -> dict[str, Any] | None:
+    """Inspectable attribute state of a plain object, if it has any."""
+    state = getattr(obj, "__dict__", None)
+    if isinstance(state, dict):
+        return state
+    slots = getattr(type(obj), "__slots__", None)
+    if slots is not None:
+        if isinstance(slots, str):
+            slots = (slots,)
+        return {name: getattr(obj, name) for name in slots if hasattr(obj, name)}
+    return None
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of a value's content."""
+    hasher = hashlib.sha256()
+    _update(hasher, obj)
+    return hasher.hexdigest()
+
+
+def rng_fingerprint(rng: RngLike) -> str:
+    """Fingerprint of a generator's *exact* position in its stream.
+
+    Two generators with equal fingerprints will produce identical draw
+    sequences, which is what makes it safe to key cached stochastic
+    stages on it.
+    """
+    state = ensure_rng(rng).bit_generator.state
+    return fingerprint(state)
+
+
+def combine(*parts: Any) -> str:
+    """One digest over several heterogeneous key components, in order."""
+    hasher = hashlib.sha256()
+    _update(hasher, SCHEME_VERSION)
+    for part in parts:
+        _update(hasher, part)
+    return hasher.hexdigest()
+
+
+__all__ = ["SCHEME_VERSION", "combine", "fingerprint", "rng_fingerprint"]

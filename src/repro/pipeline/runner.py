@@ -1,0 +1,201 @@
+"""The staged execution engine.
+
+A :class:`Pipeline` runs an ordered list of :class:`~repro.pipeline.stage.Stage`
+objects, threading one generator and one
+:class:`~repro.dp.budget.BudgetAccountant` through them and recording a
+:class:`~repro.pipeline.result.RunRecord` per stage. With an
+:class:`~repro.pipeline.store.ArtifactStore` attached, deterministic
+DP-free stages are served from cache when their key — stage name,
+config fingerprint, input fingerprints, entry rng state — matches a
+prior execution; budget-spending stages are *never* looked up or
+stored.
+
+Cache hits are bit-exact for everything downstream: stochastic cached
+stages remember the generator state they left behind, and a hit
+fast-forwards the live generator to that state, so the next noise draw
+is identical whether the stage ran or replayed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import ConfigurationError
+from repro.pipeline.fingerprint import combine, fingerprint, rng_fingerprint
+from repro.pipeline.result import RunRecord
+from repro.pipeline.stage import Stage, StageContext
+from repro.pipeline.store import ArtifactStore
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass
+class PipelineRun:
+    """Everything one ``Pipeline.run`` produced."""
+
+    artifacts: dict[str, Any]
+    records: list[RunRecord] = field(default_factory=list)
+    accountant: BudgetAccountant | None = None
+
+    def artifact(self, name: str) -> Any:
+        try:
+            return self.artifacts[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no artifact {name!r}; have {sorted(self.artifacts)}"
+            ) from None
+
+    def record(self, stage: str) -> RunRecord:
+        for record in self.records:
+            if record.stage == stage:
+                return record
+        raise ConfigurationError(f"no record for stage {stage!r}")
+
+    @property
+    def seconds(self) -> float:
+        return sum(record.seconds for record in self.records)
+
+    @property
+    def epsilon_spent(self) -> float:
+        return sum(record.epsilon_spent for record in self.records)
+
+
+class Pipeline:
+    """Composes stages over a shared rng, accountant and artifact store."""
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        store: ArtifactStore | None = None,
+        name: str = "pipeline",
+    ) -> None:
+        stages = list(stages)
+        if not stages:
+            raise ConfigurationError("a pipeline needs at least one stage")
+        seen: set[str] = set()
+        for stage in stages:
+            if stage.name in seen:
+                raise ConfigurationError(f"duplicate stage name {stage.name!r}")
+            seen.add(stage.name)
+        self.stages = stages
+        self.store = store
+        self.name = name
+
+    def run(
+        self,
+        initial: Mapping[str, Any] | None = None,
+        rng: RngLike = None,
+        accountant: BudgetAccountant | None = None,
+        seed: int | None = None,
+        stage_rngs: Mapping[str, RngLike] | None = None,
+    ) -> PipelineRun:
+        """Execute every stage in order.
+
+        ``initial`` seeds the artifact namespace (the pipeline's
+        external inputs). ``rng`` is the generator threaded through
+        every stage, except those given a dedicated generator via
+        ``stage_rngs`` — the hook sweep helpers use to pin the pattern
+        phase to one stream while the sanitize phase varies per point.
+        ``seed`` is an optional extra cache-key salt recorded for
+        provenance.
+        """
+        generator = ensure_rng(rng)
+        overrides = {
+            stage_name: ensure_rng(stage_rng)
+            for stage_name, stage_rng in (stage_rngs or {}).items()
+        }
+        unknown = set(overrides) - {stage.name for stage in self.stages}
+        if unknown:
+            raise ConfigurationError(
+                f"stage_rngs for unknown stage(s): {sorted(unknown)}"
+            )
+        artifacts: dict[str, Any] = dict(initial or {})
+        records: list[RunRecord] = []
+
+        for stage in self.stages:
+            missing = [n for n in stage.inputs if n not in artifacts]
+            if missing:
+                raise ConfigurationError(
+                    f"stage {stage.name!r} is missing input artifact(s) "
+                    f"{missing}; available: {sorted(artifacts)}"
+                )
+            stage_rng = overrides.get(stage.name, generator)
+            inputs = {n: artifacts[n] for n in stage.inputs}
+            entry_state = (
+                rng_fingerprint(stage_rng) if stage.uses_rng else None
+            )
+            key = (
+                self._key(stage, inputs, entry_state, seed)
+                if self.store is not None and stage.is_cacheable
+                else None
+            )
+
+            started = time.perf_counter()
+            spent_before = accountant.spent_epsilon if accountant else 0.0
+            cached = False
+            if key is not None:
+                hit = self.store.get(key)  # type: ignore[union-attr]
+                if hit is not None:
+                    value = hit.value
+                    cached = True
+                    if stage.uses_rng and hit.rng_state is not None:
+                        # Fast-forward the live stream to where the
+                        # stage left it, keeping downstream draws
+                        # bit-identical to a cold run.
+                        stage_rng.bit_generator.state = hit.rng_state
+            if not cached:
+                context = StageContext(
+                    rng=stage_rng, accountant=accountant, seed=seed
+                )
+                value = stage.fn(context, **inputs)
+                if key is not None:
+                    self.store.put(  # type: ignore[union-attr]
+                        key,
+                        value,
+                        stage=stage.name,
+                        rng_state=(
+                            stage_rng.bit_generator.state
+                            if stage.uses_rng
+                            else None
+                        ),
+                        spends_budget=stage.spends_budget,
+                    )
+            seconds = time.perf_counter() - started
+            spent_after = accountant.spent_epsilon if accountant else 0.0
+
+            artifacts[stage.output_name] = value
+            records.append(
+                RunRecord(
+                    stage=stage.name,
+                    seconds=seconds,
+                    epsilon_spent=spent_after - spent_before,
+                    spends_budget=stage.spends_budget,
+                    cached=cached,
+                    artifact_key=key,
+                    rng_state=entry_state,
+                )
+            )
+        return PipelineRun(
+            artifacts=artifacts, records=records, accountant=accountant
+        )
+
+    def _key(
+        self,
+        stage: Stage,
+        inputs: Mapping[str, Any],
+        entry_state: str | None,
+        seed: int | None,
+    ) -> str:
+        input_parts = {name: fingerprint(value) for name, value in inputs.items()}
+        return combine(
+            stage.name,
+            fingerprint(stage.config),
+            input_parts,
+            entry_state,
+            seed,
+        )
+
+
+__all__ = ["Pipeline", "PipelineRun"]

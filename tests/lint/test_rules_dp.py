@@ -1,4 +1,5 @@
-"""DP001 (raw noise draws) and DP002 (hard-coded epsilon splits)."""
+"""DP001 (raw noise draws), DP002 (hard-coded epsilon splits) and
+DP003 (artifact-cache writes from budget-spending code)."""
 
 from repro.lint.findings import Finding
 
@@ -138,5 +139,104 @@ class TestEpsilonArithmeticRule:
                 return steps / 2
             """,
             rule="DP002",
+        )
+        assert result.ok
+
+
+class TestCacheWriteRule:
+    def test_store_put_in_dp_module_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def sanitize(values, epsilon, rng, store):
+                noisy = values + rng.normal(size=values.shape)
+                store.put("key", noisy)
+                return noisy
+            """,
+            rule="DP003",
+            rel="src/repro/dp/leaky.py",
+        )
+        finding = only_finding(result)
+        assert finding.rule == "DP003"
+        assert finding.line == 3
+        assert "repro.dp module" in finding.message
+
+    def test_artifact_store_constructor_receiver_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            from repro.pipeline import ArtifactStore
+
+            def sanitize(noisy):
+                ArtifactStore().put("key", noisy)
+            """,
+            rule="DP003",
+            rel="src/repro/dp/leaky.py",
+        )
+        assert only_finding(result).line == 4
+
+    def test_put_in_spends_budget_stage_fn_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            from repro.pipeline import Stage
+
+            def build(store, epsilon):
+                def noisy_stage(ctx, norm):
+                    release = norm + 1.0
+                    store.put("sneaky", release)
+                    return release
+
+                return Stage(
+                    name="noise",
+                    fn=noisy_stage,
+                    inputs=("norm",),
+                    spends_budget=True,
+                    uses_rng=True,
+                )
+            """,
+            rule="DP003",
+        )
+        finding = only_finding(result)
+        assert finding.line == 6
+        assert "spends_budget=True" in finding.message
+
+    def test_put_in_free_stage_fn_not_flagged(self, lint_snippet):
+        # Caching from a deterministic stage is the engine's job, but a
+        # manual put outside dp modules and noisy stages is not DP003's
+        # business.
+        result = lint_snippet(
+            """\
+            from repro.pipeline import Stage
+
+            def build(store):
+                def train_stage(ctx, levels):
+                    fitted = sum(levels)
+                    store.put("fitted", fitted)
+                    return fitted
+
+                return Stage(name="train", fn=train_stage, inputs=("levels",))
+            """,
+            rule="DP003",
+        )
+        assert result.ok
+
+    def test_unrelated_put_receiver_not_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def enqueue(queue, item):
+                queue.put(item)
+            """,
+            rule="DP003",
+            rel="src/repro/dp/worker.py",
+        )
+        assert result.ok
+
+    def test_pipeline_package_allowed_by_default(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def put_artifact(self, key, value):
+                self.store.put(key, value)
+            """,
+            rule="DP003",
+            rel="src/repro/pipeline/store.py",
+            allow=None,  # keep the rule's built-in allow-list
         )
         assert result.ok

@@ -1,0 +1,1 @@
+"""Tests of the staged execution engine (repro.pipeline)."""

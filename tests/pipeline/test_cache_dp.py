@@ -1,0 +1,116 @@
+"""DP soundness of the cache: budget-spending stages are never cached.
+
+Three independent layers enforce this — Stage construction, the runner's
+key computation, and ArtifactStore.put — so a single bug cannot turn a
+noisy release into a replayable artifact. Each layer is pinned here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stpt import STPT, build_stpt_stages
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import PrivacyError
+from repro.pipeline import ArtifactStore, Pipeline, Stage
+
+
+def make_noisy_stage():
+    def add_noise(ctx, x):
+        ctx.accountant.spend(1.0, label="noise")
+        noise = ctx.rng.laplace(0.0, 1.0, size=np.shape(x))  # lint: disable=DP001
+        return x + noise
+
+    return Stage(
+        name="noise",
+        fn=add_noise,
+        inputs=("x",),
+        output="noisy",
+        spends_budget=True,
+        uses_rng=True,
+    )
+
+
+class TestStageLayer:
+    def test_cannot_declare_a_cacheable_noisy_stage(self):
+        with pytest.raises(PrivacyError):
+            Stage(name="noise", fn=lambda ctx: None, spends_budget=True,
+                  cacheable=True)
+
+    def test_noisy_stage_reports_uncacheable(self):
+        assert not make_noisy_stage().is_cacheable
+
+
+class TestRunnerLayer:
+    def test_noisy_stage_gets_no_key_and_store_stays_empty(self):
+        store = ArtifactStore()
+        pipeline = Pipeline([make_noisy_stage()], store=store)
+        accountant = BudgetAccountant(total_epsilon=10.0)
+
+        run = pipeline.run(
+            initial={"x": np.ones(8)}, rng=5, accountant=accountant
+        )
+        record = run.record("noise")
+        assert record.artifact_key is None
+        assert not record.cached
+        assert len(store) == 0
+        assert store.stats.puts == 0
+
+    def test_noisy_stage_reruns_and_redraws_on_warm_cache(self):
+        store = ArtifactStore()
+        pipeline = Pipeline([make_noisy_stage()], store=store)
+
+        first = pipeline.run(
+            initial={"x": np.ones(8)}, rng=5,
+            accountant=BudgetAccountant(total_epsilon=10.0),
+        )
+        second = pipeline.run(
+            initial={"x": np.ones(8)}, rng=6,
+            accountant=BudgetAccountant(total_epsilon=10.0),
+        )
+        assert not second.record("noise").cached
+        assert not np.array_equal(
+            first.artifact("noisy"), second.artifact("noisy")
+        )
+
+    def test_accountant_charged_on_every_run(self):
+        store = ArtifactStore()
+        pipeline = Pipeline([make_noisy_stage()], store=store)
+        accountant = BudgetAccountant(total_epsilon=10.0)
+        for _ in range(3):
+            pipeline.run(initial={"x": np.ones(8)}, rng=5,
+                         accountant=accountant)
+        assert accountant.spent_epsilon == 3.0
+
+
+class TestStoreLayer:
+    def test_put_refuses_spends_budget(self):
+        with pytest.raises(PrivacyError):
+            ArtifactStore().put("k", np.ones(3), stage="noise",
+                                spends_budget=True)
+
+
+class TestStptStages:
+    """The STPT pipeline declares exactly its two DP phases as
+    budget-spending, and neither is ever cached."""
+
+    def test_budget_spending_declarations(self, tiny_preset):
+        stages = build_stpt_stages(tiny_preset.stpt_config(), t_test=8)
+        flags = {stage.name: stage.spends_budget for stage in stages}
+        assert flags == {
+            "stpt/pattern-noise": True,
+            "stpt/pattern-train": False,
+            "stpt/quantize": False,
+            "stpt/sanitize": True,
+        }
+        for stage in stages:
+            if stage.spends_budget:
+                assert not stage.is_cacheable
+
+    def test_noisy_stpt_stages_never_stored(self, tiny_preset, tiny_matrices):
+        _, norm, _ = tiny_matrices
+        store = ArtifactStore()
+        STPT(tiny_preset.stpt_config(), rng=7, store=store).publish(norm)
+        cached_stages = {artifact["stage"] for artifact in store.entries()}
+        assert "stpt/pattern-noise" not in cached_stages
+        assert "stpt/sanitize" not in cached_stages
+        assert {"stpt/pattern-train", "stpt/quantize"} <= cached_stages

@@ -1,0 +1,113 @@
+"""Golden determinism test for the staged STPT pipeline.
+
+The goldens below were captured from the pre-pipeline monolithic
+``STPT.publish`` (commit ``acd558d``) on a deterministic synthetic
+matrix, and the staged rewrite was verified bit-identical against that
+code before these values were frozen. They are stored as float hex
+literals (``float.hex``) so the comparison is exact, not approximate:
+any future change that perturbs a single noise draw, reorders a stage,
+or re-threads the generator will trip this test.
+
+A second pass runs warm through an ArtifactStore to pin the other half
+of the contract: cache replay is also bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pattern import PatternConfig
+from repro.core.stpt import STPT, STPTConfig
+from repro.data.matrix import ConsumptionMatrix
+from repro.pipeline import ArtifactStore
+
+
+GOLDEN_SUM = float.fromhex("0x1.3490d7957d3acp+9")
+GOLDEN_PATTERN_SUM = float.fromhex("0x1.13fd7f2d670e0p+9")
+GOLDEN_ROW = [
+    float.fromhex(h)
+    for h in [
+        "0x1.6e09fb7b89aaep+0",
+        "0x1.328a66f7346cap+0",
+        "0x1.2d45030505dcdp+0",
+        "0x1.2d5754aa53601p+0",
+        "0x1.2d5754aa53601p+0",
+        "0x1.2d5754aa53601p+0",
+        "0x1.376692b77aa1ap+0",
+        "0x1.376692b77aa1ap+0",
+    ]
+]
+GOLDEN_DIAG = [
+    float.fromhex(h)
+    for h in [
+        "0x1.6e09fb7b89aaep+0",
+        "0x1.328a66f7346cap+0",
+        "0x1.2d45030505dcdp+0",
+        "0x1.2d5754aa53601p+0",
+        "0x1.376692b77aa1ap+0",
+        "0x1.2d5754aa53601p+0",
+        "0x1.376692b77aa1ap+0",
+        "0x1.376692b77aa1ap+0",
+    ]
+]
+
+
+def golden_matrix() -> ConsumptionMatrix:
+    x = np.arange(8, dtype=float)[:, None, None]
+    y = np.arange(8, dtype=float)[None, :, None]
+    t = np.arange(24, dtype=float)[None, None, :]
+    values = (
+        1.0
+        + 0.5 * np.sin(0.7 * x + 0.3 * y)
+        + 0.3 * np.cos(0.5 * t + 0.1 * x * y)
+        + 0.05 * ((13 * x + 7 * y + 3 * t) % 11)
+    )
+    return ConsumptionMatrix(values)
+
+
+def golden_config() -> STPTConfig:
+    return STPTConfig(
+        epsilon_pattern=10.0,
+        epsilon_sanitize=20.0,
+        t_train=16,
+        quantization_levels=6,
+        pattern=PatternConfig(window=3, epochs=2, embed_dim=8, hidden_dim=8),
+    )
+
+
+def publish(store=None):
+    return STPT(golden_config(), rng=1234, store=store).publish(
+        golden_matrix(), clip_scale=2.0
+    )
+
+
+def assert_matches_goldens(result):
+    sanitized = result.sanitized.values
+    assert float(sanitized.sum()) == GOLDEN_SUM
+    assert float(result.pattern_matrix.sum()) == GOLDEN_PATTERN_SUM
+    assert [float(v) for v in sanitized[0, 0, :]] == GOLDEN_ROW
+    assert [float(v) for v in (sanitized[i, i, i % 8] for i in range(8))] == (
+        GOLDEN_DIAG
+    )
+
+
+class TestGolden:
+    def test_cold_run_matches_pre_refactor_goldens(self):
+        result = publish()
+        assert_matches_goldens(result)
+        assert result.epsilon_spent == pytest.approx(30.0)
+
+    def test_warm_cache_run_matches_goldens_too(self):
+        store = ArtifactStore()
+        cold = publish(store=store)
+        warm = publish(store=store)
+        assert_matches_goldens(warm)
+        np.testing.assert_array_equal(
+            cold.sanitized.values, warm.sanitized.values
+        )
+        cached = {r.stage: r.cached for r in warm.records}
+        assert cached == {
+            "stpt/pattern-noise": False,
+            "stpt/pattern-train": True,
+            "stpt/quantize": True,
+            "stpt/sanitize": False,
+        }

@@ -1,0 +1,47 @@
+"""Stage declaration semantics: naming, outputs, cache eligibility."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, PrivacyError
+from repro.pipeline import Stage
+
+
+def noop(ctx):
+    return None
+
+
+class TestStageValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stage(name="", fn=noop)
+
+    def test_non_callable_fn_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stage(name="s", fn="not-a-function")
+
+    def test_spends_budget_and_cacheable_contradiction_rejected(self):
+        with pytest.raises(PrivacyError):
+            Stage(name="noise", fn=noop, spends_budget=True, cacheable=True)
+
+    def test_inputs_normalized_to_tuple(self):
+        stage = Stage(name="s", fn=noop, inputs=["a", "b"])
+        assert stage.inputs == ("a", "b")
+
+
+class TestStageProperties:
+    def test_output_defaults_to_name(self):
+        assert Stage(name="s", fn=noop).output_name == "s"
+        assert Stage(name="s", fn=noop, output="o").output_name == "o"
+
+    def test_cacheable_by_default(self):
+        assert Stage(name="s", fn=noop).is_cacheable
+
+    def test_explicit_cacheable_false_respected(self):
+        assert not Stage(name="s", fn=noop, cacheable=False).is_cacheable
+
+    def test_spends_budget_never_cacheable(self):
+        stage = Stage(name="noise", fn=noop, spends_budget=True)
+        assert not stage.is_cacheable
+        # even leaving cacheable=None (the default) the effective answer
+        # for a budget-spending stage is always False
+        assert stage.cacheable is None
