@@ -1,0 +1,40 @@
+"""Vectorized NN kernels vs the kept reference implementations.
+
+Delegates to :func:`repro.experiments.bench.bench_nn_kernels` — the
+implementation behind ``repro bench nn_kernels`` — covering the
+``sliding_window_view`` windowing and the batched autoregressive
+rollout. Both must beat their reference loops by >= 3x on any machine
+(the functions raise otherwise); equality is checked before timing
+(exact for windowing, <= 1e-12 for the rollout's batched gemms).
+"""
+
+from repro.experiments.bench import bench_nn_kernels
+
+COLUMNS = ["kernel", "reference_s", "vectorized_s", "speedup"]
+
+
+def test_nn_kernel_speedups(print_rows):
+    def run():
+        payload = bench_nn_kernels()
+        kernels = payload["kernels"]
+        windows = kernels["make_windows"]
+        rollout = kernels["batched_rollout"]
+        return [
+            {
+                "kernel": "make_windows",
+                "reference_s": windows["reference_seconds"],
+                "vectorized_s": windows["vectorized_seconds"],
+                "speedup": windows["speedup"],
+            },
+            {
+                "kernel": "batched_rollout",
+                "reference_s": rollout["per_node_seconds"],
+                "vectorized_s": rollout["batched_seconds"],
+                "speedup": rollout["speedup"],
+            },
+        ]
+
+    rows = print_rows(
+        "Vectorized kernels vs reference loops", run, columns=COLUMNS
+    )
+    assert all(row["speedup"] >= 3.0 for row in rows)

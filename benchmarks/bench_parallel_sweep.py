@@ -1,0 +1,36 @@
+"""Parallel epsilon sweep: serial vs multi-process, bit-identical.
+
+Delegates to :func:`repro.experiments.bench.bench_parallel_sweep` — the
+same implementation behind ``repro bench parallel_sweep`` — so the
+number printed here is the number shipped in ``BENCH_parallel_sweep.json``.
+Bit-identity between the serial and 4-worker runs is always asserted;
+the >= 2x speedup floor only on a machine with at least 4 cores.
+
+Marked ``slow`` (it runs eight full STPT releases); run it with
+``pytest benchmarks/bench_parallel_sweep.py -m slow``.
+"""
+
+import pytest
+
+from repro.experiments.bench import bench_parallel_sweep
+
+COLUMNS = [
+    "workers", "cpu_count", "serial_seconds", "parallel_seconds",
+    "speedup", "bit_identical", "speedup_asserted",
+]
+
+
+@pytest.mark.slow
+def test_parallel_sweep_speedup(print_rows):
+    def run():
+        payload = bench_parallel_sweep(workers=4)
+        return [{key: payload[key] for key in COLUMNS}]
+
+    rows = print_rows(
+        "4-point epsilon_sanitize sweep: serial vs 4 workers", run,
+        columns=COLUMNS,
+    )
+    row = rows[0]
+    assert row["bit_identical"]
+    if row["speedup_asserted"]:
+        assert row["speedup"] >= 2.0

@@ -10,6 +10,8 @@ Examples::
     python -m repro figure table2
     python -m repro figure fig6 --dataset CER
     python -m repro lint src/ tests/ --format json
+    python -m repro bench nn_kernels
+    python -m repro bench parallel_sweep --workers 4
     python -m repro pipeline run --data ca.npz --grid 16 --t-train 40 \
         --cache-dir .repro-cache
     python -m repro pipeline inspect --cache-dir .repro-cache
@@ -18,7 +20,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.pattern import PatternConfig
@@ -35,7 +39,8 @@ from repro.data.matrix import build_matrices
 from repro.data.spatial import DISTRIBUTIONS, place_households
 from repro.exceptions import ReproError
 from repro.experiments import ablations, figures
-from repro.experiments.harness import format_table
+from repro.experiments.bench import BENCHMARKS, run_benchmark
+from repro.experiments.harness import format_table, publish_stpt_sweep
 from repro.pipeline import ArtifactStore
 from repro.queries.metrics import workload_mre
 from repro.queries.range_query import make_workload
@@ -63,6 +68,19 @@ FIGURE_RUNNERS: dict[str, Callable[..., list[dict]]] = {
 
 #: Runners that do not take a dataset argument.
 _DATASET_FREE = {"table2", "fig9"}
+
+#: Runners whose drivers fan out over ``repro.parallel`` workers.
+_WORKER_AWARE = {
+    "fig6",
+    "fig8c",
+    "fig8g",
+    "fig8h",
+    "fig8i",
+    "ablation-allocation",
+    "ablation-rollout",
+    "ablation-attention",
+    "ablation-seeds",
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -112,6 +130,23 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("name", choices=sorted(FIGURE_RUNNERS))
     fig.add_argument("--dataset", choices=sorted(TABLE2), default="CER")
     fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for figures whose drivers fan out "
+        "(results are bit-identical to serial)",
+    )
+
+    ben = sub.add_parser(
+        "bench", help="run a named benchmark, write BENCH_<name>.json"
+    )
+    ben.add_argument("name", choices=sorted(BENCHMARKS))
+    ben.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes for parallel benchmarks",
+    )
+    ben.add_argument(
+        "--out", help="output JSON path (default: BENCH_<name>.json)"
+    )
 
     rep = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -155,7 +190,12 @@ def _add_publish_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--t-train", type=int, default=100)
     parser.add_argument("--epsilon-pattern", type=float, default=10.0)
-    parser.add_argument("--epsilon-sanitize", type=float, default=20.0)
+    parser.add_argument(
+        "--epsilon-sanitize", type=float, nargs="+", default=[20.0],
+        metavar="EPS",
+        help="sanitization budget(s); several values run an epsilon "
+        "sweep, one release per value",
+    )
     parser.add_argument("--quantization", type=int, default=20)
     parser.add_argument("--window", type=int, default=6)
     parser.add_argument("--epochs", type=int, default=20)
@@ -165,6 +205,11 @@ def _add_publish_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
         help="artifact cache directory; deterministic stages replay from it",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for a multi-epsilon sweep "
+        "(results are bit-identical to serial)",
     )
 
 
@@ -191,12 +236,12 @@ def _matrices_for(args: argparse.Namespace):
     return dataset, cons, norm, clip
 
 
-def _publish_result(args: argparse.Namespace):
-    """Run STPT per the shared publish options; returns (result, store)."""
-    __, cons, norm, clip = _matrices_for(args)
-    config = STPTConfig(
+def _publish_config(
+    args: argparse.Namespace, epsilon_sanitize: float
+) -> STPTConfig:
+    return STPTConfig(
         epsilon_pattern=args.epsilon_pattern,
-        epsilon_sanitize=args.epsilon_sanitize,
+        epsilon_sanitize=epsilon_sanitize,
         t_train=args.t_train,
         quantization_levels=args.quantization,
         pattern=PatternConfig(
@@ -206,27 +251,60 @@ def _publish_result(args: argparse.Namespace):
             hidden_dim=args.hidden_dim,
         ),
     )
+
+
+def _publish_results(args: argparse.Namespace):
+    """Run STPT per the shared publish options.
+
+    Returns ``([(epsilon_sanitize, result), ...], store)``. A single
+    ``--epsilon-sanitize`` value keeps the original one-shot path (same
+    bits as before the sweep option existed); several values fan out
+    through :func:`publish_stpt_sweep`, optionally across ``--workers``
+    processes.
+    """
+    __, cons, norm, clip = _matrices_for(args)
+    epsilons = list(args.epsilon_sanitize)
     store = ArtifactStore(args.cache_dir) if args.cache_dir else None
-    result = STPT(config, rng=args.seed, store=store).publish(
-        norm, clip_scale=clip
+    if len(epsilons) == 1:
+        config = _publish_config(args, epsilons[0])
+        result = STPT(config, rng=args.seed, store=store).publish(
+            norm, clip_scale=clip
+        )
+        return [(epsilons[0], result)], store
+    configs = [_publish_config(args, eps) for eps in epsilons]
+    results = publish_stpt_sweep(
+        norm, clip, configs,
+        rng=args.seed,
+        store=store,
+        workers=args.workers,
     )
-    return result, store
+    return list(zip(epsilons, results)), store
+
+
+def _suffixed(path: str, epsilon: float) -> str:
+    """``release.npz`` -> ``release-eps5.npz`` for multi-epsilon output."""
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}-eps{epsilon:g}{p.suffix}"))
 
 
 def _cmd_publish(args: argparse.Namespace) -> int:
-    result, store = _publish_result(args)
-    save_matrix(result.sanitized_kwh, args.out)
-    print(
-        f"wrote {args.out}: {result.sanitized_kwh.shape}, "
-        f"epsilon spent {result.epsilon_spent:.2f}, "
-        f"{result.elapsed_seconds:.1f}s"
-    )
+    results, store = _publish_results(args)
+    single = len(results) == 1
+    for epsilon, result in results:
+        out = args.out if single else _suffixed(args.out, epsilon)
+        save_matrix(result.sanitized_kwh, out)
+        print(
+            f"wrote {out}: {result.sanitized_kwh.shape}, "
+            f"epsilon spent {result.epsilon_spent:.2f}, "
+            f"{result.elapsed_seconds:.1f}s"
+        )
+        if args.csv:
+            csv = args.csv if single else _suffixed(args.csv, epsilon)
+            export_matrix_csv(result.sanitized_kwh, csv)
+            print(f"wrote {csv}")
     if store is not None:
         stats = store.stats
         print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es)")
-    if args.csv:
-        export_matrix_csv(result.sanitized_kwh, args.csv)
-        print(f"wrote {args.csv}")
     return 0
 
 
@@ -241,18 +319,23 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         print(f"{len(rows)} artifact(s)")
         return 0
 
-    result, store = _publish_result(args)
-    print(format_table([record.as_row() for record in result.records]))
-    print(
-        f"epsilon spent {result.epsilon_spent:.2f}, "
-        f"total {result.elapsed_seconds:.1f}s"
-    )
+    results, store = _publish_results(args)
+    single = len(results) == 1
+    for epsilon, result in results:
+        if not single:
+            print(f"--- epsilon_sanitize = {epsilon:g} ---")
+        print(format_table([record.as_row() for record in result.records]))
+        print(
+            f"epsilon spent {result.epsilon_spent:.2f}, "
+            f"total {result.elapsed_seconds:.1f}s"
+        )
+        if args.out:
+            out = args.out if single else _suffixed(args.out, epsilon)
+            save_matrix(result.sanitized_kwh, out)
+            print(f"wrote {out}")
     if store is not None:
         stats = store.stats
         print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es)")
-    if args.out:
-        save_matrix(result.sanitized_kwh, args.out)
-        print(f"wrote {args.out}")
     return 0
 
 
@@ -310,11 +393,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     runner = FIGURE_RUNNERS[args.name]
+    kwargs: dict = {"rng": args.seed}
+    if args.name in _WORKER_AWARE:
+        kwargs["workers"] = args.workers
+    elif args.workers:
+        print(
+            f"note: {args.name} runs serially; --workers ignored",
+            file=sys.stderr,
+        )
     if args.name in _DATASET_FREE:
-        rows = runner(rng=args.seed)
+        rows = runner(**kwargs)
     else:
-        rows = runner(args.dataset, rng=args.seed)
+        rows = runner(args.dataset, **kwargs)
     print(format_table(rows))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    payload = run_benchmark(args.name, workers=args.workers)
+    out = Path(args.out or f"BENCH_{args.name}.json")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    line = f"wrote {out}: {payload['wall_seconds']:.1f}s wall"
+    if "speedup" in payload:
+        line += f", speedup {payload['speedup']:.2f}x"
+        if not payload.get("speedup_asserted", True):
+            line += (
+                f" (not asserted: {payload['cpu_count']} core(s) available)"
+            )
+    print(line)
     return 0
 
 
@@ -329,6 +435,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "lint": _cmd_lint,
         "pipeline": _cmd_pipeline,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -17,7 +17,12 @@ from repro.baselines.identity import Identity
 from repro.core.sanitizer import ALLOCATION_STRATEGIES
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.local import LocalDPPublisher
-from repro.experiments.harness import build_context, run_mechanism, run_stpt
+from repro.experiments.harness import (
+    build_context,
+    run_mechanism,
+    run_stpt,
+    run_stpt_many,
+)
 from repro.experiments.presets import ScalePreset, active_preset
 from repro.rng import RngLike, derive_seed, ensure_rng
 
@@ -26,6 +31,7 @@ def ablation_budget_allocation(
     dataset_name: str = "CER",
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """Theorem 8 allocation vs uniform and proportional splits."""
     preset = preset or active_preset()
@@ -33,18 +39,22 @@ def ablation_budget_allocation(
     context = build_context(
         dataset_name, "uniform", preset, rng=derive_seed(generator)
     )
-    rows = []
-    for strategy in ALLOCATION_STRATEGIES:
-        config = preset.stpt_config(allocation=strategy)
-        __, mre = run_stpt(context, config, rng=derive_seed(generator))
-        rows.append({"allocation": strategy, **mre})
-    return rows
+    configs = [
+        preset.stpt_config(allocation=strategy)
+        for strategy in ALLOCATION_STRATEGIES
+    ]
+    runs = run_stpt_many(context, configs, rng=generator, workers=workers)
+    return [
+        {"allocation": strategy, **mre}
+        for strategy, (__, mre) in zip(ALLOCATION_STRATEGIES, runs)
+    ]
 
 
 def ablation_rollout(
     dataset_name: str = "CER",
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """Anchored (shape x level) vs literal per-cell roll-out."""
     preset = preset or active_preset()
@@ -52,19 +62,20 @@ def ablation_rollout(
     context = build_context(
         dataset_name, "normal", preset, rng=derive_seed(generator)
     )
-    rows = []
-    for rollout in ("anchored", "cell"):
-        config = preset.stpt_config(rollout=rollout)
-        result, mre = run_stpt(context, config, rng=derive_seed(generator))
-        metrics = _pattern_error(result, context)
-        rows.append({"rollout": rollout, **mre, **metrics})
-    return rows
+    rollouts = ("anchored", "cell")
+    configs = [preset.stpt_config(rollout=rollout) for rollout in rollouts]
+    runs = run_stpt_many(context, configs, rng=generator, workers=workers)
+    return [
+        {"rollout": rollout, **mre, **_pattern_error(result, context)}
+        for rollout, (result, mre) in zip(rollouts, runs)
+    ]
 
 
 def ablation_attention(
     dataset_name: str = "CER",
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """The paper's self-attention + GRU model vs a plain GRU."""
     preset = preset or active_preset()
@@ -72,22 +83,23 @@ def ablation_attention(
     context = build_context(
         dataset_name, "uniform", preset, rng=derive_seed(generator)
     )
-    rows = []
-    for use_attention in (True, False):
-        config = preset.stpt_config(
-            pattern_overrides={"use_attention": use_attention}
-        )
-        __, mre = run_stpt(context, config, rng=derive_seed(generator))
-        rows.append(
-            {"model": "attention+GRU" if use_attention else "GRU-only", **mre}
-        )
-    return rows
+    variants = (True, False)
+    configs = [
+        preset.stpt_config(pattern_overrides={"use_attention": use_attention})
+        for use_attention in variants
+    ]
+    runs = run_stpt_many(context, configs, rng=generator, workers=workers)
+    return [
+        {"model": "attention+GRU" if use_attention else "GRU-only", **mre}
+        for use_attention, (__, mre) in zip(variants, runs)
+    ]
 
 
 def ablation_seed_denoising(
     dataset_name: str = "CA",
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """Inverse-variance hierarchical seeds vs raw finest-level seeds."""
     preset = preset or active_preset()
@@ -95,21 +107,20 @@ def ablation_seed_denoising(
     context = build_context(
         dataset_name, "la", preset, rng=derive_seed(generator)
     )
-    rows = []
-    for hierarchical in (True, False):
-        config = preset.stpt_config(
-            pattern_overrides={"hierarchical_seeds": hierarchical}
-        )
-        result, mre = run_stpt(context, config, rng=derive_seed(generator))
-        metrics = _pattern_error(result, context)
-        rows.append(
-            {
-                "seeds": "hierarchical" if hierarchical else "leaf-only",
-                **mre,
-                **metrics,
-            }
-        )
-    return rows
+    variants = (True, False)
+    configs = [
+        preset.stpt_config(pattern_overrides={"hierarchical_seeds": hierarchical})
+        for hierarchical in variants
+    ]
+    runs = run_stpt_many(context, configs, rng=generator, workers=workers)
+    return [
+        {
+            "seeds": "hierarchical" if hierarchical else "leaf-only",
+            **mre,
+            **_pattern_error(result, context),
+        }
+        for hierarchical, (result, mre) in zip(variants, runs)
+    ]
 
 
 def ablation_local_dp(

@@ -1,0 +1,236 @@
+"""Named benchmarks behind ``repro bench``.
+
+Each benchmark exercises one of the hot paths introduced by
+``repro.parallel`` against its serial or reference twin, verifies the
+outputs agree (bit-identical where the contract is bit-identity, tight
+tolerance for the batched rollout), and returns a JSON-serializable
+payload. The CLI stamps the payload with the current commit and writes
+it to ``BENCH_<name>.json``.
+
+Speedup assertions are honest about the hardware: the parallel-sweep
+target (>= 2x at four workers) is only asserted when the machine
+actually has four cores; the kernel targets (>= 3x over the Python
+reference loops) hold on a single core and are always asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.pattern import _rollout_per_node_reference
+from repro.exceptions import ConfigurationError
+from repro.experiments.harness import build_context, run_stpt_many
+from repro.experiments.presets import ScalePreset
+from repro.nn.models import GRUForecaster
+from repro.nn.training import _make_windows_reference, make_windows
+
+BENCHMARKS: dict[str, Callable[..., dict]] = {}
+
+#: Sweep speedup floor asserted on machines with at least this many cores.
+_SWEEP_SPEEDUP_FLOOR = 2.0
+_SWEEP_CORE_FLOOR = 4
+#: Kernel speedup floor over the pure-Python reference, any machine.
+_KERNEL_SPEEDUP_FLOOR = 3.0
+
+
+def register(name: str) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
+    def decorator(fn: Callable[..., dict]) -> Callable[..., dict]:
+        BENCHMARKS[name] = fn
+        return fn
+
+    return decorator
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best wall time over ``repeats`` calls (min is the stable statistic)."""
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_preset() -> ScalePreset:
+    """Small enough to finish in seconds, big enough that per-point
+    work dwarfs the ~0.1s process-pool startup the speedup is paid from.
+    """
+    return ScalePreset(
+        name="bench",
+        grid_shape=(16, 16),
+        n_days=56,
+        t_train=32,
+        query_count=100,
+        epochs=80,
+        embed_dim=32,
+        hidden_dim=32,
+        quantization_levels=8,
+        epsilon_pattern=10.0,
+        epsilon_sanitize=20.0,
+        cer_household_fraction=0.02,
+        lgan_iterations=4,
+        window=6,
+    )
+
+
+@register("parallel_sweep")
+def bench_parallel_sweep(workers: int = 4) -> dict:
+    """Four-point epsilon sweep: serial vs ``workers`` processes.
+
+    Uses :func:`run_stpt_many`, where each point is a complete
+    independent STPT release (own pattern training), so the serial
+    baseline cannot amortize work across points through the artifact
+    cache — the speedup measures genuine parallelism, not cache luck.
+    Bit-identity between the two runs is asserted unconditionally; the
+    >= 2x speedup target only on a machine with >= 4 cores.
+    """
+    epsilons = (2.0, 5.0, 10.0, 20.0)
+    preset = _bench_preset()
+    context = build_context("CA", "uniform", preset, rng=7)
+    configs = [preset.stpt_config(epsilon_sanitize=eps) for eps in epsilons]
+
+    serial_started = time.perf_counter()
+    serial = run_stpt_many(context, configs, rng=11)
+    serial_seconds = time.perf_counter() - serial_started
+
+    parallel_started = time.perf_counter()
+    parallel = run_stpt_many(context, configs, rng=11, workers=workers)
+    parallel_seconds = time.perf_counter() - parallel_started
+
+    for (ser, ser_mre), (par, par_mre) in zip(serial, parallel):
+        if not np.array_equal(ser.sanitized.values, par.sanitized.values):
+            raise AssertionError("parallel sweep diverged from serial")
+        if ser_mre != par_mre:
+            raise AssertionError("parallel sweep MREs diverged from serial")
+
+    speedup = serial_seconds / parallel_seconds
+    cpu_count = os.cpu_count() or 1
+    asserted = cpu_count >= _SWEEP_CORE_FLOOR and workers >= _SWEEP_CORE_FLOOR
+    if asserted and speedup < _SWEEP_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"parallel sweep speedup {speedup:.2f}x is below the "
+            f"{_SWEEP_SPEEDUP_FLOOR}x floor on a {cpu_count}-core machine"
+        )
+    return {
+        "benchmark": "parallel_sweep",
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "epsilons": list(epsilons),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+        "speedup_asserted": asserted,
+    }
+
+
+def _bench_make_windows(rng: np.random.Generator) -> dict:
+    series = [rng.standard_normal(200) for __ in range(256)]
+    window = 24
+    fast = make_windows(series, window)
+    reference = _make_windows_reference(series, window)
+    if not (
+        np.array_equal(fast[0], reference[0])
+        and np.array_equal(fast[1], reference[1])
+    ):
+        raise AssertionError("vectorized make_windows diverged from reference")
+    fast_seconds = _best_of(lambda: make_windows(series, window))
+    reference_seconds = _best_of(lambda: _make_windows_reference(series, window))
+    speedup = reference_seconds / fast_seconds
+    if speedup < _KERNEL_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"make_windows speedup {speedup:.2f}x is below the "
+            f"{_KERNEL_SPEEDUP_FLOOR}x floor"
+        )
+    return {
+        "reference_seconds": round(reference_seconds, 5),
+        "vectorized_seconds": round(fast_seconds, 5),
+        "speedup": round(speedup, 2),
+        "exact_match": True,
+    }
+
+
+def _bench_batched_rollout(rng: np.random.Generator) -> dict:
+    model = GRUForecaster(window=6, embed_dim=16, hidden_dim=16, rng=3)
+    seeds = rng.standard_normal((64, 6))
+    steps = 48
+    batched = model.predict_autoregressive(seeds, steps)
+    per_node = _rollout_per_node_reference(model, seeds, steps)
+    max_abs_diff = float(np.max(np.abs(batched - per_node)))
+    if max_abs_diff > 1e-12:
+        raise AssertionError(
+            f"batched rollout drifted {max_abs_diff:.2e} from per-node"
+        )
+    batched_seconds = _best_of(
+        lambda: model.predict_autoregressive(seeds, steps)
+    )
+    per_node_seconds = _best_of(
+        lambda: _rollout_per_node_reference(model, seeds, steps)
+    )
+    speedup = per_node_seconds / batched_seconds
+    if speedup < _KERNEL_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"batched rollout speedup {speedup:.2f}x is below the "
+            f"{_KERNEL_SPEEDUP_FLOOR}x floor"
+        )
+    return {
+        "per_node_seconds": round(per_node_seconds, 5),
+        "batched_seconds": round(batched_seconds, 5),
+        "speedup": round(speedup, 2),
+        "max_abs_diff": max_abs_diff,
+    }
+
+
+@register("nn_kernels")
+def bench_nn_kernels(workers: int | None = None) -> dict:
+    """Vectorized NN kernels vs their kept reference implementations."""
+    del workers  # single-process benchmark; kept for a uniform signature
+    rng = np.random.default_rng(17)
+    return {
+        "benchmark": "nn_kernels",
+        "cpu_count": os.cpu_count() or 1,
+        "kernels": {
+            "make_windows": _bench_make_windows(rng),
+            "batched_rollout": _bench_batched_rollout(rng),
+        },
+    }
+
+
+def _git_commit() -> str | None:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return completed.stdout.strip() or None
+
+
+def run_benchmark(name: str, workers: int = 4) -> dict:
+    """Run one registered benchmark; stamp wall time and commit."""
+    if name not in BENCHMARKS:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise ConfigurationError(f"unknown benchmark {name!r}; options: {known}")
+    started = time.perf_counter()
+    payload = BENCHMARKS[name](workers=workers)
+    payload["wall_seconds"] = round(time.perf_counter() - started, 3)
+    payload["commit"] = _git_commit()
+    return payload
+
+
+__all__: Sequence[str] = [
+    "BENCHMARKS",
+    "bench_nn_kernels",
+    "bench_parallel_sweep",
+    "register",
+    "run_benchmark",
+]

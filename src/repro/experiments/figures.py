@@ -21,7 +21,9 @@ from repro.experiments.harness import (
     ExperimentContext,
     build_context,
     run_mechanism,
+    run_mechanisms,
     run_stpt,
+    run_stpt_many,
     run_stpt_sweep,
 )
 from repro.experiments.presets import ScalePreset, active_preset
@@ -109,9 +111,11 @@ def figure6(
     distributions: tuple[str, ...] = ("uniform", "normal"),
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """One Figure 6 row (a dataset): MRE per algorithm x distribution x
-    query class."""
+    query class. ``workers`` fans the benchmark suite out over a
+    process pool, bit-identically to the serial run."""
     preset = preset or active_preset()
     generator = ensure_rng(rng)
     rows = []
@@ -128,8 +132,11 @@ def figure6(
                 **stpt_mre,
             }
         )
-        for mechanism in standard_benchmarks():
-            mre, __ = run_mechanism(context, mechanism, rng=derive_seed(generator))
+        mechanisms = standard_benchmarks()
+        for mechanism, (mre, __) in zip(
+            mechanisms,
+            run_mechanisms(context, mechanisms, rng=generator, workers=workers),
+        ):
             rows.append(
                 {
                     "dataset": dataset_name,
@@ -142,14 +149,20 @@ def figure6(
 
 
 def figure6_all(
-    preset: ScalePreset | None = None, rng: RngLike = None
+    preset: ScalePreset | None = None,
+    rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """All four Figure 6 dataset rows."""
     preset = preset or active_preset()
     generator = ensure_rng(rng)
     rows = []
     for name in DATASET_NAMES:
-        rows.extend(figure6(name, preset=preset, rng=derive_seed(generator)))
+        rows.extend(
+            figure6(
+                name, preset=preset, rng=derive_seed(generator), workers=workers
+            )
+        )
     return rows
 
 
@@ -226,6 +239,7 @@ def figure8c(
     levels: tuple[int, ...] = (2, 5, 10, 20, 40, 80),
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """MRE per query class as the number of quantization levels varies."""
     preset = preset or active_preset()
@@ -237,7 +251,9 @@ def figure8c(
     # granularity differs), so the sweep helper replays the trained
     # forecaster from cache after the first point.
     configs = [preset.stpt_config(quantization_levels=k) for k in levels]
-    sweep = run_stpt_sweep(context, configs, rng=derive_seed(generator))
+    sweep = run_stpt_sweep(
+        context, configs, rng=derive_seed(generator), workers=workers
+    )
     return [
         {"quantization_levels": k, **mre}
         for k, (__, mre) in zip(levels, sweep)
@@ -327,6 +343,7 @@ def figure8g(
     pattern_fractions: tuple[float, ...] = (0.1, 0.2, 1.0 / 3.0, 0.5, 0.7, 0.9),
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """MRE as the share of ε_tot given to pattern recognition varies."""
     preset = preset or active_preset()
@@ -345,7 +362,9 @@ def figure8g(
         )
         for fraction in pattern_fractions
     ]
-    sweep = run_stpt_sweep(context, configs, rng=derive_seed(generator))
+    sweep = run_stpt_sweep(
+        context, configs, rng=derive_seed(generator), workers=workers
+    )
     return [
         {"pattern_fraction": fraction, **mre}
         for fraction, (__, mre) in zip(pattern_fractions, sweep)
@@ -362,6 +381,7 @@ def figure8h(
     totals: tuple[float, ...] = (3.0, 7.5, 15.0, 30.0, 60.0),
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """MRE as ε_tot varies at the paper's 1:2 pattern:sanitize ratio."""
     preset = preset or active_preset()
@@ -377,7 +397,9 @@ def figure8h(
         )
         for total in totals
     ]
-    sweep = run_stpt_sweep(context, configs, rng=derive_seed(generator))
+    sweep = run_stpt_sweep(
+        context, configs, rng=derive_seed(generator), workers=workers
+    )
     return [
         {"epsilon_total": total, **mre}
         for total, (__, mre) in zip(totals, sweep)
@@ -394,6 +416,7 @@ def figure8i(
     families: tuple[str, ...] = ("rnn", "gru", "transformer"),
     preset: ScalePreset | None = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> list[dict]:
     """MRE per query class for each pattern-model family."""
     preset = preset or active_preset()
@@ -401,14 +424,15 @@ def figure8i(
     context = build_context(
         dataset_name, "uniform", preset, rng=derive_seed(generator)
     )
-    rows = []
-    for family in families:
-        config = preset.stpt_config(
-            pattern_overrides={"model_family": family}
-        )
-        __, mre = run_stpt(context, config, rng=derive_seed(generator))
-        rows.append({"model": family, **mre})
-    return rows
+    configs = [
+        preset.stpt_config(pattern_overrides={"model_family": family})
+        for family in families
+    ]
+    results = run_stpt_many(context, configs, rng=generator, workers=workers)
+    return [
+        {"model": family, **mre}
+        for family, (__, mre) in zip(families, results)
+    ]
 
 __all__ = [
     "table2",

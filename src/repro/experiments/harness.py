@@ -18,7 +18,7 @@ cache — an ε-sweep pays for data generation and pattern training once.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -30,6 +30,7 @@ from repro.data.matrix import ConsumptionMatrix, build_matrices
 from repro.data.spatial import place_households
 from repro.exceptions import ConfigurationError
 from repro.experiments.presets import ScalePreset, active_preset
+from repro.parallel import ExecutionResult, execute
 from repro.pipeline import ArtifactStore, Pipeline, RunRecord, Stage
 from repro.queries.metrics import workload_mre
 from repro.queries.range_query import RangeQuery, make_workload
@@ -228,11 +229,98 @@ def run_stpt(
     return result, context.mre_of(result.sanitized_kwh)
 
 
+def _publish_sweep_point(
+    config: STPTConfig,
+    point_seed: int,
+    pattern_seed: int,
+    norm: ConsumptionMatrix,
+    clip_scale: float,
+    store: ArtifactStore,
+) -> STPTResult:
+    """One sweep point: pattern stages pinned to the shared seed."""
+    pattern_rng = ensure_rng(pattern_seed)
+    return STPT(config, rng=point_seed, store=store).publish(
+        norm,
+        clip_scale=clip_scale,
+        stage_rngs={
+            "stpt/pattern-noise": pattern_rng,
+            "stpt/pattern-train": pattern_rng,
+        },
+    )
+
+
+def _sweep_point_task(payload: tuple) -> STPTResult:
+    """Self-contained sweep-point body for process-pool workers.
+
+    The payload carries plain seeds (never live generators — RNG002)
+    plus the disk ``cache_dir``; the worker rebuilds its own store so
+    only the lock-protected disk tier is shared between processes.
+    """
+    config, point_seed, pattern_seed, norm, clip_scale, cache_dir = payload
+    store = ArtifactStore(cache_dir=cache_dir)
+    return _publish_sweep_point(
+        config, point_seed, pattern_seed, norm, clip_scale, store
+    )
+
+
+def _annotate_records(result: STPTResult, executed: ExecutionResult, index: int) -> None:
+    """Stamp executor bookkeeping onto a parallel run's stage records."""
+    task = executed.tasks[index]
+    records = [replace(record, worker=task.worker) for record in result.records]
+    if records:
+        records[0] = replace(records[0], queued_seconds=task.queued_seconds)
+    result.records = records
+
+
+def publish_stpt_sweep(
+    norm: ConsumptionMatrix,
+    clip_scale: float,
+    configs: Sequence[STPTConfig],
+    rng: RngLike = None,
+    store: ArtifactStore | None = None,
+    workers: int | None = None,
+) -> list[STPTResult]:
+    """The sweep core: one STPT release per config over one matrix.
+
+    This is :func:`run_stpt_sweep` minus the
+    :class:`ExperimentContext` — the CLI's multi-ε ``publish`` fan-out
+    calls it directly on a loaded matrix. See :func:`run_stpt_sweep`
+    for the seed discipline, cache-sharing and determinism contract.
+    """
+    generator = ensure_rng(rng)
+    if store is None:
+        store = ArtifactStore()
+    pattern_seed = derive_seed(generator)
+    point_seeds = [derive_seed(generator) for __ in configs]
+    if workers is None or workers in (0, 1):
+        return [
+            _publish_sweep_point(
+                config, point_seed, pattern_seed, norm, clip_scale, store
+            )
+            for config, point_seed in zip(configs, point_seeds)
+        ]
+    cache_dir = str(store.cache_dir) if store.cache_dir is not None else None
+    payloads = [
+        (config, seed, pattern_seed, norm, clip_scale, cache_dir)
+        for config, seed in zip(configs, point_seeds)
+    ]
+    executed = execute(
+        _sweep_point_task,
+        payloads,
+        workers=workers,
+        labels=[f"stpt-sweep[{i}]" for i in range(len(payloads))],
+    )
+    for index, result in enumerate(executed.values):
+        _annotate_records(result, executed, index)
+    return list(executed.values)
+
+
 def run_stpt_sweep(
     context: ExperimentContext,
     configs: Sequence[STPTConfig],
     rng: RngLike = None,
     store: ArtifactStore | None = None,
+    workers: int | None = None,
 ) -> list[tuple[STPTResult, dict[str, float]]]:
     """Run STPT once per config, replaying shared phases from cache.
 
@@ -249,22 +337,67 @@ def run_stpt_sweep(
     post-processing; the sweep as a whole costs
     ε_pattern + Σ ε_sanitize, even though each returned result's own
     accountant reports its configured total.
+
+    With ``workers >= 2`` the points run on a process pool and the
+    results are **bit-identical** to the serial sweep: all seeds are
+    derived before dispatch, every point is an independent release with
+    its own accountant, and a cache replay is — by the pipeline cache's
+    contract — bit-exact for a recomputation. Workers share artifacts
+    only through ``store``'s disk tier (when it has one); with a pure
+    in-memory store each worker trains its own pattern phase, trading
+    cache reuse for wall-clock parallelism.
+    """
+    results = publish_stpt_sweep(
+        context.norm,
+        context.clip_factor,
+        configs,
+        rng=rng,
+        store=store,
+        workers=workers,
+    )
+    return [
+        (result, context.mre_of(result.sanitized_kwh)) for result in results
+    ]
+
+
+def _stpt_task(payload: tuple) -> STPTResult:
+    """Self-contained independent-STPT-run body for pool workers."""
+    config, seed, norm, clip_scale = payload
+    return STPT(config, rng=seed).publish(norm, clip_scale=clip_scale)
+
+
+def run_stpt_many(
+    context: ExperimentContext,
+    configs: Sequence[STPTConfig],
+    rng: RngLike = None,
+    workers: int | None = None,
+) -> list[tuple[STPTResult, dict[str, float]]]:
+    """Independent STPT runs, one per config (the ablation fan-out).
+
+    Unlike :func:`run_stpt_sweep` nothing is shared between points —
+    each run draws its own pattern release — so this matches a loop of
+    :func:`run_stpt` calls bit-for-bit at any ``workers`` value.
     """
     generator = ensure_rng(rng)
-    if store is None:
-        store = ArtifactStore()
-    pattern_seed = derive_seed(generator)
+    seeds = [derive_seed(generator) for __ in configs]
+    if workers is None or workers in (0, 1):
+        return [
+            run_stpt(context, config, rng=seed)
+            for config, seed in zip(configs, seeds)
+        ]
+    payloads = [
+        (config, seed, context.norm, context.clip_factor)
+        for config, seed in zip(configs, seeds)
+    ]
+    executed = execute(
+        _stpt_task,
+        payloads,
+        workers=workers,
+        labels=[f"stpt[{i}]" for i in range(len(payloads))],
+    )
     out = []
-    for config in configs:
-        pattern_rng = ensure_rng(pattern_seed)
-        result = STPT(config, rng=derive_seed(generator), store=store).publish(
-            context.norm,
-            clip_scale=context.clip_factor,
-            stage_rngs={
-                "stpt/pattern-noise": pattern_rng,
-                "stpt/pattern-train": pattern_rng,
-            },
-        )
+    for index, result in enumerate(executed.values):
+        _annotate_records(result, executed, index)
         out.append((result, context.mre_of(result.sanitized_kwh)))
     return out
 
@@ -281,6 +414,53 @@ def run_mechanism(
     run = mechanism.run(context.test_norm, epsilon, rng=rng)
     elapsed = time.perf_counter() - started
     return context.mre_of(context.to_kwh(run.sanitized)), elapsed
+
+
+def _mechanism_task(payload: tuple):
+    """Self-contained baseline-mechanism body for pool workers."""
+    mechanism, test_norm, epsilon, seed = payload
+    started = time.perf_counter()
+    run = mechanism.run(test_norm, epsilon, rng=seed)
+    return run, time.perf_counter() - started
+
+
+def run_mechanisms(
+    context: ExperimentContext,
+    mechanisms: Sequence[Mechanism],
+    epsilon: float | None = None,
+    rng: RngLike = None,
+    workers: int | None = None,
+) -> list[tuple[dict[str, float], float]]:
+    """Run a list of baselines; one (MRE, wall seconds) pair each.
+
+    The parallel path is bit-identical to looping
+    :func:`run_mechanism`: per-mechanism seeds are derived before
+    dispatch in list order, and each mechanism is an independent
+    release. Reported wall seconds are the worker-side execution time
+    (queue wait excluded), so timings stay comparable to serial runs.
+    """
+    epsilon = epsilon if epsilon is not None else context.preset.epsilon_total
+    generator = ensure_rng(rng)
+    seeds = [derive_seed(generator) for __ in mechanisms]
+    if workers is None or workers in (0, 1):
+        return [
+            run_mechanism(context, mechanism, epsilon, rng=seed)
+            for mechanism, seed in zip(mechanisms, seeds)
+        ]
+    payloads = [
+        (mechanism, context.test_norm, epsilon, seed)
+        for mechanism, seed in zip(mechanisms, seeds)
+    ]
+    executed = execute(
+        _mechanism_task,
+        payloads,
+        workers=workers,
+        labels=[mechanism.name for mechanism in mechanisms],
+    )
+    return [
+        (context.mre_of(context.to_kwh(run.sanitized)), elapsed)
+        for run, elapsed in executed.values
+    ]
 
 
 def format_table(
@@ -317,8 +497,11 @@ __all__ = [
     "ExperimentContext",
     "build_context",
     "build_context_stages",
+    "publish_stpt_sweep",
     "run_stpt",
+    "run_stpt_many",
     "run_stpt_sweep",
     "run_mechanism",
+    "run_mechanisms",
     "format_table",
 ]

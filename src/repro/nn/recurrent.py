@@ -7,6 +7,23 @@ the time axis of a ``(batch, time, features)`` tensor and run
 backpropagation-through-time in reverse, summing the gradient flowing
 from the output at each step with the gradient arriving from the
 future.
+
+The wrappers do not call ``cell.step`` per timestep anymore: the
+input-side gate projections ``x @ W`` are precomputed for *all*
+timesteps in one gemm before the recurrence, and per-step cache tuples
+are replaced by preallocated ``(batch, time, hidden)`` arrays. The
+fusion is **bit-identical** to the per-step loop — slicing the
+reshaped ``(batch*time, features) @ W`` result reproduces the same
+dgemm rows, and the elementwise addition order ``(x@W + h@U) + b`` is
+preserved — so the determinism goldens survive unchanged; only the
+per-timestep Python and allocation overhead of BPTT goes away. The
+backward pass deliberately keeps every gemm per-step (weight grads,
+``dx`` and ``dh`` back-projections) because batching those into one
+wide matmul is *not* bit-stable: BLAS may pick a different small-gemm
+kernel for the fused shape and flip last-ulp bits. The cells' ``step``
+/ ``step_backward`` remain the reference semantics, and
+``tests/nn/test_fast_kernels.py`` asserts exact equality between the
+two paths.
 """
 
 from __future__ import annotations
@@ -185,29 +202,44 @@ class RNN(Module):
         super().__init__()
         self.cell = RNNCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
-        self._caches: list[tuple] = []
+        self._fwd: tuple | None = None
 
     def forward(self, x: np.ndarray, h0: np.ndarray | None = None) -> np.ndarray:
         x = np.asarray(x, dtype=float)
         batch, steps, __ = x.shape
+        cell = self.cell
         h = np.zeros((batch, self.hidden_size)) if h0 is None else h0
-        self._caches = []
+        # All input-side projections in one gemm; slicing the reshaped
+        # result reproduces the per-step x[:, t, :] @ w bits exactly.
+        px = (x.reshape(batch * steps, cell.input_size) @ cell.w.value).reshape(
+            batch, steps, self.hidden_size
+        )
+        hs_prev = np.empty((batch, steps, self.hidden_size))
         outputs = np.empty((batch, steps, self.hidden_size))
         for t in range(steps):
-            h, cache = self.cell.step(x[:, t, :], h)
-            self._caches.append(cache)
+            hs_prev[:, t, :] = h
+            h = np.tanh(px[:, t, :] + h @ cell.u.value + cell.b.value)
             outputs[:, t, :] = h
+        self._fwd = (x, hs_prev, outputs)
         return outputs
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         grad_out = np.asarray(grad_out, dtype=float)
         batch, steps, __ = grad_out.shape
-        dx = np.empty((batch, steps, self.cell.input_size))
+        if self._fwd is None:
+            raise ConfigurationError("backward called before forward")
+        x, hs_prev, outputs = self._fwd
+        cell = self.cell
+        dx = np.empty((batch, steps, cell.input_size))
         dh_next = np.zeros((batch, self.hidden_size))
         for t in reversed(range(steps)):
             dh = grad_out[:, t, :] + dh_next
-            dx_t, dh_next = self.cell.step_backward(dh, self._caches[t])
-            dx[:, t, :] = dx_t
+            da = dh * (1.0 - outputs[:, t, :] ** 2)
+            cell.w.grad += x[:, t, :].T @ da
+            cell.u.grad += hs_prev[:, t, :].T @ da
+            cell.b.grad += da.sum(axis=0)
+            dh_next = da @ cell.u.value.T
+            dx[:, t, :] = da @ cell.w.value.T
         return dx
 
 
@@ -218,28 +250,81 @@ class GRU(Module):
         super().__init__()
         self.cell = GRUCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
-        self._caches: list[tuple] = []
+        self._fwd: tuple | None = None
 
     def forward(self, x: np.ndarray, h0: np.ndarray | None = None) -> np.ndarray:
         x = np.asarray(x, dtype=float)
         batch, steps, __ = x.shape
-        h = np.zeros((batch, self.hidden_size)) if h0 is None else h0
-        self._caches = []
-        outputs = np.empty((batch, steps, self.hidden_size))
+        cell = self.cell
+        hidden = self.hidden_size
+        h = np.zeros((batch, hidden)) if h0 is None else h0
+        flat = x.reshape(batch * steps, cell.input_size)
+        px_z = (flat @ cell.w_z.value).reshape(batch, steps, hidden)
+        px_r = (flat @ cell.w_r.value).reshape(batch, steps, hidden)
+        px_n = (flat @ cell.w_n.value).reshape(batch, steps, hidden)
+        hs_prev = np.empty((batch, steps, hidden))
+        zs = np.empty((batch, steps, hidden))
+        rs = np.empty((batch, steps, hidden))
+        rhs = np.empty((batch, steps, hidden))
+        ns = np.empty((batch, steps, hidden))
+        outputs = np.empty((batch, steps, hidden))
         for t in range(steps):
-            h, cache = self.cell.step(x[:, t, :], h)
-            self._caches.append(cache)
+            hs_prev[:, t, :] = h
+            z = sigmoid(px_z[:, t, :] + h @ cell.u_z.value + cell.b_z.value)
+            r = sigmoid(px_r[:, t, :] + h @ cell.u_r.value + cell.b_r.value)
+            rh = r * h
+            n = np.tanh(px_n[:, t, :] + rh @ cell.u_n.value + cell.b_n.value)
+            h = (1.0 - z) * n + z * h
+            zs[:, t, :] = z
+            rs[:, t, :] = r
+            rhs[:, t, :] = rh
+            ns[:, t, :] = n
             outputs[:, t, :] = h
+        self._fwd = (x, hs_prev, zs, rs, rhs, ns)
         return outputs
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         grad_out = np.asarray(grad_out, dtype=float)
         batch, steps, __ = grad_out.shape
-        dx = np.empty((batch, steps, self.cell.input_size))
+        if self._fwd is None:
+            raise ConfigurationError("backward called before forward")
+        x, hs_prev, zs, rs, rhs, ns = self._fwd
+        cell = self.cell
+        dx = np.empty((batch, steps, cell.input_size))
         dh_next = np.zeros((batch, self.hidden_size))
         for t in reversed(range(steps)):
             dh = grad_out[:, t, :] + dh_next
-            dx_t, dh_next = self.cell.step_backward(dh, self._caches[t])
+            x_t = x[:, t, :]
+            h_prev = hs_prev[:, t, :]
+            z = zs[:, t, :]
+            r = rs[:, t, :]
+            rh = rhs[:, t, :]
+            n = ns[:, t, :]
+            dn = dh * (1.0 - z)
+            dz = dh * (h_prev - n)
+            dh_prev = dh * z
+
+            da_n = dn * (1.0 - n**2)
+            cell.w_n.grad += x_t.T @ da_n
+            cell.u_n.grad += rh.T @ da_n
+            cell.b_n.grad += da_n.sum(axis=0)
+            dx_t = da_n @ cell.w_n.value.T
+            drh = da_n @ cell.u_n.value.T
+            dr = drh * h_prev
+            dh_prev = dh_prev + drh * r
+
+            da_z = dz * z * (1.0 - z)
+            da_r = dr * r * (1.0 - r)
+            cell.w_z.grad += x_t.T @ da_z
+            cell.u_z.grad += h_prev.T @ da_z
+            cell.b_z.grad += da_z.sum(axis=0)
+            cell.w_r.grad += x_t.T @ da_r
+            cell.u_r.grad += h_prev.T @ da_r
+            cell.b_r.grad += da_r.sum(axis=0)
+
+            dx_t += da_z @ cell.w_z.value.T + da_r @ cell.w_r.value.T
+            dh_prev += da_z @ cell.u_z.value.T + da_r @ cell.u_r.value.T
+            dh_next = dh_prev
             dx[:, t, :] = dx_t
         return dx
 
@@ -251,7 +336,7 @@ class LSTM(Module):
         super().__init__()
         self.cell = LSTMCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
-        self._caches: list[tuple] = []
+        self._fwd: tuple | None = None
 
     def forward(
         self,
@@ -260,33 +345,81 @@ class LSTM(Module):
     ) -> np.ndarray:
         x = np.asarray(x, dtype=float)
         batch, steps, __ = x.shape
+        cell = self.cell
+        hidden = self.hidden_size
         if state0 is None:
-            state = (
-                np.zeros((batch, self.hidden_size)),
-                np.zeros((batch, self.hidden_size)),
-            )
+            h = np.zeros((batch, hidden))
+            c = np.zeros((batch, hidden))
         else:
-            state = state0
-        self._caches = []
-        outputs = np.empty((batch, steps, self.hidden_size))
+            h, c = state0
+        px = (x.reshape(batch * steps, cell.input_size) @ cell.w.value).reshape(
+            batch, steps, 4 * hidden
+        )
+        hs_prev = np.empty((batch, steps, hidden))
+        cs_prev = np.empty((batch, steps, hidden))
+        gates = np.empty((batch, steps, 4 * hidden))  # sigm/tanh-activated
+        tanh_cs = np.empty((batch, steps, hidden))
+        outputs = np.empty((batch, steps, hidden))
         for t in range(steps):
-            state, cache = self.cell.step(x[:, t, :], state)
-            self._caches.append(cache)
-            outputs[:, t, :] = state[0]
+            hs_prev[:, t, :] = h
+            cs_prev[:, t, :] = c
+            a = px[:, t, :] + h @ cell.u.value + cell.b.value
+            i = sigmoid(a[:, :hidden])
+            f = sigmoid(a[:, hidden : 2 * hidden])
+            g = np.tanh(a[:, 2 * hidden : 3 * hidden])
+            o = sigmoid(a[:, 3 * hidden :])
+            c = f * c + i * g
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
+            gates[:, t, :hidden] = i
+            gates[:, t, hidden : 2 * hidden] = f
+            gates[:, t, 2 * hidden : 3 * hidden] = g
+            gates[:, t, 3 * hidden :] = o
+            tanh_cs[:, t, :] = tanh_c
+            outputs[:, t, :] = h
+        self._fwd = (x, hs_prev, cs_prev, gates, tanh_cs)
         return outputs
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         grad_out = np.asarray(grad_out, dtype=float)
         batch, steps, __ = grad_out.shape
-        dx = np.empty((batch, steps, self.cell.input_size))
-        dh_next = np.zeros((batch, self.hidden_size))
-        dc_next = np.zeros((batch, self.hidden_size))
+        if self._fwd is None:
+            raise ConfigurationError("backward called before forward")
+        x, hs_prev, cs_prev, gates, tanh_cs = self._fwd
+        cell = self.cell
+        hidden = self.hidden_size
+        dx = np.empty((batch, steps, cell.input_size))
+        dh_next = np.zeros((batch, hidden))
+        dc_next = np.zeros((batch, hidden))
         for t in reversed(range(steps)):
             dh = grad_out[:, t, :] + dh_next
-            dx_t, dh_next, dc_next = self.cell.step_backward(
-                dh, dc_next, self._caches[t]
+            i = gates[:, t, :hidden]
+            f = gates[:, t, hidden : 2 * hidden]
+            g = gates[:, t, 2 * hidden : 3 * hidden]
+            o = gates[:, t, 3 * hidden :]
+            tanh_c = tanh_cs[:, t, :]
+            c_prev = cs_prev[:, t, :]
+            do = dh * tanh_c
+            dc_total = dc_next + dh * o * (1.0 - tanh_c**2)
+            di = dc_total * g
+            df = dc_total * c_prev
+            dg = dc_total * i
+            dc_next = dc_total * f
+
+            da = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g**2),
+                    do * o * (1.0 - o),
+                ],
+                axis=1,
             )
-            dx[:, t, :] = dx_t
+            cell.w.grad += x[:, t, :].T @ da
+            cell.u.grad += hs_prev[:, t, :].T @ da
+            cell.b.grad += da.sum(axis=0)
+            dh_next = da @ cell.u.value.T
+            dx[:, t, :] = da @ cell.w.value.T
         return dx
 
 

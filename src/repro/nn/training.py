@@ -28,6 +28,57 @@ def make_windows(
     Series shorter than ``window + 1`` contribute nothing; an error is
     raised only when *no* series is long enough, because a quadtree's
     coarse levels legitimately produce short segments.
+
+    Implemented on :func:`numpy.lib.stride_tricks.sliding_window_view`:
+    consecutive equal-length series (the common case — every quadtree
+    level yields same-length segments) are stacked and windowed in one
+    shot, replacing the O(n·w) per-window Python allocation loop.
+    Output is bit-identical to :func:`_make_windows_reference`, window
+    order included.
+    """
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    arrays = [np.asarray(series, dtype=float).ravel() for series in series_list]
+    input_parts: list[np.ndarray] = []
+    target_parts: list[np.ndarray] = []
+    index = 0
+    while index < len(arrays):
+        # Group the maximal run of consecutive same-length series so the
+        # concatenated window order matches the reference loop exactly.
+        length = arrays[index].size
+        stop = index + 1
+        while stop < len(arrays) and arrays[stop].size == length:
+            stop += 1
+        if length > window:
+            block = np.stack(arrays[index:stop])
+            views = np.lib.stride_tricks.sliding_window_view(
+                block, window + 1, axis=1
+            ).reshape(-1, window + 1)
+            input_parts.append(views[:, :window])
+            target_parts.append(views[:, window])
+        index = stop
+    if not input_parts:
+        raise TrainingError(
+            f"no series was long enough to produce a window of size {window}"
+        )
+    # np.concatenate copies, detaching the result from the strided views.
+    inputs = np.concatenate(input_parts) if len(input_parts) > 1 else np.array(
+        input_parts[0]
+    )
+    targets = np.concatenate(target_parts) if len(target_parts) > 1 else np.array(
+        target_parts[0]
+    )
+    return inputs, targets
+
+
+def _make_windows_reference(
+    series_list: Iterable[np.ndarray], window: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The original per-window Python loop, kept as the reference path.
+
+    ``make_windows`` must stay bit-identical to this implementation;
+    ``tests/nn/test_fast_kernels.py`` asserts the equivalence and
+    ``benchmarks/bench_nn_kernels.py`` the speedup.
     """
     if window <= 0:
         raise ConfigurationError("window must be positive")

@@ -1,0 +1,38 @@
+"""Deterministic multi-core execution for pipelines and sweeps.
+
+Layers on top of :mod:`concurrent.futures`:
+
+* :class:`ParallelExecutor` — a process pool that returns results in
+  submission order, with a :class:`SerialExecutor` twin sharing the
+  same interface (the executable specification the pool must match);
+* :func:`spawn_seed_sequences` — per-task
+  :class:`numpy.random.SeedSequence` children derived once before
+  dispatch, so an N-worker run is bit-identical to a serial run;
+* :class:`TaskRecord` — per-task scheduling bookkeeping (worker id,
+  queue wait, execution wall time).
+
+See ``docs/parallel.md`` for the determinism contract and for when
+parallelism is DP-sound (independent runs only — never split one
+accountant across workers).
+"""
+
+from repro.parallel.executor import (
+    ExecutionResult,
+    ParallelExecutor,
+    SerialExecutor,
+    TaskRecord,
+    execute,
+    get_executor,
+)
+from repro.parallel.seeds import spawn_seed_sequences, task_generator
+
+__all__ = [
+    "ExecutionResult",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "TaskRecord",
+    "execute",
+    "get_executor",
+    "spawn_seed_sequences",
+    "task_generator",
+]

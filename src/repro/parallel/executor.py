@@ -1,0 +1,220 @@
+"""Deterministic task execution: a process pool and its serial twin.
+
+The contract both executors share:
+
+* tasks are **self-contained** — a module-level function plus one
+  picklable payload, no shared mutable state, no live generators;
+* results come back **in submission order**, whatever order workers
+  finished in;
+* randomness enters only through seeds carried *inside* payloads
+  (ints or :class:`numpy.random.SeedSequence` children, see
+  :mod:`repro.parallel.seeds`), never through a generator captured in a
+  closure — lint rule RNG002 polices exactly this.
+
+Under those rules a run with N workers is bit-identical to a run with
+one worker: the serial executor is not a degraded mode but the
+executable specification of what the pool must reproduce, and the
+tier-1 determinism tests assert the equality instead of hoping for it.
+
+Every task also yields a :class:`TaskRecord` — which worker ran it, how
+long it sat in the queue and how long it executed — so parallel sweeps
+can report scheduling behaviour the same way pipelines report per-stage
+wall time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pickle import PicklingError
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Scheduling bookkeeping for one executed task."""
+
+    index: int                 #: position in the submitted payload list
+    label: str                 #: human-readable task label
+    worker: str                #: ``"serial"`` or ``"pid:<n>"``
+    queued_seconds: float      #: submit -> execution start
+    seconds: float             #: execution start -> done
+
+
+@dataclass
+class ExecutionResult:
+    """Ordered task values plus their scheduling records."""
+
+    values: list[Any]
+    tasks: list[TaskRecord] = field(default_factory=list)
+    workers: int = 1
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def queued_seconds(self) -> float:
+        return sum(task.queued_seconds for task in self.tasks)
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(task.seconds for task in self.tasks)
+
+
+def _instrumented(item: tuple[Callable[[Any], Any], Any]) -> tuple[Any, str, float, float]:
+    """Run one task and report who ran it and when (worker side)."""
+    fn, payload = item
+    started = time.monotonic()
+    value = fn(payload)
+    return value, f"pid:{os.getpid()}", started, time.monotonic()
+
+
+class SerialExecutor:
+    """In-process executor: the reference semantics of the pool.
+
+    Used whenever ``workers`` is 0, 1 or None — and in tests as the
+    ground truth the :class:`ParallelExecutor` must match bit-for-bit.
+    """
+
+    workers = 1
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        labels: Sequence[str] | None = None,
+    ) -> ExecutionResult:
+        labels = _check_labels(payloads, labels)
+        values: list[Any] = []
+        tasks: list[TaskRecord] = []
+        for index, payload in enumerate(payloads):
+            started = time.monotonic()
+            values.append(fn(payload))
+            tasks.append(
+                TaskRecord(
+                    index=index,
+                    label=labels[index],
+                    worker="serial",
+                    queued_seconds=0.0,
+                    seconds=time.monotonic() - started,
+                )
+            )
+        return ExecutionResult(values=values, tasks=tasks, workers=1)
+
+
+class ParallelExecutor:
+    """Process-pool executor with the serial executor's semantics.
+
+    Tasks are dispatched to a :class:`concurrent.futures.ProcessPoolExecutor`
+    (fork start method where available — cheap on Linux, and payloads
+    still travel by pickle so nothing depends on inherited state) and
+    results are collected **in submission order**.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ConfigurationError(
+                f"ParallelExecutor needs at least 2 workers, got {workers}; "
+                "use SerialExecutor (workers=1) for in-process execution"
+            )
+        self.workers = int(workers)
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        labels: Sequence[str] | None = None,
+    ) -> ExecutionResult:
+        labels = _check_labels(payloads, labels)
+        if not payloads:
+            return ExecutionResult(values=[], tasks=[], workers=self.workers)
+        submitted: list[float] = []
+        with ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=_mp_context()
+        ) as pool:
+            try:
+                futures = []
+                for payload in payloads:
+                    submitted.append(time.monotonic())
+                    futures.append(pool.submit(_instrumented, (fn, payload)))
+                raw = [future.result() for future in futures]
+            except (PicklingError, AttributeError) as error:
+                raise ConfigurationError(
+                    "parallel task is not self-contained: the function and "
+                    "its payload must be picklable module-level objects "
+                    f"({error})"
+                ) from error
+        values: list[Any] = []
+        tasks: list[TaskRecord] = []
+        for index, (value, worker, started, ended) in enumerate(raw):
+            values.append(value)
+            tasks.append(
+                TaskRecord(
+                    index=index,
+                    label=labels[index],
+                    # CLOCK_MONOTONIC is system-wide on Linux; clamp for
+                    # platforms where child clocks are not comparable.
+                    worker=worker,
+                    queued_seconds=max(0.0, started - submitted[index]),
+                    seconds=max(0.0, ended - started),
+                )
+            )
+        return ExecutionResult(values=values, tasks=tasks, workers=self.workers)
+
+
+def _mp_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-posix platforms
+        return multiprocessing.get_context()
+
+
+def _check_labels(
+    payloads: Sequence[Any], labels: Sequence[str] | None
+) -> list[str]:
+    if labels is None:
+        return [f"task[{i}]" for i in range(len(payloads))]
+    labels = [str(label) for label in labels]
+    if len(labels) != len(payloads):
+        raise ConfigurationError(
+            f"{len(payloads)} payload(s) but {len(labels)} label(s)"
+        )
+    return labels
+
+
+def get_executor(workers: int | None) -> SerialExecutor | ParallelExecutor:
+    """Executor for a ``workers=`` argument: serial for None/0/1."""
+    if workers is None or workers in (0, 1):
+        return SerialExecutor()
+    if workers < 0:
+        raise ConfigurationError(f"workers must be non-negative, got {workers}")
+    return ParallelExecutor(workers)
+
+
+def execute(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: int | None = None,
+    labels: Sequence[str] | None = None,
+) -> ExecutionResult:
+    """One-shot helper: pick an executor for ``workers`` and run."""
+    return get_executor(workers).run(fn, payloads, labels=labels)
+
+
+__all__ = [
+    "ExecutionResult",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "TaskRecord",
+    "execute",
+    "get_executor",
+]

@@ -29,6 +29,8 @@ class RunRecord:
     cached: bool                     #: artifact served from the store
     artifact_key: str | None = None  #: cache key (None when uncacheable)
     rng_state: str | None = None     #: entry rng fingerprint (stochastic stages)
+    worker: str | None = None        #: executor worker id (parallel runs only)
+    queued_seconds: float = 0.0      #: dispatch -> execution start wait
 
     def as_row(self) -> dict[str, object]:
         """Plain-dict rendering for ``format_table`` and the CLI."""

@@ -22,11 +22,18 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.exceptions import ConfigurationError, PrivacyError
+
+#: How long a writer waits on a peer's lock before treating it as stale.
+#: Artifact pickles are small (milliseconds to write); a lock this old
+#: belongs to a crashed process, not a slow one.
+_LOCK_TIMEOUT_SECONDS = 10.0
+_LOCK_POLL_SECONDS = 0.01
 
 
 @dataclass
@@ -175,19 +182,64 @@ class ArtifactStore:
 
     def _write_disk(self, artifact: Artifact) -> None:
         path = self._path_for(artifact.key)
-        # Write-then-rename so a crashed run never leaves a torn pickle
-        # that a later run would deserialize into garbage.
-        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        # Concurrent writers (parallel sweeps sharing one cache_dir) are
+        # serialized per key by a lock file. Keys are content hashes, so
+        # two writers racing on one key carry identical bytes — the lock
+        # only avoids redundant I/O; even lock-free the write-then-rename
+        # below can never tear a pickle.
+        lock = self._acquire_lock(path)
         try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(artifact, handle, protocol=4)
-            os.replace(tmp_name, path)
-        except Exception:
+            if lock is not None and path.is_file():
+                return  # a peer finished this key while we waited
+            fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
             try:
-                os.unlink(tmp_name)
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(artifact, handle, protocol=4)
+                os.replace(tmp_name, path)
+            except Exception:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        finally:
+            if lock is not None:
+                self._release_lock(lock)
+
+    @staticmethod
+    def _acquire_lock(path: Path) -> Path | None:
+        """Take ``<path>.lock`` exclusively; None means proceed unlocked.
+
+        O_CREAT|O_EXCL is atomic on every POSIX filesystem. A lock older
+        than :data:`_LOCK_TIMEOUT_SECONDS` is stolen (its owner crashed);
+        if stealing also fails the writer proceeds without the lock,
+        which is safe because ``os.replace`` keeps the data atomic.
+        """
+        lock_path = path.with_name(path.name + ".lock")
+        deadline = time.monotonic() + _LOCK_TIMEOUT_SECONDS
+        while True:
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    try:
+                        os.unlink(lock_path)  # steal the stale lock
+                    except OSError:
+                        return None
+                    continue
+                time.sleep(_LOCK_POLL_SECONDS)
+                continue
             except OSError:
-                pass
-            raise
+                return None
+            os.close(fd)
+            return lock_path
+
+    @staticmethod
+    def _release_lock(lock_path: Path) -> None:
+        try:
+            os.unlink(lock_path)
+        except OSError:  # pragma: no cover - already stolen or cleaned up
+            pass
 
     def _read_disk(self, key: str) -> Artifact | None:
         path = self._path_for(key)

@@ -1,0 +1,147 @@
+"""``Pipeline.run_many``: fan-out determinism, accounting, bookkeeping."""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.dp.budget import BudgetAccountant
+from repro.exceptions import ConfigurationError
+from repro.pipeline import ArtifactStore, Pipeline, Stage
+
+
+def noisy_scale(ctx, x):
+    return x * (1.0 + ctx.rng.standard_normal())
+
+
+def spend_epsilon(ctx, scaled):
+    ctx.accountant.spend(0.5, "release")
+    # Toy stage: raw laplace keeps the fixture free of mechanism deps.
+    return scaled + ctx.rng.laplace(scale=1.0 / 0.5)  # lint: disable=DP001
+
+
+def build_pipeline(store=None):
+    return Pipeline(
+        [
+            Stage(
+                name="scale",
+                fn=noisy_scale,
+                inputs=("x",),
+                output="scaled",
+                uses_rng=True,
+            ),
+            Stage(
+                name="release",
+                fn=spend_epsilon,
+                inputs=("scaled",),
+                output="released",
+                spends_budget=True,
+                uses_rng=True,
+            ),
+        ],
+        store=store,
+    )
+
+
+def run_values(runs):
+    return [run.artifact("released") for run in runs]
+
+
+class TestRunManyDeterminism:
+    def test_parallel_bit_identical_to_serial(self):
+        pipeline = build_pipeline()
+        initials = [{"x": float(i + 1)} for i in range(6)]
+        factory = functools.partial(BudgetAccountant, 1.0)
+        serial = pipeline.run_many(
+            initials, rng=42, workers=None, accountant_factory=factory
+        )
+        parallel = pipeline.run_many(
+            initials, rng=42, workers=2, accountant_factory=factory
+        )
+        assert run_values(serial) == run_values(parallel)
+
+    def test_results_independent_of_worker_count(self):
+        pipeline = build_pipeline()
+        initials = [{"x": 1.0}] * 4
+        factory = functools.partial(BudgetAccountant, 1.0)
+        two = pipeline.run_many(
+            initials, rng=9, workers=2, accountant_factory=factory
+        )
+        three = pipeline.run_many(
+            initials, rng=9, workers=3, accountant_factory=factory
+        )
+        assert run_values(two) == run_values(three)
+
+    def test_caller_rng_advance_independent_of_task_count(self):
+        pipeline = build_pipeline()
+        factory = functools.partial(BudgetAccountant, 1.0)
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        pipeline.run_many([{"x": 1.0}], rng=rng_a, accountant_factory=factory)
+        pipeline.run_many(
+            [{"x": 1.0}] * 7, rng=rng_b, accountant_factory=factory
+        )
+        assert rng_a.integers(1 << 30) == rng_b.integers(1 << 30)
+
+
+class TestRunManyAccounting:
+    def test_each_run_gets_its_own_accountant(self):
+        pipeline = build_pipeline()
+        runs = pipeline.run_many(
+            [{"x": 1.0}] * 3,
+            rng=1,
+            workers=2,
+            accountant_factory=functools.partial(BudgetAccountant, 1.0),
+        )
+        for run in runs:
+            assert run.accountant is not None
+            assert run.accountant.spent_epsilon == pytest.approx(0.5)
+
+    def test_worker_and_queue_annotations(self):
+        pipeline = build_pipeline()
+        factory = functools.partial(BudgetAccountant, 1.0)
+        serial = pipeline.run_many(
+            [{"x": 1.0}] * 2, rng=3, accountant_factory=factory
+        )
+        parallel = pipeline.run_many(
+            [{"x": 1.0}] * 2, rng=3, workers=2, accountant_factory=factory
+        )
+        for run in serial:
+            assert all(record.worker == "serial" for record in run.records)
+        for run in parallel:
+            workers = {record.worker for record in run.records}
+            assert len(workers) == 1  # one worker ran the whole pipeline
+            assert workers.pop().startswith("pid:")
+            assert run.records[0].queued_seconds >= 0.0
+
+    def test_closure_stage_raises_configuration_error(self):
+        captured = np.random.default_rng(0)
+
+        def unpicklable(ctx, x):  # pragma: no cover - never actually runs
+            return captured.random() + x
+
+        pipeline = Pipeline(
+            [Stage(name="bad", fn=unpicklable, inputs=("x",), output="y")]
+        )
+        with pytest.raises(ConfigurationError, match="self-contained"):
+            pipeline.run_many([{"x": 1.0}] * 2, rng=0, workers=2)
+
+
+class TestRunManyWithStore:
+    def test_disk_store_shared_across_workers(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        pipeline = build_pipeline(store=store)
+        factory = functools.partial(BudgetAccountant, 1.0)
+        initials = [{"x": 2.0}] * 4
+        runs = pipeline.run_many(
+            initials, rng=7, workers=2, accountant_factory=factory
+        )
+        assert len(runs) == 4
+        # The cacheable stage landed on disk; the budget-spending one
+        # must not have been persisted by any worker.
+        stages = set()
+        for key in store.keys():
+            artifact = store.get(key)
+            assert artifact is not None
+            stages.add(artifact.stage)
+        assert "release" not in stages

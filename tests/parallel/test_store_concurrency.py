@@ -1,0 +1,102 @@
+"""Concurrent ``ArtifactStore`` writers: races, locks, DP refusal."""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.parallel import ParallelExecutor
+from repro.pipeline import ArtifactStore
+
+
+def write_batch(payload):
+    """Worker body: write ``count`` artifacts, half on a shared key."""
+    cache_dir, worker_tag, count = payload
+    store = ArtifactStore(cache_dir=cache_dir)
+    for i in range(count):
+        # Even i: every worker races on the same key with the same value
+        # (content-addressed keys mean same key == same bytes).
+        # Odd i: per-worker private keys.
+        if i % 2 == 0:
+            store.put(f"shared-{i}", np.full(64, float(i)), stage="race")
+        else:
+            store.put(
+                f"{worker_tag}-{i}", np.full(64, float(i)), stage="private"
+            )
+    return worker_tag
+
+
+def put_spending_artifact(cache_dir):
+    store = ArtifactStore(cache_dir=cache_dir)
+    try:
+        store.put("noisy", np.zeros(4), stage="sanitize", spends_budget=True)
+    except PrivacyError as error:
+        return repr(error)
+    return None
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_on_same_keys(self, tmp_path):
+        payloads = [
+            (str(tmp_path), "alpha", 20),
+            (str(tmp_path), "beta", 20),
+        ]
+        result = ParallelExecutor(2).run(write_batch, payloads)
+        assert sorted(result.values) == ["alpha", "beta"]
+
+        reader = ArtifactStore(cache_dir=tmp_path)
+        keys = sorted(reader.keys())
+        shared = [k for k in keys if k.startswith("shared-")]
+        private = [k for k in keys if not k.startswith("shared-")]
+        assert len(shared) == 10
+        assert len(private) == 20
+        for key in keys:
+            artifact = reader.get(key)
+            assert artifact is not None, key
+            index = int(key.rsplit("-", 1)[1])
+            assert np.array_equal(artifact.value, np.full(64, float(index)))
+
+    def test_no_lock_files_left_behind(self, tmp_path):
+        payloads = [(str(tmp_path), tag, 10) for tag in ("a", "b")]
+        ParallelExecutor(2).run(write_batch, payloads)
+        assert list(tmp_path.glob("*.lock")) == []
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_stale_lock_is_stolen(self, tmp_path, monkeypatch):
+        import repro.pipeline.store as store_module
+
+        monkeypatch.setattr(store_module, "_LOCK_TIMEOUT_SECONDS", 0.05)
+        # A crashed writer's leftover lock must not wedge later runs.
+        (tmp_path / "k.pkl.lock").touch()
+        store = ArtifactStore(cache_dir=tmp_path)
+        store.put("k", 1.0, stage="s")
+        fresh = ArtifactStore(cache_dir=tmp_path)
+        artifact = fresh.get("k")
+        assert artifact is not None and artifact.value == 1.0
+        assert not (tmp_path / "k.pkl.lock").exists()
+
+    def test_torn_concurrent_read_is_a_miss(self, tmp_path):
+        # A reader that loses the race sees either the full artifact or
+        # a miss — never garbage. Simulate the pre-rename window.
+        (tmp_path / "half.pkl").write_bytes(pickle.dumps("wrong-type")[:7])
+        store = ArtifactStore(cache_dir=tmp_path)
+        assert store.get("half") is None
+
+
+class TestSpendingRefusalUnderParallelism:
+    def test_put_refuses_budget_spending_artifact_in_worker(self, tmp_path):
+        result = ParallelExecutor(2).run(
+            put_spending_artifact, [str(tmp_path), str(tmp_path)]
+        )
+        for outcome in result.values:
+            assert outcome is not None
+            assert "refusing to cache" in outcome
+        # Nothing may have reached the shared disk tier.
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_put_refuses_budget_spending_artifact_serially(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        with pytest.raises(PrivacyError):
+            store.put("noisy", 1.0, stage="sanitize", spends_budget=True)

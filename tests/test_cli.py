@@ -71,6 +71,87 @@ class TestPublish:
         assert "error:" in capsys.readouterr().err
 
 
+class TestPublishSweep:
+    """Several ``--epsilon-sanitize`` values fan out into a sweep."""
+
+    def test_multi_epsilon_writes_suffixed_releases(
+        self, dataset_file, tmp_path
+    ):
+        out = tmp_path / "release.npz"
+        code = main([
+            "publish", "--data", str(dataset_file), "--out", str(out),
+            "--epsilon-sanitize", "5", "10", *PUBLISH_ARGS,
+        ])
+        assert code == 0
+        assert not out.exists()  # only the suffixed files are written
+        for eps in (5, 10):
+            release = load_matrix(tmp_path / f"release-eps{eps}.npz")
+            assert release.shape == (8, 8, 12)
+
+    def test_parallel_sweep_matches_serial(self, dataset_file, tmp_path):
+        serial_out = tmp_path / "serial.npz"
+        parallel_out = tmp_path / "parallel.npz"
+        sweep = ["--epsilon-sanitize", "5", "10", *PUBLISH_ARGS]
+        main(["publish", "--data", str(dataset_file),
+              "--out", str(serial_out), *sweep])
+        main(["publish", "--data", str(dataset_file),
+              "--out", str(parallel_out), "--workers", "2", *sweep])
+        for eps in (5, 10):
+            np.testing.assert_array_equal(
+                load_matrix(tmp_path / f"serial-eps{eps}.npz").values,
+                load_matrix(tmp_path / f"parallel-eps{eps}.npz").values,
+            )
+
+    def test_pipeline_run_prints_per_epsilon_tables(
+        self, dataset_file, tmp_path, capsys
+    ):
+        code = main([
+            "pipeline", "run", "--data", str(dataset_file),
+            "--epsilon-sanitize", "5", "10", *PUBLISH_ARGS,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epsilon_sanitize = 5" in out
+        assert "epsilon_sanitize = 10" in out
+        assert out.count("stpt/sanitize") == 2
+
+
+class TestBench:
+    def test_bench_writes_stamped_json(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        from repro.experiments import bench as bench_module
+
+        monkeypatch.setitem(
+            bench_module.BENCHMARKS,
+            "nn_kernels",
+            lambda workers=None: {"benchmark": "nn_kernels", "speedup": 5.0},
+        )
+        out = tmp_path / "BENCH_nn_kernels.json"
+        code = main(["bench", "nn_kernels", "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "nn_kernels"
+        assert payload["wall_seconds"] >= 0.0
+        assert "commit" in payload
+        assert "speedup 5.00x" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "does-not-exist"])
+
+    @pytest.mark.slow
+    def test_nn_kernels_benchmark_asserts_and_reports(self, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(["bench", "nn_kernels", "--out", str(out)])
+        assert code == 0
+        kernels = json.loads(out.read_text())["kernels"]
+        assert kernels["make_windows"]["speedup"] >= 3.0
+        assert kernels["batched_rollout"]["speedup"] >= 3.0
+
+
 class TestEvaluate:
     def test_end_to_end(self, dataset_file, tmp_path, capsys):
         out = tmp_path / "release.npz"
