@@ -1,0 +1,38 @@
+"""Prefix-sum query engine vs per-query slice sums.
+
+Delegates to :func:`repro.experiments.bench.bench_query_engine` — the
+same implementation behind ``repro bench query_engine`` — so the
+number printed here is the number shipped in
+``BENCH_query_engine.json``. Answers are checked against slice sums
+first; the engine (table build included) must clear the 10x floor on
+the 900-query mixed workload.
+
+Marked ``slow`` to keep the default suite fast, matching the other
+benchmark wrappers; run it with
+``pytest benchmarks/bench_query_engine.py -m slow``.
+"""
+
+import pytest
+
+from repro.experiments.bench import bench_query_engine
+
+COLUMNS = [
+    "matrix_shape", "queries", "reference_seconds", "engine_seconds",
+    "speedup", "max_abs_diff",
+]
+
+
+@pytest.mark.slow
+def test_query_engine_speedup(print_rows):
+    def run():
+        payload = bench_query_engine()
+        return [{key: payload[key] for key in COLUMNS}]
+
+    rows = print_rows(
+        "900-query mixed workload: prefix-sum engine vs slice sums",
+        run,
+        columns=COLUMNS,
+    )
+    row = rows[0]
+    assert row["max_abs_diff"] <= 1e-9
+    assert row["speedup"] >= 10.0

@@ -1,0 +1,37 @@
+"""Trainer.fit: batched BPTT + flat optimizer vs the reference path.
+
+Delegates to :func:`repro.experiments.bench.bench_training_step` — the
+same implementation behind ``repro bench training_step`` — so the
+number printed here is the number shipped in
+``BENCH_training_step.json``. The final losses of the two paths must
+agree to 1e-6 and the fast path must clear the 2x floor.
+
+Marked ``slow`` (it runs ten full training fits for the interleaved
+best-of timing); run it with
+``pytest benchmarks/bench_training_step.py -m slow``.
+"""
+
+import pytest
+
+from repro.experiments.bench import bench_training_step
+
+COLUMNS = [
+    "windows", "window", "epochs", "reference_seconds", "batched_seconds",
+    "speedup", "loss_abs_diff",
+]
+
+
+@pytest.mark.slow
+def test_training_step_speedup(print_rows):
+    def run():
+        payload = bench_training_step()
+        return [{key: payload[key] for key in COLUMNS}]
+
+    rows = print_rows(
+        "Trainer.fit: batched BPTT + flat RMSProp vs per-step reference",
+        run,
+        columns=COLUMNS,
+    )
+    row = rows[0]
+    assert row["loss_abs_diff"] <= 1e-6
+    assert row["speedup"] >= 2.0

@@ -10,6 +10,7 @@ Examples::
     python -m repro figure table2
     python -m repro figure fig6 --dataset CER
     python -m repro lint src/ tests/ --format json
+    python -m repro bench --list
     python -m repro bench nn_kernels
     python -m repro bench parallel_sweep --workers 4
     python -m repro pipeline run --data ca.npz --grid 16 --t-train 40 \
@@ -39,7 +40,7 @@ from repro.data.matrix import build_matrices
 from repro.data.spatial import DISTRIBUTIONS, place_households
 from repro.exceptions import ReproError
 from repro.experiments import ablations, figures
-from repro.experiments.bench import BENCHMARKS, run_benchmark
+from repro.experiments.bench import BENCHMARKS, THRESHOLDS, run_benchmark
 from repro.experiments.harness import format_table, publish_stpt_sweep
 from repro.pipeline import ArtifactStore
 from repro.queries.metrics import workload_mre
@@ -139,7 +140,11 @@ def _build_parser() -> argparse.ArgumentParser:
     ben = sub.add_parser(
         "bench", help="run a named benchmark, write BENCH_<name>.json"
     )
-    ben.add_argument("name", choices=sorted(BENCHMARKS))
+    ben.add_argument("name", nargs="?", choices=sorted(BENCHMARKS))
+    ben.add_argument(
+        "--list", action="store_true",
+        help="list registered benchmarks with their asserted thresholds",
+    )
     ben.add_argument(
         "--workers", type=int, default=4,
         help="worker processes for parallel benchmarks",
@@ -410,6 +415,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.list or args.name is None:
+        if not args.list and args.name is None:
+            print("error: name a benchmark or pass --list", file=sys.stderr)
+            return 1
+        width = max(len(name) for name in BENCHMARKS)
+        for name in sorted(BENCHMARKS):
+            threshold = THRESHOLDS.get(name) or "no asserted threshold"
+            print(f"{name:<{width}}  {threshold}")
+        return 0
     payload = run_benchmark(args.name, workers=args.workers)
     out = Path(args.out or f"BENCH_{args.name}.json")
     out.write_text(json.dumps(payload, indent=2) + "\n")

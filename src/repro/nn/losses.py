@@ -57,8 +57,61 @@ def huber_loss(
     grads = np.where(quadratic, diff, delta * np.sign(diff))
     return float(np.mean(values)), grads / diff.size
 
+
+def mse_value(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """MSE value only — no gradient array is materialized."""
+    predictions, targets = _check_shapes(predictions, targets)
+    return float(np.mean((predictions - targets) ** 2))
+
+
+def l1_value(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """MAE value only — no gradient array is materialized."""
+    predictions, targets = _check_shapes(predictions, targets)
+    return float(np.mean(np.abs(predictions - targets)))
+
+
+def huber_value(
+    predictions: np.ndarray, targets: np.ndarray, delta: float = 1.0
+) -> float:
+    """Huber value only — no gradient array is materialized."""
+    if delta <= 0:
+        raise ConfigurationError("delta must be positive")
+    predictions, targets = _check_shapes(predictions, targets)
+    diff = predictions - targets
+    abs_diff = np.abs(diff)
+    values = np.where(
+        abs_diff <= delta, 0.5 * diff**2, delta * (abs_diff - 0.5 * delta)
+    )
+    return float(np.mean(values))
+
+
+#: Gradient-free twins of the ``(value, gradient)`` loss functions.
+_VALUE_FUNCTIONS = {
+    mse_loss: mse_value,
+    l1_loss: l1_value,
+    huber_loss: huber_value,
+}
+
+
+def loss_value(loss_fn, predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Loss value without the gradient, when the loss supports it.
+
+    Validation and evaluation loops only need the scalar; for the
+    built-in losses this skips materializing the gradient array the
+    caller would immediately discard. Unknown loss functions fall back
+    to calling ``loss_fn`` and dropping the gradient.
+    """
+    fast = _VALUE_FUNCTIONS.get(loss_fn)
+    if fast is not None:
+        return fast(predictions, targets)
+    return loss_fn(predictions, targets)[0]
+
 __all__ = [
     "mse_loss",
     "l1_loss",
     "huber_loss",
+    "mse_value",
+    "l1_value",
+    "huber_value",
+    "loss_value",
 ]

@@ -3,6 +3,27 @@
 The paper trains its pattern-recognition models with RMSProp at a
 learning rate of 1e-3 (Appendix C); SGD and Adam are provided for the
 ablations and tests.
+
+All three optimizers take *fused, allocation-free* steps: every update
+is an in-place ``np.multiply``/``np.add``/``np.divide`` with ``out=``
+into preallocated moment and scratch buffers, so a step allocates no
+temporaries regardless of how often it runs. The element-wise formulas
+(and therefore the produced bits) match the classic expression-per-line
+implementations: only temporaries were eliminated, never reassociated.
+
+``flat=True`` additionally switches an optimizer to *flat-buffer mode*:
+parameter values and gradients are copied once into two contiguous
+arrays and every ``Parameter.value``/``Parameter.grad`` is re-pointed
+at a view of its slice, so the whole model updates with a handful of
+long vector ops instead of ~20 short per-parameter loops in Python.
+Because the fused kernels are purely element-wise, flat steps are
+**bit-identical** to per-parameter steps (asserted in
+``tests/nn/test_optimizers.py``). The aliasing contract: backward
+passes may accumulate into ``Parameter.grad`` in place (``+=``) and
+:func:`clip_grad_norm` may scale it in place, but code that *rebinds*
+``Parameter.value`` or ``Parameter.grad`` to fresh arrays — e.g.
+``Module.load_state_dict`` — breaks the views and must not be mixed
+with further flat steps.
 """
 
 from __future__ import annotations
@@ -13,10 +34,34 @@ from repro.exceptions import ConfigurationError
 from repro.nn.module import Parameter
 
 
-class Optimizer:
-    """Base optimizer over a fixed parameter list."""
+def _flatten_into_views(params: list[Parameter]) -> tuple[np.ndarray, np.ndarray]:
+    """Copy values/grads into contiguous buffers; re-point params at views."""
+    total = sum(p.value.size for p in params)
+    flat_value = np.empty(total)
+    flat_grad = np.empty(total)
+    offset = 0
+    for p in params:
+        n = p.value.size
+        flat_value[offset : offset + n] = p.value.ravel()
+        flat_grad[offset : offset + n] = p.grad.ravel()
+        p.value = flat_value[offset : offset + n].reshape(p.value.shape)
+        p.grad = flat_grad[offset : offset + n].reshape(p.grad.shape)
+        offset += n
+    return flat_value, flat_grad
 
-    def __init__(self, params: list[Parameter] | tuple[Parameter, ...], lr: float) -> None:
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list.
+
+    ``flat=True`` enables flat-buffer mode (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter] | tuple[Parameter, ...],
+        lr: float,
+        flat: bool = False,
+    ) -> None:
         params = list(params)
         if not params:
             raise ConfigurationError("optimizer needs at least one parameter")
@@ -24,10 +69,50 @@ class Optimizer:
             raise ConfigurationError(f"learning rate must be positive, got {lr}")
         self.params = params
         self.lr = lr
+        self.flat = bool(flat)
+        if self.flat:
+            self._flat_value, self._flat_grad = _flatten_into_views(params)
+        else:
+            self._flat_value = self._flat_grad = None
+
+    def _buffers(self) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+        """(value, grad) array pairs the step kernels iterate over.
+
+        One pair per parameter normally; a single long pair in flat
+        mode. Resolved at call time (not cached) so per-parameter mode
+        keeps tracking ``Parameter.value`` rebinds exactly like the
+        historical ``p.value -= ...`` implementations did.
+        """
+        if self.flat:
+            return ((self._flat_value, self._flat_grad),)
+        return tuple((p.value, p.grad) for p in self.params)
 
     def zero_grad(self) -> None:
+        if self.flat:
+            self._flat_grad.fill(0.0)
+            return
         for p in self.params:
             p.zero_grad()
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Global-L2 gradient clip over this optimizer's parameters.
+
+        In flat mode the norm and the scaling are two vector ops on the
+        contiguous gradient buffer instead of a per-parameter loop. The
+        single ``dot`` reassociates the sum of squares relative to the
+        per-parameter accumulation, so the clip scale can differ from
+        :func:`clip_grad_norm` in the last ulp; per-parameter mode
+        delegates to it exactly.
+        """
+        if not self.flat:
+            return clip_grad_norm(self.params, max_norm)
+        if max_norm <= 0:
+            raise ConfigurationError("max_norm must be positive")
+        grad = self._flat_grad
+        total = float(np.sqrt(grad.dot(grad)))
+        if total > max_norm and total > 0:
+            np.multiply(grad, max_norm / total, out=grad)
+        return total
 
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
@@ -36,41 +121,65 @@ class Optimizer:
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
 
-    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0) -> None:
-        super().__init__(params, lr)
+    def __init__(
+        self, params, lr: float = 1e-2, momentum: float = 0.0, flat: bool = False
+    ) -> None:
+        super().__init__(params, lr, flat=flat)
         if not 0.0 <= momentum < 1.0:
             raise ConfigurationError("momentum must lie in [0, 1)")
         self.momentum = momentum
-        self._velocity = [np.zeros_like(p.value) for p in self.params]
+        self._velocity = [np.zeros_like(v) for v, __ in self._buffers()]
+        self._scratch = [np.empty_like(v) for v, __ in self._buffers()]
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
+        for (value, grad), velocity, scratch in zip(
+            self._buffers(), self._velocity, self._scratch
+        ):
+            np.multiply(grad, self.lr, out=scratch)
             if self.momentum:
-                v *= self.momentum
-                v -= self.lr * p.grad
-                p.value += v
+                np.multiply(velocity, self.momentum, out=velocity)
+                np.subtract(velocity, scratch, out=velocity)
+                np.add(value, velocity, out=value)
             else:
-                p.value -= self.lr * p.grad
+                np.subtract(value, scratch, out=value)
 
 
 class RMSProp(Optimizer):
     """RMSProp (Tieleman & Hinton): scale updates by an EMA of grad²."""
 
     def __init__(
-        self, params, lr: float = 1e-3, alpha: float = 0.99, eps: float = 1e-8
+        self,
+        params,
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        flat: bool = False,
     ) -> None:
-        super().__init__(params, lr)
+        super().__init__(params, lr, flat=flat)
         if not 0.0 < alpha < 1.0:
             raise ConfigurationError("alpha must lie in (0, 1)")
         self.alpha = alpha
         self.eps = eps
-        self._square_avg = [np.zeros_like(p.value) for p in self.params]
+        self._square_avg = [np.zeros_like(v) for v, __ in self._buffers()]
+        self._scratch = [np.empty_like(v) for v, __ in self._buffers()]
+        self._update = [np.empty_like(v) for v, __ in self._buffers()]
 
     def step(self) -> None:
-        for p, sq in zip(self.params, self._square_avg):
-            sq *= self.alpha
-            sq += (1.0 - self.alpha) * p.grad**2
-            p.value -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+        decay_in = 1.0 - self.alpha
+        for (value, grad), square_avg, scratch, update in zip(
+            self._buffers(), self._square_avg, self._scratch, self._update
+        ):
+            # square_avg = alpha * square_avg + (1 - alpha) * grad²
+            np.multiply(square_avg, self.alpha, out=square_avg)
+            np.multiply(grad, grad, out=scratch)
+            np.multiply(scratch, decay_in, out=scratch)
+            np.add(square_avg, scratch, out=square_avg)
+            # value -= lr * grad / (sqrt(square_avg) + eps)
+            np.sqrt(square_avg, out=scratch)
+            np.add(scratch, self.eps, out=scratch)
+            np.multiply(grad, self.lr, out=update)
+            np.divide(update, scratch, out=update)
+            np.subtract(value, update, out=value)
 
 
 class Adam(Optimizer):
@@ -82,37 +191,53 @@ class Adam(Optimizer):
         lr: float = 1e-3,
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
+        flat: bool = False,
     ) -> None:
-        super().__init__(params, lr)
+        super().__init__(params, lr, flat=flat)
         beta1, beta2 = betas
         if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
             raise ConfigurationError("betas must lie in [0, 1)")
         self.beta1 = beta1
         self.beta2 = beta2
         self.eps = eps
-        self._m = [np.zeros_like(p.value) for p in self.params]
-        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._m = [np.zeros_like(v) for v, __ in self._buffers()]
+        self._v = [np.zeros_like(v) for v, __ in self._buffers()]
+        self._scratch = [np.empty_like(v) for v, __ in self._buffers()]
+        self._update = [np.empty_like(v) for v, __ in self._buffers()]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
-            m *= self.beta1
-            m += (1.0 - self.beta1) * p.grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * p.grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        for (value, grad), m, v, scratch, update in zip(
+            self._buffers(), self._m, self._v, self._scratch, self._update
+        ):
+            # m = beta1 * m + (1 - beta1) * grad
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            np.add(m, scratch, out=m)
+            # v = beta2 * v + (1 - beta2) * grad²
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, grad, out=scratch)
+            np.multiply(scratch, 1.0 - self.beta2, out=scratch)
+            np.add(v, scratch, out=v)
+            # value -= lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            np.add(scratch, self.eps, out=scratch)
+            np.divide(m, bias1, out=update)
+            np.multiply(update, self.lr, out=update)
+            np.divide(update, scratch, out=update)
+            np.subtract(value, update, out=value)
 
 
 def clip_grad_norm(params, max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clip norm, which training loops can log to detect
-    exploding gradients.
+    exploding gradients. Scaling is in place (``*=``), so it composes
+    with flat-buffer optimizers.
     """
     if max_norm <= 0:
         raise ConfigurationError("max_norm must be positive")

@@ -12,18 +12,27 @@ The wrappers do not call ``cell.step`` per timestep anymore: the
 input-side gate projections ``x @ W`` are precomputed for *all*
 timesteps in one gemm before the recurrence, and per-step cache tuples
 are replaced by preallocated ``(batch, time, hidden)`` arrays. The
-fusion is **bit-identical** to the per-step loop — slicing the
+forward fusion is **bit-identical** to the per-step loop — slicing the
 reshaped ``(batch*time, features) @ W`` result reproduces the same
 dgemm rows, and the elementwise addition order ``(x@W + h@U) + b`` is
-preserved — so the determinism goldens survive unchanged; only the
-per-timestep Python and allocation overhead of BPTT goes away. The
-backward pass deliberately keeps every gemm per-step (weight grads,
-``dx`` and ``dh`` back-projections) because batching those into one
-wide matmul is *not* bit-stable: BLAS may pick a different small-gemm
-kernel for the fused shape and flip last-ulp bits. The cells' ``step``
-/ ``step_backward`` remain the reference semantics, and
-``tests/nn/test_fast_kernels.py`` asserts exact equality between the
-two paths.
+preserved — so the forward determinism goldens survive unchanged; only
+the per-timestep Python and allocation overhead goes away.
+
+``backward`` is *batched BPTT*: the reversed recurrence only computes
+the per-step gate deltas (cheap elementwise ops plus the unavoidable
+``da @ U.T`` hidden back-projections, which feed the previous step),
+stashing them into preallocated ``(batch, time, gates)`` arrays; every
+input-projection gradient — ``dW``, ``d_bias`` and ``d_x`` — plus the
+recurrent-weight gradient ``dU`` is then a single time-stacked gemm
+(or column sum) after the loop. Summing over ``batch*time`` at once
+reorders the floating-point reduction relative to the per-step
+``+=`` accumulation, so batched gradients match the retained
+per-step path (``_backward_per_step_reference``, togglable via
+``batched_backward = False``) to <= 1e-10, not bit-for-bit; the
+pipeline's backward-sensitive hex goldens were regenerated once for
+this change. The cells' ``step`` / ``step_backward`` remain the
+reference semantics, and ``tests/nn/test_fast_kernels.py`` asserts
+the forward bit-identity and the backward equivalence.
 """
 
 from __future__ import annotations
@@ -202,6 +211,7 @@ class RNN(Module):
         super().__init__()
         self.cell = RNNCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
+        self.batched_backward = True
         self._fwd: tuple | None = None
 
     def forward(self, x: np.ndarray, h0: np.ndarray | None = None) -> np.ndarray:
@@ -209,26 +219,77 @@ class RNN(Module):
         batch, steps, __ = x.shape
         cell = self.cell
         h = np.zeros((batch, self.hidden_size)) if h0 is None else h0
-        # All input-side projections in one gemm; slicing the reshaped
-        # result reproduces the per-step x[:, t, :] @ w bits exactly.
-        px = (x.reshape(batch * steps, cell.input_size) @ cell.w.value).reshape(
-            batch, steps, self.hidden_size
+        # All input-side projections in one gemm; the time-major copy
+        # only rearranges memory, so per-step values (and bits) match
+        # the historical x[:, t, :] @ w exactly while every slice the
+        # recurrence touches is contiguous.
+        hidden = self.hidden_size
+        px = x.reshape(batch * steps, cell.input_size) @ cell.w.value
+        px_tm = np.ascontiguousarray(
+            px.reshape(batch, steps, hidden).transpose(1, 0, 2)
         )
-        hs_prev = np.empty((batch, steps, self.hidden_size))
-        outputs = np.empty((batch, steps, self.hidden_size))
+        outputs_tm = np.empty((steps, batch, hidden))
+        h_init = h
         for t in range(steps):
-            hs_prev[:, t, :] = h
-            h = np.tanh(px[:, t, :] + h @ cell.u.value + cell.b.value)
-            outputs[:, t, :] = h
-        self._fwd = (x, hs_prev, outputs)
+            # tanh writes straight into the (contiguous) time-major slot
+            # and h stays a contiguous view for the next step's gemm;
+            # the produced bits match tanh-then-copy exactly.
+            h = np.tanh(px_tm[t] + h @ cell.u.value + cell.b.value,
+                        out=outputs_tm[t])
+        outputs = np.ascontiguousarray(outputs_tm.transpose(1, 0, 2))
+        # hs_prev is just outputs shifted right by one step; building it
+        # once here replaces a per-step copy inside the recurrence.
+        hs_prev = np.empty((batch, steps, hidden))
+        hs_prev[:, 0, :] = h_init
+        hs_prev[:, 1:, :] = outputs[:, :-1, :]
+        self._fwd = (x, hs_prev, outputs, outputs_tm)
         return outputs
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self.batched_backward:
+            return self._backward_per_step_reference(grad_out)
         grad_out = np.asarray(grad_out, dtype=float)
         batch, steps, __ = grad_out.shape
         if self._fwd is None:
             raise ConfigurationError("backward called before forward")
-        x, hs_prev, outputs = self._fwd
+        x, hs_prev, outputs, outputs_tm = self._fwd
+        cell = self.cell
+        hidden = self.hidden_size
+        u_t = cell.u.value.T
+        # Time-major copies make every per-step slice contiguous, so the
+        # three kernels inside the recurrence run without strided-view
+        # penalties or implicit gemm copies. The tanh derivative has no
+        # sequential dependency and is hoisted out as one whole-sequence
+        # op on the cached time-major activations.
+        g_tm = np.ascontiguousarray(grad_out.transpose(1, 0, 2))
+        d_act = 1.0 - outputs_tm**2
+        das = np.empty((steps, batch, hidden))
+        dh_next = np.zeros((batch, hidden))
+        for t in reversed(range(steps)):
+            da = das[t]
+            np.add(g_tm[t], dh_next, out=da)
+            np.multiply(da, d_act[t], out=da)
+            dh_next = da @ u_t
+        # reshape of the transposed view copies back to batch-major, so
+        # the stacked gemms see the same row order as the reference.
+        flat_da = das.transpose(1, 0, 2).reshape(batch * steps, hidden)
+        cell.w.grad += x.reshape(batch * steps, cell.input_size).T @ flat_da
+        cell.u.grad += hs_prev.reshape(batch * steps, hidden).T @ flat_da
+        cell.b.grad += flat_da.sum(axis=0)
+        return (flat_da @ cell.w.value.T).reshape(batch, steps, cell.input_size)
+
+    def _backward_per_step_reference(self, grad_out: np.ndarray) -> np.ndarray:
+        """Pre-batching BPTT: one set of gemms per timestep.
+
+        Kept as the reference semantics for the batched ``backward``;
+        ``tests/nn/test_fast_kernels.py`` asserts the two agree to
+        <= 1e-10 and ``repro bench training_step`` the speedup.
+        """
+        grad_out = np.asarray(grad_out, dtype=float)
+        batch, steps, __ = grad_out.shape
+        if self._fwd is None:
+            raise ConfigurationError("backward called before forward")
+        x, hs_prev, outputs, __tm = self._fwd
         cell = self.cell
         dx = np.empty((batch, steps, cell.input_size))
         dh_next = np.zeros((batch, self.hidden_size))
@@ -250,6 +311,7 @@ class GRU(Module):
         super().__init__()
         self.cell = GRUCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
+        self.batched_backward = True
         self._fwd: tuple | None = None
 
     def forward(self, x: np.ndarray, h0: np.ndarray | None = None) -> np.ndarray:
@@ -284,6 +346,64 @@ class GRU(Module):
         return outputs
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self.batched_backward:
+            return self._backward_per_step_reference(grad_out)
+        grad_out = np.asarray(grad_out, dtype=float)
+        batch, steps, __ = grad_out.shape
+        if self._fwd is None:
+            raise ConfigurationError("backward called before forward")
+        x, hs_prev, zs, rs, rhs, ns = self._fwd
+        cell = self.cell
+        hidden = self.hidden_size
+        das_z = np.empty((batch, steps, hidden))
+        das_r = np.empty((batch, steps, hidden))
+        das_n = np.empty((batch, steps, hidden))
+        uz_t = cell.u_z.value.T
+        ur_t = cell.u_r.value.T
+        un_t = cell.u_n.value.T
+        # Every gate-derivative factor is elementwise in cached forward
+        # activations, so all three are hoisted out of the recurrence
+        # as single (batch, time, hidden) ops; the loop keeps only the
+        # dh/drh products that carry the sequential dependency.
+        fac_n = (1.0 - zs) * (1.0 - ns**2)
+        fac_z = (hs_prev - ns) * zs * (1.0 - zs)
+        fac_r = hs_prev * rs * (1.0 - rs)
+        dh_next = np.zeros((batch, hidden))
+        for t in reversed(range(steps)):
+            da_n = das_n[:, t, :]
+            da_z = das_z[:, t, :]
+            da_r = das_r[:, t, :]
+            dh = grad_out[:, t, :] + dh_next
+            np.multiply(dh, fac_n[:, t, :], out=da_n)
+            drh = da_n @ un_t
+            np.multiply(dh, fac_z[:, t, :], out=da_z)
+            np.multiply(drh, fac_r[:, t, :], out=da_r)
+            dh_next = dh * zs[:, t, :]
+            dh_next += drh * rs[:, t, :]
+            dh_next += da_z @ uz_t
+            dh_next += da_r @ ur_t
+        x_flat = x.reshape(batch * steps, cell.input_size)
+        h_flat = hs_prev.reshape(batch * steps, hidden)
+        rh_flat = rhs.reshape(batch * steps, hidden)
+        dz_flat = das_z.reshape(batch * steps, hidden)
+        dr_flat = das_r.reshape(batch * steps, hidden)
+        dn_flat = das_n.reshape(batch * steps, hidden)
+        cell.w_n.grad += x_flat.T @ dn_flat
+        cell.u_n.grad += rh_flat.T @ dn_flat
+        cell.b_n.grad += dn_flat.sum(axis=0)
+        cell.w_z.grad += x_flat.T @ dz_flat
+        cell.u_z.grad += h_flat.T @ dz_flat
+        cell.b_z.grad += dz_flat.sum(axis=0)
+        cell.w_r.grad += x_flat.T @ dr_flat
+        cell.u_r.grad += h_flat.T @ dr_flat
+        cell.b_r.grad += dr_flat.sum(axis=0)
+        dx = dn_flat @ cell.w_n.value.T
+        dx += dz_flat @ cell.w_z.value.T
+        dx += dr_flat @ cell.w_r.value.T
+        return dx.reshape(batch, steps, cell.input_size)
+
+    def _backward_per_step_reference(self, grad_out: np.ndarray) -> np.ndarray:
+        """Pre-batching BPTT: six weight-gradient gemms per timestep."""
         grad_out = np.asarray(grad_out, dtype=float)
         batch, steps, __ = grad_out.shape
         if self._fwd is None:
@@ -336,6 +456,7 @@ class LSTM(Module):
         super().__init__()
         self.cell = LSTMCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
+        self.batched_backward = True
         self._fwd: tuple | None = None
 
     def forward(
@@ -381,6 +502,49 @@ class LSTM(Module):
         return outputs
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self.batched_backward:
+            return self._backward_per_step_reference(grad_out)
+        grad_out = np.asarray(grad_out, dtype=float)
+        batch, steps, __ = grad_out.shape
+        if self._fwd is None:
+            raise ConfigurationError("backward called before forward")
+        x, hs_prev, cs_prev, gates, tanh_cs = self._fwd
+        cell = self.cell
+        hidden = self.hidden_size
+        das = np.empty((batch, steps, 4 * hidden))
+        u_t = cell.u.value.T
+        i = gates[:, :, :hidden]
+        f = gates[:, :, hidden : 2 * hidden]
+        g = gates[:, :, 2 * hidden : 3 * hidden]
+        o = gates[:, :, 3 * hidden :]
+        # Gate-derivative factors are elementwise in cached activations;
+        # hoist them out of the recurrence as whole-sequence ops and
+        # keep only the dc/dh chain (the sequential dependency) inside.
+        fac_c = o * (1.0 - tanh_cs**2)
+        fac_i = g * i * (1.0 - i)
+        fac_f = cs_prev * f * (1.0 - f)
+        fac_g = i * (1.0 - g**2)
+        fac_o = tanh_cs * (o * (1.0 - o))
+        dh_next = np.zeros((batch, hidden))
+        dc_next = np.zeros((batch, hidden))
+        for t in reversed(range(steps)):
+            dh = grad_out[:, t, :] + dh_next
+            dc_total = dc_next + dh * fac_c[:, t, :]
+            da = das[:, t, :]
+            np.multiply(dc_total, fac_i[:, t, :], out=da[:, :hidden])
+            np.multiply(dc_total, fac_f[:, t, :], out=da[:, hidden : 2 * hidden])
+            np.multiply(dc_total, fac_g[:, t, :], out=da[:, 2 * hidden : 3 * hidden])
+            np.multiply(dh, fac_o[:, t, :], out=da[:, 3 * hidden :])
+            dc_next = dc_total * f[:, t, :]
+            dh_next = da @ u_t
+        flat_da = das.reshape(batch * steps, 4 * hidden)
+        cell.w.grad += x.reshape(batch * steps, cell.input_size).T @ flat_da
+        cell.u.grad += hs_prev.reshape(batch * steps, hidden).T @ flat_da
+        cell.b.grad += flat_da.sum(axis=0)
+        return (flat_da @ cell.w.value.T).reshape(batch, steps, cell.input_size)
+
+    def _backward_per_step_reference(self, grad_out: np.ndarray) -> np.ndarray:
+        """Pre-batching BPTT: per-step gate concatenation and gemms."""
         grad_out = np.asarray(grad_out, dtype=float)
         batch, steps, __ = grad_out.shape
         if self._fwd is None:

@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError, TrainingError
-from repro.nn.losses import mse_loss
+from repro.nn.losses import loss_value, mse_loss
 from repro.nn.models import SequenceForecaster
 from repro.nn.optimizers import Optimizer, RMSProp, clip_grad_norm
 from repro.rng import RngLike, ensure_rng
@@ -209,18 +209,28 @@ class Trainer:
                 loss, grad = self.loss_fn(preds, batch_y)
                 self.model.backward(grad)
                 if self.grad_clip:
-                    clip_grad_norm(self.model.parameters(), self.grad_clip)
+                    # Flat optimizers clip their contiguous grad buffer
+                    # in two vector ops; otherwise clip the model's
+                    # parameter list exactly as before.
+                    if self.optimizer.flat:
+                        self.optimizer.clip_grad_norm(self.grad_clip)
+                    else:
+                        clip_grad_norm(self.model.parameters(), self.grad_clip)
                 self.optimizer.step()
                 epoch_loss += loss * len(batch_x)
                 count += len(batch_x)
             history.epoch_losses.append(epoch_loss / count)
 
             if val_x is not None:
-                val_loss, __grad = self.loss_fn(self.model(val_x), val_y)
+                # Gradient-free loss: validation only needs the scalar.
+                val_loss = loss_value(self.loss_fn, self.model(val_x), val_y)
                 history.validation_losses.append(val_loss)
                 if val_loss < best_val - 1e-12:
                     best_val = val_loss
-                    best_state = self.model.state_dict()
+                    # Snapshotting every parameter is only worth it when
+                    # early stopping may restore the snapshot later.
+                    if self.patience is not None:
+                        best_state = self.model.state_dict()
                     epochs_since_best = 0
                 else:
                     epochs_since_best += 1
@@ -230,7 +240,7 @@ class Trainer:
                     ):
                         history.stopped_early = True
                         break
-        if best_state is not None and (self.patience is not None):
+        if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()
         return history

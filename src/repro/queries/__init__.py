@@ -9,6 +9,7 @@ from repro.queries.derived import (
     peak_to_average_ratio,
     top_k_regions,
 )
+from repro.queries.engine import QueryEngine, query_bounds
 from repro.queries.metrics import (
     mean_absolute_error,
     mean_relative_error,
@@ -34,6 +35,8 @@ __all__ = [
     "base_load",
     "peak_to_average_ratio",
     "top_k_regions",
+    "QueryEngine",
+    "query_bounds",
     "RangeQuery",
     "WORKLOADS",
     "evaluate_queries",

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.data.matrix import ConsumptionMatrix
 from repro.exceptions import ConfigurationError
+from repro.queries.engine import QueryEngine
 from repro.queries.range_query import RangeQuery, evaluate_queries
 
 SANITY_BOUND_FRACTION = 0.01
@@ -72,12 +73,19 @@ def root_mean_squared_error(
 
 
 def workload_mre(
-    queries: list[RangeQuery],
-    true_matrix: ConsumptionMatrix | np.ndarray,
-    noisy_matrix: ConsumptionMatrix | np.ndarray,
+    queries: "list[RangeQuery] | np.ndarray",
+    true_matrix: "ConsumptionMatrix | np.ndarray | QueryEngine",
+    noisy_matrix: "ConsumptionMatrix | np.ndarray | QueryEngine",
     sanity_bound: float | None = None,
 ) -> float:
-    """Evaluate a workload against both matrices and return the MRE."""
+    """Evaluate a workload against both matrices and return the MRE.
+
+    Either matrix may be a prebuilt :class:`QueryEngine` and
+    ``queries`` may be a precomputed ``query_bounds`` array; callers
+    that score many workloads against the same release (the experiment
+    harness) build one engine per matrix and extract each workload's
+    bounds once instead of re-slicing per query.
+    """
     true_answers = evaluate_queries(queries, true_matrix)
     noisy_answers = evaluate_queries(queries, noisy_matrix)
     return mean_relative_error(true_answers, noisy_answers, sanity_bound=sanity_bound)

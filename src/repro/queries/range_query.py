@@ -9,12 +9,14 @@ queries, 300 of each by default.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.matrix import ConsumptionMatrix
 from repro.exceptions import ConfigurationError, QueryError
+from repro.queries.engine import QueryEngine
 from repro.rng import RngLike, ensure_rng
 
 
@@ -61,20 +63,44 @@ class RangeQuery:
 
 
 def evaluate_queries(
-    queries: list[RangeQuery], matrix: ConsumptionMatrix | np.ndarray
+    queries: list[RangeQuery],
+    matrix: "ConsumptionMatrix | np.ndarray | QueryEngine",
+    engine: QueryEngine | None = None,
 ) -> np.ndarray:
-    """Vector of answers for a workload."""
+    """Vector of answers for a workload.
+
+    Builds one :class:`QueryEngine` over ``matrix`` and answers the
+    whole workload with a single vectorized gather; pass a prebuilt
+    engine (either as ``matrix`` or via ``engine=``) to reuse its table
+    across workloads over the same matrix. The retained per-query
+    slice-sum path is :func:`_evaluate_queries_reference`.
+    """
+    if engine is None:
+        engine = (
+            matrix if isinstance(matrix, QueryEngine) else QueryEngine(matrix)
+        )
+    return engine.evaluate_many(queries)
+
+
+def _evaluate_queries_reference(
+    queries: list[RangeQuery], matrix: "ConsumptionMatrix | np.ndarray"
+) -> np.ndarray:
+    """The original O(volume)-per-query slice sums, kept as reference.
+
+    ``tests/queries/test_engine.py`` asserts the engine agrees with
+    this path and ``repro bench query_engine`` the speedup.
+    """
     return np.array([q.evaluate(matrix) for q in queries])
 
 
 _MAX_REJECTION_ATTEMPTS = 200
 
 
-def _reference_values(
-    reference: "ConsumptionMatrix | np.ndarray | None",
-) -> np.ndarray | None:
-    if reference is None:
-        return None
+def _reference_engine(
+    reference: "ConsumptionMatrix | np.ndarray | QueryEngine | None",
+) -> QueryEngine | None:
+    if reference is None or isinstance(reference, QueryEngine):
+        return reference
     values = (
         reference.values
         if isinstance(reference, ConsumptionMatrix)
@@ -82,17 +108,18 @@ def _reference_values(
     )
     if values.ndim != 3:
         raise QueryError("reference matrix must be 3-D")
-    return values
+    return QueryEngine(values)
 
 
 def _place_query(
     shape: tuple[int, int, int],
     size: tuple[int, int, int],
     rng: np.random.Generator,
-    reference: np.ndarray | None,
+    reference: QueryEngine | None,
+    workload: str = "unnamed",
 ) -> RangeQuery:
     """Place a query of the given size; rejection-sample a positive
-    true answer when a reference matrix is supplied (Eq. 5 divides by
+    true answer when a reference engine is supplied (Eq. 5 divides by
     the true answer, so the paper's workloads are non-degenerate)."""
     spans = [min(s, d) for s, d in zip(size, shape)]
     query = None
@@ -103,9 +130,20 @@ def _place_query(
             y0=starts[1], y1=starts[1] + spans[1],
             t0=starts[2], t1=starts[2] + spans[2],
         )
-        if reference is None or query.evaluate(reference) > 0:
+        if reference is None or reference.evaluate(query) > 0:
             return query
-    return query  # all-zero region: fall back to the last placement
+    # All sampled regions answered zero: fall back to the last
+    # placement, but say so — a zero true answer makes this query's
+    # Eq. 5 denominator degenerate (floored by the sanity bound).
+    warnings.warn(
+        f"workload {workload!r}: {_MAX_REJECTION_ATTEMPTS} rejection "
+        f"attempts found no region of size {tuple(spans)} with a "
+        f"positive true answer in shape {tuple(shape)}; keeping the "
+        f"all-zero region {query}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return query
 
 
 def small_queries(
@@ -116,9 +154,10 @@ def small_queries(
 ) -> list[RangeQuery]:
     """Unit (1x1x1) queries at random positions."""
     generator = ensure_rng(rng)
-    values = _reference_values(reference)
+    engine = _reference_engine(reference)
     return [
-        _place_query(shape, (1, 1, 1), generator, values) for __ in range(count)
+        _place_query(shape, (1, 1, 1), generator, engine, workload="small")
+        for __ in range(count)
     ]
 
 
@@ -131,8 +170,11 @@ def large_queries(
 ) -> list[RangeQuery]:
     """10x10x10 queries (clamped to the matrix) at random positions."""
     generator = ensure_rng(rng)
-    values = _reference_values(reference)
-    return [_place_query(shape, size, generator, values) for __ in range(count)]
+    engine = _reference_engine(reference)
+    return [
+        _place_query(shape, size, generator, engine, workload="large")
+        for __ in range(count)
+    ]
 
 
 def random_queries(
@@ -145,11 +187,13 @@ def random_queries(
     if count <= 0:
         raise ConfigurationError("count must be positive")
     generator = ensure_rng(rng)
-    values = _reference_values(reference)
+    engine = _reference_engine(reference)
     queries = []
     for __ in range(count):
         spans = [int(generator.integers(1, d + 1)) for d in shape]
-        queries.append(_place_query(shape, tuple(spans), generator, values))
+        queries.append(
+            _place_query(shape, tuple(spans), generator, engine, workload="random")
+        )
     return queries
 
 

@@ -1,0 +1,48 @@
+"""Tier-1 guard: checked-in benchmark results stay tied to the registry.
+
+Every ``BENCH_<name>.json`` at the repo root must name a benchmark that
+``repro bench`` can still run (its ``benchmark`` payload field and its
+filename both), so a renamed or deleted benchmark cannot leave a stale
+seeded result behind that looks current.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.bench import BENCHMARKS, THRESHOLDS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _bench_files() -> list[Path]:
+    return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def test_at_least_one_seeded_result_exists():
+    assert _bench_files(), "no BENCH_*.json seeded at the repo root"
+
+
+def test_every_bench_file_names_a_registered_benchmark():
+    for path in _bench_files():
+        name = path.stem.removeprefix("BENCH_")
+        assert name in BENCHMARKS, (
+            f"{path.name} does not match a registered benchmark; "
+            f"known: {', '.join(sorted(BENCHMARKS))}"
+        )
+
+
+def test_bench_payload_is_consistent():
+    for path in _bench_files():
+        payload = json.loads(path.read_text())
+        name = path.stem.removeprefix("BENCH_")
+        assert payload.get("benchmark") == name, (
+            f"{path.name} payload names benchmark "
+            f"{payload.get('benchmark')!r}, expected {name!r}"
+        )
+        assert "wall_seconds" in payload, f"{path.name} missing wall_seconds"
+
+
+def test_every_benchmark_declares_a_threshold_string():
+    # --list prints these; an empty entry would render as a blank line.
+    for name in BENCHMARKS:
+        assert THRESHOLDS.get(name), f"benchmark {name!r} has no threshold"

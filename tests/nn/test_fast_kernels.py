@@ -4,9 +4,12 @@ Three kernels were vectorized for the parallel-execution PR and each
 keeps its pre-vectorization implementation as an executable reference:
 
 * ``make_windows`` vs ``_make_windows_reference`` — bit-identical;
-* the fused RNN/GRU/LSTM wrappers vs per-step ``cell.step`` /
-  ``cell.step_backward`` — bit-identical (same gemm rows, same
-  elementwise addition order);
+* the fused RNN/GRU/LSTM wrappers (with ``batched_backward`` off) vs
+  per-step ``cell.step`` / ``cell.step_backward`` — bit-identical
+  (same gemm rows, same elementwise addition order);
+* the batched BPTT ``backward`` vs ``_backward_per_step_reference`` —
+  equal to 1e-10 (the time-stacked weight-gradient gemms reassociate
+  floating-point sums);
 * batched multi-node roll-out vs ``_rollout_per_node_reference`` —
   equal to a tight absolute tolerance (single-row gemv and batched
   gemm legitimately differ in the last ulp).
@@ -136,8 +139,12 @@ def _reference_unroll(layer, x, grad):
 @pytest.mark.parametrize("shape", [(5, 9, 3, 4), (1, 1, 2, 3), (17, 12, 6, 8)])
 class TestFusedRecurrentWrappers:
     def test_bit_identical_to_per_step_cell(self, layer_cls, shape):
+        # Bit-identity is the per-step backward's contract; the batched
+        # backward reassociates gradient sums and is held to <= 1e-10 by
+        # TestBatchedBackwardEquivalence instead.
         batch, steps, features, hidden = shape
         fused = layer_cls(features, hidden, rng=np.random.default_rng(11))
+        fused.batched_backward = False
         reference = layer_cls(features, hidden, rng=np.random.default_rng(11))
         rng = np.random.default_rng(7)
         x = rng.standard_normal((batch, steps, features))
@@ -151,6 +158,71 @@ class TestFusedRecurrentWrappers:
         assert np.array_equal(dx_fast, dx_ref)
         for fast_p, ref_p in zip(fused.parameters(), reference.parameters()):
             assert np.array_equal(fast_p.grad, ref_p.grad), fast_p.name
+
+
+#: Grad tolerance of the batched BPTT backward against the per-step
+#: reference: the time-stacked gemms reassociate floating-point sums,
+#: so equality holds to round-off, not bit-for-bit.
+_BATCHED_BACKWARD_ATOL = 1e-10
+
+
+@pytest.mark.parametrize("layer_cls", [RNN, GRU, LSTM])
+@pytest.mark.parametrize(
+    "shape",
+    [
+        (5, 9, 3, 4),
+        (1, 1, 2, 3),  # T=1: the loop degenerates to a single step
+        (2, 5, 4, 1),  # hidden=1: gemms collapse to dot products
+        (17, 12, 6, 8),
+        (64, 24, 8, 16),  # production-like batch
+    ],
+)
+class TestBatchedBackwardEquivalence:
+    def test_matches_per_step_reference(self, layer_cls, shape):
+        batch, steps, features, hidden = shape
+        layer = layer_cls(features, hidden, rng=np.random.default_rng(11))
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((batch, steps, features))
+        grad = rng.standard_normal((batch, steps, hidden))
+
+        layer.forward(x)
+        assert layer.batched_backward  # the default fast path
+        dx_fast = layer.backward(grad)
+        fast_grads = [p.grad.copy() for p in layer.parameters()]
+
+        for param in layer.parameters():
+            param.grad[...] = 0.0
+        dx_ref = layer._backward_per_step_reference(grad)
+
+        np.testing.assert_allclose(
+            dx_fast, dx_ref, rtol=0.0, atol=_BATCHED_BACKWARD_ATOL
+        )
+        for fast_grad, param in zip(fast_grads, layer.parameters()):
+            np.testing.assert_allclose(
+                fast_grad,
+                param.grad,
+                rtol=0.0,
+                atol=_BATCHED_BACKWARD_ATOL,
+                err_msg=param.name,
+            )
+
+    def test_grad_accumulation_matches(self, layer_cls, shape):
+        # Two backward calls must accumulate (+=) into .grad on both
+        # paths, not overwrite it.
+        batch, steps, features, hidden = shape
+        layer = layer_cls(features, hidden, rng=np.random.default_rng(11))
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal((batch, steps, features))
+        grad = rng.standard_normal((batch, steps, hidden))
+
+        layer.forward(x)
+        layer.backward(grad)
+        once = [p.grad.copy() for p in layer.parameters()]
+        layer.backward(grad)
+        for single, param in zip(once, layer.parameters()):
+            np.testing.assert_allclose(
+                param.grad, 2.0 * single, rtol=0.0, atol=1e-12
+            )
 
 
 @pytest.mark.parametrize("layer_cls", [RNN, GRU, LSTM])

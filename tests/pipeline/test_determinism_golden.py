@@ -10,6 +10,13 @@ or re-threads the generator will trip this test.
 
 A second pass runs warm through an ArtifactStore to pin the other half
 of the contract: cache replay is also bit-identical.
+
+One golden was regenerated once since capture: the batched BPTT
+backward (time-stacked weight-gradient gemms) reassociates gradient
+sums, which moved ``GOLDEN_PATTERN_SUM`` by exactly one ulp. Every
+sanitized-output golden survived unchanged — k-quantization snaps the
+pattern matrix to level values, absorbing the sub-1e-10 training
+drift — so the release bits are identical to the pre-batching code.
 """
 
 import numpy as np
@@ -22,7 +29,7 @@ from repro.pipeline import ArtifactStore
 
 
 GOLDEN_SUM = float.fromhex("0x1.3490d7957d3acp+9")
-GOLDEN_PATTERN_SUM = float.fromhex("0x1.13fd7f2d670e0p+9")
+GOLDEN_PATTERN_SUM = float.fromhex("0x1.13fd7f2d670e1p+9")
 GOLDEN_ROW = [
     float.fromhex(h)
     for h in [

@@ -1,5 +1,7 @@
 """Tests for range queries and workload generators."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -121,8 +123,24 @@ class TestPositiveAnswerRejectionSampling:
 
     def test_all_zero_reference_falls_back(self):
         values = np.zeros((3, 3, 3))
-        queries = small_queries((3, 3, 3), count=5, rng=1, reference=values)
+        with pytest.warns(RuntimeWarning, match=r"workload 'small'"):
+            queries = small_queries((3, 3, 3), count=5, rng=1, reference=values)
         assert len(queries) == 5  # degenerate map still yields queries
+
+    def test_exhausted_rejection_warning_names_workload_and_region(self):
+        values = np.zeros((4, 4, 4))
+        with pytest.warns(RuntimeWarning) as captured:
+            make_workload("large", (4, 4, 4), count=1, rng=3, reference=values)
+        message = str(captured[0].message)
+        assert "workload 'large'" in message
+        assert "200 rejection attempts" in message
+        assert "(4, 4, 4)" in message
+
+    def test_positive_reference_does_not_warn(self, rng):
+        values = rng.random((4, 4, 4)) + 0.1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            small_queries((4, 4, 4), count=10, rng=4, reference=values)
 
     def test_reference_matrix_object(self, rng):
         matrix = ConsumptionMatrix(rng.random((4, 4, 4)))
