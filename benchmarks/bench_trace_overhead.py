@@ -1,0 +1,43 @@
+"""Tracing overhead on a full STPT publish.
+
+Delegates to :func:`repro.experiments.bench.bench_trace_overhead` —
+the same implementation behind ``repro bench trace_overhead`` — so the
+number printed here is the number shipped in
+``BENCH_trace_overhead.json``. Bit-identity of the sanitized releases
+between the NullTracer and live-Tracer sweeps is asserted before any
+timing; the per-call price of the NullTracer span sites and metric
+updates, multiplied by how many such calls one sweep executes, must
+then stay under 2% of the sweep's wall time.
+
+Marked ``slow`` to keep the default suite fast, matching the other
+benchmark wrappers; run it with
+``pytest benchmarks/bench_trace_overhead.py -m slow``.
+"""
+
+import pytest
+
+from repro.experiments.bench import bench_trace_overhead
+
+COLUMNS = [
+    "span_sites", "metric_updates", "null_span_microseconds",
+    "metric_update_microseconds", "sweep_seconds", "overhead_percent",
+    "bit_identical",
+]
+
+
+@pytest.mark.slow
+def test_trace_overhead_within_ceiling(print_rows):
+    def run():
+        payload = bench_trace_overhead()
+        return [{key: payload[key] for key in COLUMNS}]
+
+    rows = print_rows(
+        "STPT sweep: NullTracer instrumentation share of wall time",
+        run,
+        columns=COLUMNS,
+    )
+    row = rows[0]
+    assert row["bit_identical"] is True
+    assert row["span_sites"] > 0
+    assert row["metric_updates"] > 0
+    assert row["overhead_percent"] <= 2.0

@@ -32,6 +32,7 @@ import numpy as np
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
 from repro.exceptions import ConfigurationError, PrivacyError
+from repro.obs import get_tracer
 from repro.pipeline import ArtifactStore, Pipeline, PublicationResult, Stage
 from repro.rng import RngLike, ensure_rng
 
@@ -132,9 +133,12 @@ class Mechanism(abc.ABC):
         pipeline = Pipeline(
             [self.as_stage(epsilon)], store=store, name=f"baseline/{self.name}"
         )
-        run = pipeline.run(
-            {"norm": norm_matrix}, rng=generator, accountant=accountant
-        )
+        with get_tracer().span(
+            "mechanism.run", mechanism=self.name, epsilon=epsilon
+        ):
+            run = pipeline.run(
+                {"norm": norm_matrix}, rng=generator, accountant=accountant
+            )
         elapsed = time.perf_counter() - started
         accountant.assert_within_budget()
         return MechanismRun(

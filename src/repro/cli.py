@@ -16,6 +16,9 @@ Examples::
     python -m repro pipeline run --data ca.npz --grid 16 --t-train 40 \
         --cache-dir .repro-cache
     python -m repro pipeline inspect --cache-dir .repro-cache
+    python -m repro publish --data ca.npz --grid 16 --t-train 40 \
+        --out release.npz --trace --trace-out release-trace.jsonl
+    python -m repro trace release-trace.jsonl --top 5
 """
 
 from __future__ import annotations
@@ -23,9 +26,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
+from repro.baselines.base import get_mechanism
 from repro.core.pattern import PatternConfig
 from repro.core.stpt import STPT, STPTConfig
 from repro.data.datasets import TABLE2, generate_dataset
@@ -36,15 +42,26 @@ from repro.data.io import (
     save_dataset,
     save_matrix,
 )
-from repro.data.matrix import build_matrices
+from repro.data.matrix import ConsumptionMatrix, build_matrices
 from repro.data.spatial import DISTRIBUTIONS, place_households
 from repro.exceptions import ReproError
 from repro.experiments import ablations, figures
 from repro.experiments.bench import BENCHMARKS, THRESHOLDS, run_benchmark
 from repro.experiments.harness import format_table, publish_stpt_sweep
+from repro.obs import (
+    Metrics,
+    Tracer,
+    load_trace,
+    render_tree,
+    top_self_time,
+    use_metrics,
+    use_tracer,
+    write_trace,
+)
 from repro.pipeline import ArtifactStore
 from repro.queries.metrics import workload_mre
 from repro.queries.range_query import make_workload
+from repro.rng import derive_seed, ensure_rng
 
 FIGURE_RUNNERS: dict[str, Callable[..., list[dict]]] = {
     "table2": figures.table2,
@@ -84,6 +101,64 @@ _WORKER_AWARE = {
 }
 
 
+def _workers_argument(value: str) -> int:
+    """``--workers`` parser: a positive process count (argparse exits 2
+    with a one-line message on anything else)."""
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Opt-in tracing flags shared by publish/pipeline/figure/bench."""
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record spans and metrics for this run (strictly "
+        "observational: output bits are identical to an untraced run)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="trace output path (implies --trace; default "
+        "repro-trace.jsonl)",
+    )
+    parser.add_argument(
+        "--trace-resource", action="store_true",
+        help="attach RSS/GC snapshots to pipeline stage spans "
+        "(implies --trace)",
+    )
+
+
+@contextmanager
+def _tracing(args: argparse.Namespace) -> Iterator[None]:
+    """Install a live tracer/metrics pair when ``--trace`` was given.
+
+    The trace file is written after the command body returns; on error
+    nothing is written (the one-line error message stays the only
+    output).
+    """
+    enabled = (
+        getattr(args, "trace", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "trace_resource", False)
+    )
+    if not enabled:
+        yield
+        return
+    tracer = Tracer(resource=bool(getattr(args, "trace_resource", False)))
+    metrics = Metrics()
+    with use_tracer(tracer), use_metrics(metrics):
+        yield
+    out = Path(getattr(args, "trace_out", None) or "repro-trace.jsonl")
+    write_trace(
+        out, tracer.spans, metrics=metrics, meta={"command": args.command}
+    )
+    print(f"wrote trace {out}: {len(tracer.spans)} span(s)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -100,6 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     pub = sub.add_parser("publish", help="run STPT on a dataset file")
     _add_publish_arguments(pub)
+    _add_trace_arguments(pub)
     pub.add_argument("--out", required=True, help="sanitized matrix .npz path")
     pub.add_argument("--csv", help="optionally also export CSV here")
 
@@ -112,6 +188,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the STPT publish pipeline and print per-stage records",
     )
     _add_publish_arguments(prun)
+    _add_trace_arguments(prun)
     prun.add_argument("--out", help="optionally save the sanitized matrix here")
     pins = pipe_sub.add_parser(
         "inspect", help="list the artifacts stored in a cache directory"
@@ -132,10 +209,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--dataset", choices=sorted(TABLE2), default="CER")
     fig.add_argument("--seed", type=int, default=0)
     fig.add_argument(
-        "--workers", type=int, default=None,
+        "--workers", type=_workers_argument, default=None,
         help="worker processes for figures whose drivers fan out "
         "(results are bit-identical to serial)",
     )
+    _add_trace_arguments(fig)
 
     ben = sub.add_parser(
         "bench", help="run a named benchmark, write BENCH_<name>.json"
@@ -146,11 +224,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered benchmarks with their asserted thresholds",
     )
     ben.add_argument(
-        "--workers", type=int, default=4,
+        "--workers", type=_workers_argument, default=4,
         help="worker processes for parallel benchmarks",
     )
     ben.add_argument(
         "--out", help="output JSON path (default: BENCH_<name>.json)"
+    )
+    _add_trace_arguments(ben)
+
+    tra = sub.add_parser(
+        "trace", help="render a trace recorded with --trace"
+    )
+    tra.add_argument("file", help="trace .jsonl file")
+    tra.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the self-time table (default 10)",
     )
 
     rep = sub.add_parser(
@@ -208,11 +296,16 @@ def _add_publish_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hidden-dim", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--mechanism", default="STPT",
+        help="mechanism to publish with: STPT (default) or any "
+        "registered baseline, e.g. FourierPerturbation, AGrid, FAST",
+    )
+    parser.add_argument(
         "--cache-dir",
         help="artifact cache directory; deterministic stages replay from it",
     )
     parser.add_argument(
-        "--workers", type=int, default=None,
+        "--workers", type=_workers_argument, default=None,
         help="worker processes for a multi-epsilon sweep "
         "(results are bit-identical to serial)",
     )
@@ -258,15 +351,66 @@ def _publish_config(
     )
 
 
+@dataclass
+class _BaselineRelease:
+    """The slice of ``STPTResult`` the publish commands print."""
+
+    sanitized_kwh: ConsumptionMatrix
+    epsilon_spent: float
+    elapsed_seconds: float
+    records: list = field(default_factory=list)
+
+
+def _baseline_results(args: argparse.Namespace):
+    """Publish the test horizon with a registered baseline mechanism.
+
+    The mechanism spends the whole budget
+    ``epsilon_pattern + epsilon_sanitize`` on its release (baselines
+    have no pattern phase), one independent release per
+    ``--epsilon-sanitize`` value, matching the experiment harness's
+    comparison contract.
+    """
+    mechanism = get_mechanism(args.mechanism)
+    __, __, norm, clip = _matrices_for(args)
+    test_norm = norm.time_slice(args.t_train)
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    generator = ensure_rng(args.seed)
+    results = []
+    for epsilon_sanitize in args.epsilon_sanitize:
+        run = mechanism.run(
+            test_norm,
+            args.epsilon_pattern + epsilon_sanitize,
+            rng=derive_seed(generator),
+            store=store,
+        )
+        results.append(
+            (
+                epsilon_sanitize,
+                _BaselineRelease(
+                    sanitized_kwh=ConsumptionMatrix(
+                        run.sanitized.values * clip
+                    ),
+                    epsilon_spent=run.epsilon_spent,
+                    elapsed_seconds=run.elapsed_seconds,
+                    records=list(run.records),
+                ),
+            )
+        )
+    return results, store
+
+
 def _publish_results(args: argparse.Namespace):
-    """Run STPT per the shared publish options.
+    """Run STPT (or a baseline) per the shared publish options.
 
     Returns ``([(epsilon_sanitize, result), ...], store)``. A single
     ``--epsilon-sanitize`` value keeps the original one-shot path (same
     bits as before the sweep option existed); several values fan out
     through :func:`publish_stpt_sweep`, optionally across ``--workers``
-    processes.
+    processes. ``--mechanism`` other than STPT routes through
+    :func:`_baseline_results`.
     """
+    if args.mechanism != "STPT":
+        return _baseline_results(args)
     __, cons, norm, clip = _matrices_for(args)
     epsilons = list(args.epsilon_sanitize)
     store = ArtifactStore(args.cache_dir) if args.cache_dir else None
@@ -438,6 +582,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = load_trace(args.file)
+    print(render_tree(trace))
+    rows = top_self_time(trace.spans, k=args.top)
+    if rows:
+        print()
+        print(f"top {len(rows)} span name(s) by self time:")
+        print(format_table(rows))
+    metric_rows = trace.metrics.rows()
+    if metric_rows:
+        print()
+        print("metrics:")
+        print(format_table(metric_rows))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -450,9 +610,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "lint": _cmd_lint,
         "pipeline": _cmd_pipeline,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
     }
     try:
-        return handlers[args.command](args)
+        with _tracing(args):
+            return handlers[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

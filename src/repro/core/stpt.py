@@ -35,6 +35,7 @@ from repro.core.sanitizer import SanitizationResult, sanitize_by_partitions
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
 from repro.exceptions import ConfigurationError, DataError
+from repro.obs import get_tracer
 from repro.pipeline import ArtifactStore, Pipeline, PublicationResult, Stage
 from repro.rng import RngLike, ensure_rng
 
@@ -298,15 +299,22 @@ class STPT:
         pipeline = build_stpt_pipeline(
             config, t_test, store=store if store is not None else self._store
         )
-        run = pipeline.run(
-            {
-                "norm_train": values[:, :, : config.t_train],
-                "norm_test": values[:, :, config.t_train :],
-            },
-            rng=self._rng,
-            accountant=accountant,
-            stage_rngs=stage_rngs,
-        )
+        with get_tracer().span(
+            "stpt.publish",
+            epsilon_pattern=config.epsilon_pattern,
+            epsilon_sanitize=config.epsilon_sanitize,
+            t_train=config.t_train,
+            t_test=t_test,
+        ):
+            run = pipeline.run(
+                {
+                    "norm_train": values[:, :, : config.t_train],
+                    "norm_test": values[:, :, config.t_train :],
+                },
+                rng=self._rng,
+                accountant=accountant,
+                stage_rngs=stage_rngs,
+            )
         accountant.assert_within_budget()
 
         pattern_result, pattern_matrix = run.artifact("pattern")

@@ -40,6 +40,10 @@ class QueryError(ReproError):
 class TrainingError(ReproError):
     """A neural-network training run was configured or converged badly."""
 
+
+class TraceError(ReproError):
+    """A trace file is missing, unreadable or malformed (repro.obs)."""
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -49,4 +53,5 @@ __all__ = [
     "DataError",
     "QueryError",
     "TrainingError",
+    "TraceError",
 ]

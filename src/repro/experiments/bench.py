@@ -22,12 +22,15 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.pattern import _rollout_per_node_reference
+from repro.core.pattern import PatternConfig, _rollout_per_node_reference
+from repro.core.stpt import STPT, STPTConfig
+from repro.data.matrix import ConsumptionMatrix
 from repro.exceptions import ConfigurationError
 from repro.experiments.harness import build_context, run_stpt_many
 from repro.experiments.presets import ScalePreset
 from repro.nn.models import GRUForecaster, make_forecaster
 from repro.nn.optimizers import RMSProp
+from repro.obs import Metrics, NullTracer, Tracer, use_metrics, use_tracer
 from repro.nn.training import (
     Trainer,
     _make_windows_reference,
@@ -54,6 +57,8 @@ _KERNEL_SPEEDUP_FLOOR = 3.0
 _TRAINING_SPEEDUP_FLOOR = 2.0
 #: Query-engine floor over per-query slice sums on the mixed workload.
 _QUERY_SPEEDUP_FLOOR = 10.0
+#: Ceiling on the instrumentation share of sweep wall time (NullTracer).
+_TRACE_OVERHEAD_CEILING = 0.02
 
 
 def register(
@@ -404,6 +409,125 @@ def bench_query_engine(workers: int | None = None) -> dict:
     }
 
 
+def _trace_bench_matrix() -> ConsumptionMatrix:
+    """Deterministic 8x8x24 matrix (the golden-test geometry)."""
+    x = np.arange(8, dtype=float)[:, None, None]
+    y = np.arange(8, dtype=float)[None, :, None]
+    t = np.arange(24, dtype=float)[None, None, :]
+    values = (
+        1.0
+        + 0.5 * np.sin(0.7 * x + 0.3 * y)
+        + 0.3 * np.cos(0.5 * t + 0.1 * x * y)
+    )
+    return ConsumptionMatrix(values)
+
+
+def _trace_bench_sweep(tracer, metrics: Metrics) -> np.ndarray:
+    """A two-point epsilon sweep under ``tracer``; returns the releases."""
+    releases = []
+    with use_tracer(tracer), use_metrics(metrics):
+        for epsilon_sanitize in (10.0, 20.0):
+            config = STPTConfig(
+                epsilon_pattern=10.0,
+                epsilon_sanitize=epsilon_sanitize,
+                t_train=16,
+                quantization_levels=6,
+                pattern=PatternConfig(
+                    window=3, epochs=8, embed_dim=8, hidden_dim=8
+                ),
+            )
+            result = STPT(config, rng=1234).publish(
+                _trace_bench_matrix(), clip_scale=2.0
+            )
+            releases.append(result.sanitized.values)
+    return np.stack(releases)
+
+
+def _per_call_seconds(fn: Callable[[], object], calls: int = 50_000) -> float:
+    """Best-of-3 per-call cost of ``fn`` over ``calls``-sized batches."""
+    best = float("inf")
+    for __ in range(3):
+        started = time.perf_counter()
+        for __ in range(calls):
+            fn()
+        best = min(best, time.perf_counter() - started)
+    return best / calls
+
+
+@register(
+    "trace_overhead",
+    threshold=f"<= {_TRACE_OVERHEAD_CEILING:.0%} of sweep wall time spent "
+    "in NullTracer span sites + metric updates; traced and untraced "
+    "releases bit-identical",
+)
+def bench_trace_overhead(workers: int | None = None) -> dict:
+    """Cost of the always-on instrumentation on a pipeline sweep.
+
+    The observability contract is that the default path is effectively
+    free: a span site costs one ``NullTracer.span`` call and the
+    always-live metrics registry a counter/histogram update. A
+    head-to-head wall-clock comparison of two full sweeps cannot
+    resolve costs this small against scheduler noise, so the benchmark
+    measures the per-call price of each instrumentation primitive
+    directly (50k-call batches), counts how many such calls one sweep
+    executes (live-tracer probe + metrics registry introspection), and
+    bounds their product against the sweep's wall time. Bit-identity
+    between the traced and untraced releases is asserted first.
+    """
+    del workers  # single-process benchmark; kept for a uniform signature
+    null_release = _trace_bench_sweep(NullTracer(), Metrics())
+    probe = Tracer()
+    probe_metrics = Metrics()
+    traced_release = _trace_bench_sweep(probe, probe_metrics)
+    if not np.array_equal(null_release, traced_release):
+        raise AssertionError("traced sweep diverged from untraced")
+
+    # Instrumentation calls one sweep executes: every span the probe
+    # recorded was one NullTracer.span site on the default path, and
+    # every histogram observation / counter bump hits the registry
+    # whether or not tracing is on.
+    span_sites = len(probe.spans)
+    metric_updates = sum(
+        row["count"] if row["kind"] == "histogram" else 1
+        for row in probe_metrics.rows()
+    )
+
+    null_tracer = NullTracer()
+
+    def null_span() -> None:
+        with null_tracer.span("bench.site"):
+            pass
+
+    bench_metrics = Metrics()
+    span_seconds = _per_call_seconds(null_span)
+    metric_seconds = _per_call_seconds(
+        lambda: bench_metrics.histogram("bench.site", 0.5)
+    )
+    sweep_seconds = _best_of(
+        lambda: _trace_bench_sweep(NullTracer(), Metrics())
+    )
+    instrumented_seconds = (
+        span_sites * span_seconds + metric_updates * metric_seconds
+    )
+    overhead = instrumented_seconds / sweep_seconds
+    if overhead > _TRACE_OVERHEAD_CEILING:
+        raise AssertionError(
+            f"NullTracer instrumentation overhead {overhead:.2%} exceeds "
+            f"the {_TRACE_OVERHEAD_CEILING:.0%} ceiling"
+        )
+    return {
+        "benchmark": "trace_overhead",
+        "cpu_count": os.cpu_count() or 1,
+        "span_sites": span_sites,
+        "metric_updates": metric_updates,
+        "null_span_microseconds": round(span_seconds * 1e6, 3),
+        "metric_update_microseconds": round(metric_seconds * 1e6, 3),
+        "sweep_seconds": round(sweep_seconds, 5),
+        "overhead_percent": round(overhead * 100.0, 4),
+        "bit_identical": True,
+    }
+
+
 def _git_commit() -> str | None:
     try:
         completed = subprocess.run(
@@ -436,6 +560,7 @@ __all__: Sequence[str] = [
     "bench_nn_kernels",
     "bench_parallel_sweep",
     "bench_query_engine",
+    "bench_trace_overhead",
     "bench_training_step",
     "register",
     "run_benchmark",

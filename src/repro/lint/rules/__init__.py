@@ -7,6 +7,7 @@ from repro.lint.rules.dp import (
 )
 from repro.lint.rules.hygiene import MutableDefaultRule, ReexportedModuleAllRule
 from repro.lint.rules.numerics import FloatEqualityRule
+from repro.lint.rules.obs import SpanNameRule
 from repro.lint.rules.rng import GlobalRngRule
 
 __all__ = [
@@ -17,4 +18,5 @@ __all__ = [
     "MutableDefaultRule",
     "NoisePrimitiveRule",
     "ReexportedModuleAllRule",
+    "SpanNameRule",
 ]

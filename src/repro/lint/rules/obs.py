@@ -1,0 +1,114 @@
+"""OBS001 — span names must be static dotted-lowercase strings.
+
+Trace analysis aggregates by span name: ``repro trace`` groups
+self-time per name and downstream tooling diffs traces across runs.
+That only works if names form a small, stable vocabulary. A dynamic
+name (``tracer.span(f"stage.{name}")``) explodes the vocabulary — one
+"name" per runtime value — and anything that is not dotted-lowercase
+fails :func:`repro.obs.tracer.check_span_name` at runtime anyway, but
+only on the first *traced* run, which the test suite may never take.
+OBS001 moves both failures to lint time: span names at ``.span(...)``
+sites on tracer receivers and in ``@traced(...)`` decorations must be
+string constants matching the runtime convention; varying context
+belongs in span attributes, not the name.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.project import ModuleInfo
+from repro.lint.registry import Rule, RuleOptions, register
+from repro.lint.rules.common import finding_at, identifier_of, source_of
+
+#: Mirrors ``repro.obs.tracer._SPAN_NAME`` (the lint package stays
+#: import-independent from the runtime it checks).
+_SPAN_NAME = re.compile(r"[a-z0-9_]+(\.[a-z0-9_]+)+\Z")
+
+
+def _is_tracer_receiver(expr: ast.expr) -> bool:
+    """Receivers we trust to be tracers: ``*tracer*`` names/attributes
+    and direct ``get_tracer()`` calls."""
+    name = identifier_of(expr)
+    if name and "tracer" in name.lower():
+        return True
+    if isinstance(expr, ast.Call):
+        callee = identifier_of(expr.func)
+        return callee == "get_tracer"
+    return False
+
+
+@register
+class SpanNameRule(Rule):
+    """OBS001 — dynamic or non-conventional span names."""
+
+    id = "OBS001"
+    title = "span name is not a static dotted-lowercase string"
+    rationale = (
+        "Span names are the aggregation key of every trace view; they "
+        "must be a fixed vocabulary of dotted-lowercase constants "
+        "(check_span_name enforces this at runtime, but only on traced "
+        "runs). Put varying context in span attributes instead."
+    )
+    default_allow = ("tests", "benchmarks")
+
+    def check_module(
+        self, module: ModuleInfo, options: RuleOptions
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            site = self._span_site(node)
+            if site is None or not node.args:
+                continue
+            finding = self._check_name(module, node.args[0], site)
+            if finding is not None:
+                yield finding
+
+    def _span_site(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "span":
+            if _is_tracer_receiver(func.value):
+                return ".span()"
+            return None
+        if identifier_of(func) == "traced":
+            return "traced()"
+        return None
+
+    def _check_name(
+        self, module: ModuleInfo, name: ast.expr, site: str
+    ) -> Finding | None:
+        if isinstance(name, ast.Constant) and isinstance(name.value, str):
+            if _SPAN_NAME.fullmatch(name.value) is not None:
+                return None
+            return finding_at(
+                module,
+                name,
+                self.id,
+                f"span name {name.value!r} at {site} is not "
+                "dotted-lowercase ([a-z0-9_]+(.[a-z0-9_]+)+); it will be "
+                "rejected by check_span_name on the first traced run",
+            )
+        if isinstance(name, ast.JoinedStr):
+            return finding_at(
+                module,
+                name,
+                self.id,
+                f"f-string span name {source_of(name)!r} at {site} makes "
+                "the trace vocabulary unbounded; use a constant name and "
+                "carry the varying part as a span attribute",
+            )
+        return finding_at(
+            module,
+            name,
+            self.id,
+            f"span name {source_of(name)!r} at {site} is not a string "
+            "constant; trace tooling aggregates by name, so names must "
+            "be static",
+        )
+
+
+__all__ = ["SpanNameRule"]

@@ -45,6 +45,11 @@ from repro.nn.layers import sigmoid
 from repro.nn.module import Module, Parameter
 from repro.rng import RngLike, spawn
 
+#: Initial ``batched_backward`` value of every recurrent wrapper. The
+#: golden-contract test flips this to run the whole publish pipeline on
+#: the per-step reference backward.
+BATCHED_BACKWARD_DEFAULT = True
+
 
 class RNNCell(Module):
     """Elman cell ``h' = tanh(x W + h U + b)``."""
@@ -211,7 +216,7 @@ class RNN(Module):
         super().__init__()
         self.cell = RNNCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
-        self.batched_backward = True
+        self.batched_backward = BATCHED_BACKWARD_DEFAULT
         self._fwd: tuple | None = None
 
     def forward(self, x: np.ndarray, h0: np.ndarray | None = None) -> np.ndarray:
@@ -311,7 +316,7 @@ class GRU(Module):
         super().__init__()
         self.cell = GRUCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
-        self.batched_backward = True
+        self.batched_backward = BATCHED_BACKWARD_DEFAULT
         self._fwd: tuple | None = None
 
     def forward(self, x: np.ndarray, h0: np.ndarray | None = None) -> np.ndarray:
@@ -456,7 +461,7 @@ class LSTM(Module):
         super().__init__()
         self.cell = LSTMCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
-        self.batched_backward = True
+        self.batched_backward = BATCHED_BACKWARD_DEFAULT
         self._fwd: tuple | None = None
 
     def forward(

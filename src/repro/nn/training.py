@@ -8,6 +8,7 @@ STPT's pattern-recognition phase sweeps a fixed-size window over each
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -17,6 +18,7 @@ from repro.exceptions import ConfigurationError, TrainingError
 from repro.nn.losses import loss_value, mse_loss
 from repro.nn.models import SequenceForecaster
 from repro.nn.optimizers import Optimizer, RMSProp, clip_grad_norm
+from repro.obs import get_metrics, get_tracer
 from repro.rng import RngLike, ensure_rng
 
 
@@ -193,53 +195,80 @@ class Trainer:
         else:
             val_x = val_y = None
 
+        tracer = get_tracer()
+        metrics = get_metrics()
         history = TrainingHistory()
         best_val = np.inf
         best_state: dict | None = None
         epochs_since_best = 0
         self.model.train()
-        for __ in range(self.epochs):
-            epoch_loss = 0.0
-            count = 0
-            for batch_x, batch_y in iterate_minibatches(
-                inputs, targets, self.batch_size, rng=self._rng
-            ):
-                self.optimizer.zero_grad()
-                preds = self.model(batch_x)
-                loss, grad = self.loss_fn(preds, batch_y)
-                self.model.backward(grad)
-                if self.grad_clip:
-                    # Flat optimizers clip their contiguous grad buffer
-                    # in two vector ops; otherwise clip the model's
-                    # parameter list exactly as before.
-                    if self.optimizer.flat:
-                        self.optimizer.clip_grad_norm(self.grad_clip)
-                    else:
-                        clip_grad_norm(self.model.parameters(), self.grad_clip)
-                self.optimizer.step()
-                epoch_loss += loss * len(batch_x)
-                count += len(batch_x)
-            history.epoch_losses.append(epoch_loss / count)
-
-            if val_x is not None:
-                # Gradient-free loss: validation only needs the scalar.
-                val_loss = loss_value(self.loss_fn, self.model(val_x), val_y)
-                history.validation_losses.append(val_loss)
-                if val_loss < best_val - 1e-12:
-                    best_val = val_loss
-                    # Snapshotting every parameter is only worth it when
-                    # early stopping may restore the snapshot later.
-                    if self.patience is not None:
-                        best_state = self.model.state_dict()
-                    epochs_since_best = 0
-                else:
-                    epochs_since_best += 1
-                    if (
-                        self.patience is not None
-                        and epochs_since_best >= self.patience
+        with tracer.span(
+            "nn.fit", epochs=self.epochs, samples=len(inputs)
+        ) as fit_span:
+            for epoch in range(self.epochs):
+                epoch_loss = 0.0
+                count = 0
+                grad_norm = 0.0
+                with tracer.span("nn.epoch", epoch=epoch) as epoch_span:
+                    for batch_x, batch_y in iterate_minibatches(
+                        inputs, targets, self.batch_size, rng=self._rng
                     ):
-                        history.stopped_early = True
-                        break
+                        step_started = time.perf_counter()
+                        self.optimizer.zero_grad()
+                        preds = self.model(batch_x)
+                        loss, grad = self.loss_fn(preds, batch_y)
+                        self.model.backward(grad)
+                        if self.grad_clip:
+                            # Flat optimizers clip their contiguous grad
+                            # buffer in two vector ops; otherwise clip
+                            # the model's parameter list exactly as
+                            # before.
+                            if self.optimizer.flat:
+                                grad_norm = self.optimizer.clip_grad_norm(
+                                    self.grad_clip
+                                )
+                            else:
+                                grad_norm = clip_grad_norm(
+                                    self.model.parameters(), self.grad_clip
+                                )
+                        self.optimizer.step()
+                        metrics.histogram(
+                            "nn.step.seconds",
+                            time.perf_counter() - step_started,
+                        )
+                        epoch_loss += loss * len(batch_x)
+                        count += len(batch_x)
+                    mean_loss = epoch_loss / count
+                    epoch_span.set_attribute("loss", mean_loss)
+                    epoch_span.set_attribute("grad_norm", grad_norm)
+                metrics.gauge("nn.epoch.loss", mean_loss)
+                metrics.gauge("nn.grad_norm", grad_norm)
+                history.epoch_losses.append(mean_loss)
+
+                if val_x is not None:
+                    # Gradient-free loss: validation only needs the scalar.
+                    val_loss = loss_value(
+                        self.loss_fn, self.model(val_x), val_y
+                    )
+                    history.validation_losses.append(val_loss)
+                    if val_loss < best_val - 1e-12:
+                        best_val = val_loss
+                        # Snapshotting every parameter is only worth it
+                        # when early stopping may restore the snapshot
+                        # later.
+                        if self.patience is not None:
+                            best_state = self.model.state_dict()
+                        epochs_since_best = 0
+                    else:
+                        epochs_since_best += 1
+                        if (
+                            self.patience is not None
+                            and epochs_since_best >= self.patience
+                        ):
+                            history.stopped_early = True
+                            break
+            fit_span.set_attribute("final_loss", history.epoch_losses[-1])
+            fit_span.set_attribute("stopped_early", history.stopped_early)
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()

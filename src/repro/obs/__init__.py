@@ -1,0 +1,70 @@
+"""``repro.obs`` — zero-dependency tracing, metrics and profiling.
+
+Three pieces, all strictly observational (no RNG, no accountant, no
+effect on published bits):
+
+* :class:`Tracer` / :class:`NullTracer` — nested spans with wall/CPU
+  time, attributes and a thread-safe current-span context; the no-op
+  tracer is the default and costs one method call per span site;
+* :class:`Metrics` — an always-live registry of counters, gauges and
+  fixed-bucket histograms (``pipeline.cache.hit``,
+  ``dp.epsilon.spent``, ``nn.step.seconds``, ``queries.evaluated``);
+* exporters — JSONL trace files (``write_trace`` / ``load_trace``),
+  a human tree view, top-k self-time tables, plus fork-worker span
+  spooling (:mod:`repro.obs.spool`) and an opt-in RSS/GC
+  :func:`resource_snapshot`.
+
+Entry points: ``repro publish|pipeline|figure|bench --trace`` records
+a run, ``repro trace <file>`` renders it. Naming conventions and the
+exporter format are documented in ``docs/observability.md``; lint rule
+OBS001 enforces the span-name convention statically.
+"""
+
+from repro.obs.export import (
+    Trace,
+    load_trace,
+    render_tree,
+    self_times,
+    top_self_time,
+    write_trace,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, Metrics
+from repro.obs.runtime import (
+    get_metrics,
+    get_tracer,
+    resource_snapshot,
+    set_metrics,
+    set_tracer,
+    traced,
+    use_metrics,
+    use_tracer,
+)
+from repro.obs.spool import merge_spool, spool_path, write_spool
+from repro.obs.tracer import NullTracer, Span, Tracer, check_span_name
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "Metrics",
+    "NullTracer",
+    "Span",
+    "Trace",
+    "Tracer",
+    "check_span_name",
+    "get_metrics",
+    "get_tracer",
+    "load_trace",
+    "merge_spool",
+    "render_tree",
+    "resource_snapshot",
+    "self_times",
+    "set_metrics",
+    "set_tracer",
+    "spool_path",
+    "top_self_time",
+    "traced",
+    "use_metrics",
+    "use_tracer",
+    "write_spool",
+    "write_trace",
+]

@@ -1,0 +1,200 @@
+"""Trace exporters: JSONL on disk, human tree and tables in memory.
+
+The on-disk format is line-delimited JSON:
+
+* the first line is a header ``{"type": "trace", "version": 1, ...}``
+  carrying free-form metadata (command, arguments, timestamp);
+* each span is one ``{"type": "span", ...}`` line (see
+  :meth:`repro.obs.tracer.Span.as_dict`);
+* the trailer is a single ``{"type": "metrics", ...}`` line holding a
+  :meth:`repro.obs.metrics.Metrics.as_dict` snapshot.
+
+``repro trace <file>`` renders a loaded trace as an indented tree with
+per-span wall/CPU time, a top-k table of *self* time (wall minus child
+wall) aggregated by span name, and the metric table. A missing or
+corrupt file raises :class:`~repro.exceptions.TraceError`, which the
+CLI turns into a one-line error message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.exceptions import TraceError
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import Span, iter_children
+
+TRACE_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A loaded trace: spans plus the metric snapshot and header meta."""
+
+    spans: list[Span] = field(default_factory=list)
+    metrics: Metrics = field(default_factory=Metrics)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall time of the root spans."""
+        return sum(s.wall_seconds for s in self.spans if s.parent_id is None)
+
+
+def write_trace(
+    path: str | Path,
+    spans: Iterable[Span],
+    metrics: Metrics | None = None,
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write one trace file; returns the path written."""
+    path = Path(path)
+    lines = [json.dumps({"type": "trace", "version": TRACE_VERSION,
+                         **(meta or {})}, sort_keys=True)]
+    for span in spans:
+        lines.append(json.dumps(span.as_dict(), sort_keys=True, default=str))
+    if metrics is not None:
+        lines.append(
+            json.dumps(
+                {"type": "metrics", **metrics.as_dict()}, sort_keys=True
+            )
+        )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Parse a trace file written by :func:`write_trace`."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise TraceError(f"cannot read trace file {path}: {error}") from error
+    trace = Trace()
+    saw_header = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TraceError(
+                f"{path}:{lineno}: not valid JSONL ({error.msg})"
+            ) from error
+        if not isinstance(payload, dict) or "type" not in payload:
+            raise TraceError(f"{path}:{lineno}: record has no 'type' field")
+        kind = payload["type"]
+        try:
+            if kind == "trace":
+                saw_header = True
+                trace.meta = {
+                    k: v for k, v in payload.items() if k != "type"
+                }
+            elif kind == "span":
+                trace.spans.append(Span.from_dict(payload))
+            elif kind == "metrics":
+                trace.metrics = Metrics.from_dict(payload)
+            else:
+                raise TraceError(
+                    f"{path}:{lineno}: unknown record type {kind!r}"
+                )
+        except (KeyError, TypeError, ValueError) as error:
+            raise TraceError(
+                f"{path}:{lineno}: malformed {kind} record ({error})"
+            ) from error
+    if not saw_header:
+        raise TraceError(f"{path}: missing trace header line")
+    return trace
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _attr_summary(span: Span, keys: int = 4) -> str:
+    shown = []
+    for key, value in list(span.attributes.items())[:keys]:
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        shown.append(f"{key}={value}")
+    if span.worker:
+        shown.append(f"worker={span.worker}")
+    return f" [{', '.join(shown)}]" if shown else ""
+
+
+def render_tree(trace: Trace) -> str:
+    """Indented tree of the trace's spans with wall/CPU time."""
+    spans = trace.spans
+    if not spans:
+        return "(empty trace)"
+    lines: list[str] = []
+
+    def walk(parent_id: int | None, depth: int) -> None:
+        for span in iter_children(spans, parent_id):
+            indent = "  " * depth
+            lines.append(
+                f"{indent}{span.name}  "
+                f"wall {_format_seconds(span.wall_seconds)}  "
+                f"cpu {_format_seconds(span.cpu_seconds)}"
+                f"{_attr_summary(span)}"
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def self_times(spans: list[Span]) -> dict[str, dict[str, float]]:
+    """Per-name aggregate of self time (wall minus direct-child wall)."""
+    child_wall: dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_wall[span.parent_id] = (
+                child_wall.get(span.parent_id, 0.0) + span.wall_seconds
+            )
+    aggregate: dict[str, dict[str, float]] = {}
+    for span in spans:
+        self_seconds = max(0.0, span.wall_seconds - child_wall.get(span.span_id, 0.0))
+        entry = aggregate.setdefault(
+            span.name,
+            {"count": 0, "self_seconds": 0.0, "wall_seconds": 0.0},
+        )
+        entry["count"] += 1
+        entry["self_seconds"] += self_seconds
+        entry["wall_seconds"] += span.wall_seconds
+    return aggregate
+
+
+def top_self_time(
+    spans: list[Span], k: int = 10
+) -> list[dict[str, object]]:
+    """Top-``k`` span names by aggregate self time, as table rows."""
+    aggregate = self_times(spans)
+    ranked = sorted(
+        aggregate.items(), key=lambda item: -item[1]["self_seconds"]
+    )[: max(0, k)]
+    return [
+        {
+            "span": name,
+            "count": int(entry["count"]),
+            "self_seconds": entry["self_seconds"],
+            "wall_seconds": entry["wall_seconds"],
+        }
+        for name, entry in ranked
+    ]
+
+
+__all__ = [
+    "TRACE_VERSION",
+    "Trace",
+    "load_trace",
+    "render_tree",
+    "self_times",
+    "top_self_time",
+    "write_trace",
+]

@@ -1,0 +1,238 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+Counters accumulate (``pipeline.cache.hit``, ``dp.epsilon.spent``),
+gauges keep the last value (``nn.epoch.loss``), and histograms count
+observations into **fixed** buckets (``nn.step.seconds``,
+``parallel.queue.seconds``) — fixed so that registries from fork
+workers merge by plain addition, with no re-bucketing.
+
+Metric names follow the same dotted-lowercase convention as span names
+(see :mod:`repro.obs.tracer`). The registry is always live — an
+increment is two dict operations under a lock — so mechanisms can
+record operational facts (rejection-sampling exhaustion, queries
+evaluated) without asking whether anyone is watching; exporting them
+is the tracer's concern.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.obs.tracer import check_span_name
+
+#: Default histogram bucket upper bounds, in seconds.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, math.inf
+)
+
+
+@dataclass
+class Histogram:
+    """Observation counts against fixed bucket upper bounds."""
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def __post_init__(self) -> None:
+        if not self.buckets or list(self.buckets) != sorted(self.buckets):
+            raise ConfigurationError(
+                f"histogram buckets must be sorted and non-empty, "
+                f"got {self.buckets!r}"
+            )
+        if self.buckets[-1] != math.inf:
+            self.buckets = tuple(self.buckets) + (math.inf,)
+        if not self.counts:
+            self.counts = [0] * len(self.buckets)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        self.total += value
+        self.count += 1
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if tuple(other.buckets) != tuple(self.buckets):
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.count += other.count
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": [b if math.isfinite(b) else "inf" for b in self.buckets],
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Histogram":
+        buckets = tuple(
+            math.inf if b == "inf" else float(b) for b in payload["buckets"]
+        )
+        histogram = cls(buckets=buckets, counts=list(payload["counts"]))
+        histogram.total = float(payload.get("total", 0.0))
+        histogram.count = int(payload.get("count", 0))
+        if payload.get("min") is not None:
+            histogram.minimum = float(payload["min"])
+        if payload.get("max") is not None:
+            histogram.maximum = float(payload["max"])
+        return histogram
+
+
+class Metrics:
+    """Thread-safe registry of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` (default 1) to the counter ``name``."""
+        with self._lock:
+            if name not in self._counters:
+                check_span_name(name)
+                self._counters[name] = 0.0
+            self._counters[name] += float(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            if name not in self._gauges:
+                check_span_name(name)
+            self._gauges[name] = float(value)
+
+    def histogram(
+        self,
+        name: str,
+        value: float,
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        """Record one observation into the fixed-bucket histogram ``name``.
+
+        ``buckets`` applies only when the histogram is first created;
+        later observations reuse the established bounds.
+        """
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                check_span_name(name)
+                histogram = Histogram(
+                    buckets=tuple(buckets) if buckets else DEFAULT_BUCKETS
+                )
+                self._histograms[name] = histogram
+            histogram.observe(value)
+
+    # -- reading ------------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge_value(self, name: str) -> float | None:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram_value(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def rows(self) -> list[dict[str, object]]:
+        """One plain-dict row per metric, for table rendering."""
+        with self._lock:
+            rows: list[dict[str, object]] = []
+            for name in sorted(self._counters):
+                rows.append(
+                    {"metric": name, "kind": "counter",
+                     "value": self._counters[name], "count": "", "mean": ""}
+                )
+            for name in sorted(self._gauges):
+                rows.append(
+                    {"metric": name, "kind": "gauge",
+                     "value": self._gauges[name], "count": "", "mean": ""}
+                )
+            for name in sorted(self._histograms):
+                histogram = self._histograms[name]
+                rows.append(
+                    {"metric": name, "kind": "histogram",
+                     "value": histogram.total, "count": histogram.count,
+                     "mean": histogram.mean}
+                )
+            return rows
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in self._histograms.items()
+                },
+            }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Metrics":
+        metrics = cls()
+        for name, value in (payload.get("counters") or {}).items():
+            metrics._counters[name] = float(value)
+        for name, value in (payload.get("gauges") or {}).items():
+            metrics._gauges[name] = float(value)
+        for name, entry in (payload.get("histograms") or {}).items():
+            metrics._histograms[name] = Histogram.from_dict(entry)
+        return metrics
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry in: counters and histograms add, a
+        gauge present in ``other`` overwrites (last writer wins)."""
+        snapshot = other.as_dict()
+        with self._lock:
+            for name, value in snapshot["counters"].items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+            for name, value in snapshot["gauges"].items():
+                self._gauges[name] = value
+            for name, entry in snapshot["histograms"].items():
+                incoming = Histogram.from_dict(entry)
+                existing = self._histograms.get(name)
+                if existing is None:
+                    self._histograms[name] = incoming
+                else:
+                    existing.merge(incoming)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "Metrics"]

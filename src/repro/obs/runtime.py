@@ -1,0 +1,145 @@
+"""Process-global tracer/metrics handles and the profiling hooks.
+
+The rest of the library reaches observability through two accessors —
+:func:`get_tracer` and :func:`get_metrics` — so instrumented code never
+threads tracer objects through call signatures (which would change
+cache fingerprints and pickled payloads). The default tracer is a
+:class:`~repro.obs.tracer.NullTracer`; the CLI's ``--trace`` flag and
+tests swap in a live one via :func:`use_tracer`.
+
+Profiling hooks:
+
+* :func:`traced` — a decorator opening one span around each call;
+* :func:`resource_snapshot` — an opt-in RSS + GC snapshot that stage
+  spans attach when ``Tracer`` users ask for it (reads ``/proc`` and
+  the ``gc`` module only; zero third-party dependencies).
+"""
+
+from __future__ import annotations
+
+import functools
+import gc
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import NullTracer, Tracer, check_span_name
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+_tracer: "Tracer | NullTracer" = NullTracer()
+_metrics: Metrics = Metrics()
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The active tracer (a no-op :class:`NullTracer` by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: "Tracer | NullTracer") -> "Tracer | NullTracer":
+    """Install ``tracer`` globally; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer") -> Iterator["Tracer | NullTracer"]:
+    """Scope ``tracer`` as the active tracer for a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def get_metrics() -> Metrics:
+    """The active metrics registry (always live, process-local)."""
+    return _metrics
+
+
+def set_metrics(metrics: Metrics) -> Metrics:
+    """Install ``metrics`` globally; returns the previous registry."""
+    global _metrics
+    previous = _metrics
+    _metrics = metrics
+    return previous
+
+
+@contextmanager
+def use_metrics(metrics: Metrics) -> Iterator[Metrics]:
+    """Scope ``metrics`` as the active registry for a ``with`` block."""
+    previous = set_metrics(metrics)
+    try:
+        yield metrics
+    finally:
+        set_metrics(previous)
+
+
+def traced(name: str, **attributes: Any) -> Callable[[_F], _F]:
+    """Decorator: wrap every call of the function in one span.
+
+    The name is validated at decoration time, so a misnamed span fails
+    at import rather than on the first traced run.
+    """
+    check_span_name(name)
+
+    def decorator(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            # name was validated as a constant at decoration time
+            with get_tracer().span(name, **attributes):  # lint: disable=OBS001
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorator
+
+
+def _rss_bytes() -> int | None:
+    """Resident set size from ``/proc`` (Linux) or ``resource`` (POSIX)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(rss_kib) * 1024
+    except (ImportError, OSError):  # pragma: no cover
+        return None
+
+
+def resource_snapshot() -> dict[str, Any]:
+    """Opt-in point-in-time RSS and GC statistics.
+
+    Reading ``/proc`` costs microseconds but is a syscall, so stage
+    instrumentation only takes snapshots when the caller asked for them
+    (``Tracer(resource=True)`` / CLI ``--trace-resource``); it is never
+    on the NullTracer path.
+    """
+    counts = gc.get_count()
+    stats = gc.get_stats()
+    return {
+        "rss_bytes": _rss_bytes(),
+        "gc_counts": list(counts),
+        "gc_collections": sum(s.get("collections", 0) for s in stats),
+        "gc_collected": sum(s.get("collected", 0) for s in stats),
+    }
+
+
+__all__ = [
+    "get_metrics",
+    "get_tracer",
+    "resource_snapshot",
+    "set_metrics",
+    "set_tracer",
+    "traced",
+    "use_metrics",
+    "use_tracer",
+]

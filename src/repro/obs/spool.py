@@ -1,0 +1,66 @@
+"""Per-task span spooling across fork-worker process boundaries.
+
+A fork worker cannot append to the parent's tracer — it has its own
+copy of the process memory — so when tracing is enabled the executor
+hands every task a spool path. The worker runs the task under a fresh
+:class:`~repro.obs.tracer.Tracer` and a fresh
+:class:`~repro.obs.metrics.Metrics` registry, then writes both to
+``<spool_dir>/task-<index>.jsonl`` (the same JSONL schema as a full
+trace file). After the pool drains, the parent *adopts* each spool:
+span ids are remapped onto the parent tracer, the worker's root spans
+are re-parented under the span that was active at dispatch, every span
+is stamped with the worker id, and the worker's metrics are merged by
+addition. See ``docs/parallel.md``.
+
+Spooling never influences task results: the worker tracer observes the
+same execution the NullTracer would, and the spool file lives outside
+every artifact-store path.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.obs.export import load_trace, write_trace
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import Span, Tracer
+
+def spool_path(spool_dir: str | Path, index: int) -> Path:
+    """Spool file of task ``index`` inside ``spool_dir``."""
+    return Path(spool_dir) / f"task-{index}.jsonl"
+
+
+def write_spool(
+    path: str | Path, spans: list[Span], metrics: Metrics
+) -> Path:
+    """Worker side: persist one task's spans and metrics."""
+    return write_trace(
+        path, spans, metrics=metrics, meta={"spool": True, "pid": os.getpid()}
+    )
+
+
+def merge_spool(
+    path: str | Path,
+    tracer: Tracer,
+    metrics: Metrics,
+    parent_id: int | None = None,
+    worker: str | None = None,
+) -> int:
+    """Parent side: fold one spool file into the live trace.
+
+    Returns the number of adopted spans. A missing spool (the task
+    predates tracing, or the worker died before flushing) merges
+    nothing rather than failing the run — observability must never
+    take down the computation it observes.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    spooled = load_trace(path)
+    adopted = tracer.adopt(spooled.spans, parent_id=parent_id, worker=worker)
+    metrics.merge(spooled.metrics)
+    return len(adopted)
+
+
+__all__ = ["merge_spool", "spool_path", "write_spool"]

@@ -1,0 +1,282 @@
+"""Nested-span tracing with a no-op default.
+
+A :class:`Tracer` produces :class:`Span` records — name, wall and CPU
+time, attributes, parent id — organized as a tree by a thread-safe
+current-span context (one :class:`contextvars.ContextVar` per tracer,
+so spans opened on different threads or in different tasks nest
+correctly and independently).
+
+The default tracer is a :class:`NullTracer`: its ``span`` call returns
+a shared no-op handle without allocating, so instrumented code paths
+cost a single method call when tracing is off. Instrumentation is
+**strictly observational** — a span never touches the caller's
+generator or accountant, so traced and untraced runs are bit-identical
+(``tests/obs/test_wiring.py`` asserts this against the pipeline
+goldens).
+
+Span names are dotted lowercase identifiers (``pipeline.stage``,
+``nn.epoch``); high-cardinality values (stage names, worker ids, ε)
+belong in attributes, never in the name. Lint rule OBS001 enforces the
+convention statically and :meth:`Tracer.span` re-checks it at runtime
+for enabled tracers.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.exceptions import ConfigurationError
+
+#: Dotted lowercase: at least two dot-separated [a-z0-9_] segments.
+_SPAN_NAME = re.compile(r"[a-z0-9_]+(\.[a-z0-9_]+)+\Z")
+
+
+def check_span_name(name: str) -> str:
+    """Validate the dotted-lowercase span naming convention."""
+    if not isinstance(name, str) or _SPAN_NAME.fullmatch(name) is None:
+        raise ConfigurationError(
+            f"span name {name!r} must be dotted lowercase "
+            "(e.g. 'pipeline.stage'); put variable values in attributes"
+        )
+    return name
+
+
+@dataclass
+class Span:
+    """One finished (or active) traced operation."""
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    started: float = 0.0             #: perf_counter offset from trace start
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+    worker: str | None = None        #: executor worker id for merged spans
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time minus child wall time; filled by exporters."""
+        return self.attributes.get("__self_seconds", self.wall_seconds)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started": self.started,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "attributes": {
+                k: v for k, v in self.attributes.items()
+                if not k.startswith("__")
+            },
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Span":
+        return cls(
+            name=str(payload["name"]),
+            span_id=int(payload["span_id"]),
+            parent_id=(
+                None if payload.get("parent_id") is None
+                else int(payload["parent_id"])
+            ),
+            started=float(payload.get("started", 0.0)),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            cpu_seconds=float(payload.get("cpu_seconds", 0.0)),
+            attributes=dict(payload.get("attributes") or {}),
+            worker=payload.get("worker"),
+        )
+
+
+class _ActiveSpan:
+    """Context-manager handle for one span under construction."""
+
+    __slots__ = ("_tracer", "_span", "_token", "_wall0", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token: contextvars.Token | None = None
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self._span.set_attribute(key, value)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._token = self._tracer._current.set(self._span.span_id)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self._span.started = self._wall0 - self._tracer.epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.wall_seconds = time.perf_counter() - self._wall0
+        self._span.cpu_seconds = time.process_time() - self._cpu0
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        self._tracer._finish(self._span)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span handle returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every span is a shared no-op handle.
+
+    Kept allocation-free so hot loops can call ``tracer.span(...)``
+    unconditionally; ``repro bench trace_overhead`` pins the cost on
+    the pipeline sweep at <= 2%.
+    """
+
+    enabled = False
+    resource = False
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def spans(self) -> list[Span]:
+        return []
+
+
+class Tracer:
+    """Collects nested spans; safe across threads.
+
+    Span ids are assigned in creation order under a lock; the parent of
+    a new span is whatever span is active in the *current* thread (or
+    ``contextvars`` context), so concurrent threads build disjoint
+    subtrees instead of interleaving.
+    """
+
+    enabled = True
+
+    def __init__(
+        self, validate_names: bool = True, resource: bool = False
+    ) -> None:
+        self.epoch = time.perf_counter()
+        self.validate_names = validate_names
+        #: attach :func:`repro.obs.runtime.resource_snapshot` to stage spans
+        self.resource = resource
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._current: contextvars.ContextVar[int | None] = (
+            contextvars.ContextVar("repro_obs_current_span", default=None)
+        )
+
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        if self.validate_names:
+            check_span_name(name)
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=self._current.get(),
+            attributes=dict(attributes),
+        )
+        return _ActiveSpan(self, span)
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def adopt(
+        self,
+        spans: list[Span],
+        parent_id: int | None = None,
+        worker: str | None = None,
+    ) -> list[Span]:
+        """Merge externally-recorded spans (a worker spool) into this trace.
+
+        Ids are remapped onto this tracer's sequence; roots of the
+        adopted forest are re-parented under ``parent_id`` and every
+        adopted span is stamped with ``worker``. Returns the remapped
+        spans (also appended to :attr:`spans`).
+        """
+        with self._lock:
+            remap: dict[int, int] = {}
+            for span in spans:
+                remap[span.span_id] = self._next_id
+                self._next_id += 1
+            adopted = []
+            for span in spans:
+                adopted.append(
+                    Span(
+                        name=span.name,
+                        span_id=remap[span.span_id],
+                        parent_id=(
+                            remap[span.parent_id]
+                            if span.parent_id in remap
+                            else parent_id
+                        ),
+                        started=span.started,
+                        wall_seconds=span.wall_seconds,
+                        cpu_seconds=span.cpu_seconds,
+                        attributes=dict(span.attributes),
+                        worker=worker if worker is not None else span.worker,
+                    )
+                )
+            self._spans.extend(adopted)
+        return adopted
+
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, in completion order (children before parents)."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def current_span_id(self) -> int | None:
+        return self._current.get()
+
+
+def iter_children(
+    spans: list[Span], parent_id: int | None
+) -> Iterator[Span]:
+    """Children of ``parent_id`` in start order."""
+    children = [s for s in spans if s.parent_id == parent_id]
+    children.sort(key=lambda s: (s.started, s.span_id))
+    return iter(children)
+
+
+__all__ = [
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "check_span_name",
+    "iter_children",
+]

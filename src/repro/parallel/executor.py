@@ -24,14 +24,29 @@ wall time.
 
 from __future__ import annotations
 
+import builtins
 import os
+import shutil
+import tempfile
 import time
+import warnings as _warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pickle import PicklingError
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.obs import (
+    Metrics,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    merge_spool,
+    spool_path,
+    use_metrics,
+    use_tracer,
+    write_spool,
+)
 
 
 @dataclass(frozen=True)
@@ -43,6 +58,11 @@ class TaskRecord:
     worker: str                #: ``"serial"`` or ``"pid:<n>"``
     queued_seconds: float      #: submit -> execution start
     seconds: float             #: execution start -> done
+    #: warning messages the task emitted; fork workers cannot surface
+    #: ``warnings.warn`` to the parent interpreter, so the executor
+    #: captures them, ships them home and re-emits them (see
+    #: ``docs/parallel.md``)
+    warnings: tuple[str, ...] = ()
 
 
 @dataclass
@@ -68,12 +88,55 @@ class ExecutionResult:
         return sum(task.seconds for task in self.tasks)
 
 
-def _instrumented(item: tuple[Callable[[Any], Any], Any]) -> tuple[Any, str, float, float]:
-    """Run one task and report who ran it and when (worker side)."""
-    fn, payload = item
+def _instrumented(
+    item: tuple[Callable[[Any], Any], Any, str | None],
+) -> tuple[Any, str, float, float, tuple[tuple[str, str], ...], dict[str, Any]]:
+    """Run one task and report who ran it and when (worker side).
+
+    The task body runs under a fresh :class:`~repro.obs.metrics.Metrics`
+    registry whose snapshot travels back with the result (fork workers
+    cannot mutate the parent's registry), and — when the parent traces —
+    under a fresh :class:`~repro.obs.tracer.Tracer` whose spans are
+    spooled to ``spool`` for the parent to adopt. Warnings are captured
+    as ``(category_name, message)`` pairs; the parent re-emits them.
+    """
+    fn, payload, spool = item
+    metrics = Metrics()
     started = time.monotonic()
-    value = fn(payload)
-    return value, f"pid:{os.getpid()}", started, time.monotonic()
+    with _warnings.catch_warnings(record=True) as caught:
+        _warnings.simplefilter("always")
+        with use_metrics(metrics):
+            if spool is not None:
+                tracer = Tracer()
+                with use_tracer(tracer):
+                    with tracer.span("parallel.task"):
+                        value = fn(payload)
+                write_spool(spool, tracer.spans, metrics)
+            else:
+                value = fn(payload)
+    notes = tuple(
+        (entry.category.__name__, str(entry.message)) for entry in caught
+    )
+    return (
+        value,
+        f"pid:{os.getpid()}",
+        started,
+        time.monotonic(),
+        notes,
+        metrics.as_dict(),
+    )
+
+
+def _reemit(notes: tuple[tuple[str, str], ...]) -> tuple[str, ...]:
+    """Replay captured worker warnings in the parent interpreter."""
+    messages = []
+    for category_name, message in notes:
+        category = getattr(builtins, category_name, RuntimeWarning)
+        if not (isinstance(category, type) and issubclass(category, Warning)):
+            category = RuntimeWarning
+        _warnings.warn(message, category, stacklevel=3)
+        messages.append(message)
+    return tuple(messages)
 
 
 class SerialExecutor:
@@ -92,20 +155,38 @@ class SerialExecutor:
         labels: Sequence[str] | None = None,
     ) -> ExecutionResult:
         labels = _check_labels(payloads, labels)
+        tracer = get_tracer()
+        metrics = get_metrics()
         values: list[Any] = []
         tasks: list[TaskRecord] = []
-        for index, payload in enumerate(payloads):
-            started = time.monotonic()
-            values.append(fn(payload))
-            tasks.append(
-                TaskRecord(
-                    index=index,
-                    label=labels[index],
-                    worker="serial",
-                    queued_seconds=0.0,
-                    seconds=time.monotonic() - started,
+        with tracer.span(
+            "parallel.run", executor="serial", tasks=len(payloads), workers=1
+        ):
+            for index, payload in enumerate(payloads):
+                started = time.monotonic()
+                with _warnings.catch_warnings(record=True) as caught:
+                    _warnings.simplefilter("always")
+                    with tracer.span(
+                        "parallel.task", index=index, label=labels[index]
+                    ):
+                        values.append(fn(payload))
+                notes = tuple(
+                    (entry.category.__name__, str(entry.message))
+                    for entry in caught
                 )
-            )
+                seconds = time.monotonic() - started
+                metrics.counter("parallel.tasks")
+                metrics.histogram("parallel.queue.seconds", 0.0)
+                tasks.append(
+                    TaskRecord(
+                        index=index,
+                        label=labels[index],
+                        worker="serial",
+                        queued_seconds=0.0,
+                        seconds=seconds,
+                        warnings=_reemit(notes),
+                    )
+                )
         return ExecutionResult(values=values, tasks=tasks, workers=1)
 
 
@@ -135,37 +216,81 @@ class ParallelExecutor:
         labels = _check_labels(payloads, labels)
         if not payloads:
             return ExecutionResult(values=[], tasks=[], workers=self.workers)
+        tracer = get_tracer()
+        metrics = get_metrics()
+        spool_dir = (
+            tempfile.mkdtemp(prefix="repro-obs-spool-")
+            if tracer.enabled
+            else None
+        )
         submitted: list[float] = []
-        with ProcessPoolExecutor(
-            max_workers=self.workers, mp_context=_mp_context()
-        ) as pool:
-            try:
-                futures = []
-                for payload in payloads:
-                    submitted.append(time.monotonic())
-                    futures.append(pool.submit(_instrumented, (fn, payload)))
-                raw = [future.result() for future in futures]
-            except (PicklingError, AttributeError) as error:
-                raise ConfigurationError(
-                    "parallel task is not self-contained: the function and "
-                    "its payload must be picklable module-level objects "
-                    f"({error})"
-                ) from error
-        values: list[Any] = []
-        tasks: list[TaskRecord] = []
-        for index, (value, worker, started, ended) in enumerate(raw):
-            values.append(value)
-            tasks.append(
-                TaskRecord(
-                    index=index,
-                    label=labels[index],
-                    # CLOCK_MONOTONIC is system-wide on Linux; clamp for
-                    # platforms where child clocks are not comparable.
-                    worker=worker,
-                    queued_seconds=max(0.0, started - submitted[index]),
-                    seconds=max(0.0, ended - started),
-                )
-            )
+        try:
+            with tracer.span(
+                "parallel.run",
+                executor="fork",
+                tasks=len(payloads),
+                workers=self.workers,
+            ):
+                with ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=_mp_context()
+                ) as pool:
+                    try:
+                        futures = []
+                        for index, payload in enumerate(payloads):
+                            spool = (
+                                str(spool_path(spool_dir, index))
+                                if spool_dir is not None
+                                else None
+                            )
+                            submitted.append(time.monotonic())
+                            futures.append(
+                                pool.submit(_instrumented, (fn, payload, spool))
+                            )
+                        raw = [future.result() for future in futures]
+                    except (PicklingError, AttributeError) as error:
+                        raise ConfigurationError(
+                            "parallel task is not self-contained: the "
+                            "function and its payload must be picklable "
+                            f"module-level objects ({error})"
+                        ) from error
+                parent_id = tracer.current_span_id if tracer.enabled else None
+                values: list[Any] = []
+                tasks: list[TaskRecord] = []
+                for index, item in enumerate(raw):
+                    value, worker, started, ended, notes, task_metrics = item
+                    values.append(value)
+                    queued = max(0.0, started - submitted[index])
+                    # Fold the worker's registry snapshot into the live
+                    # one; the spool file carries the same snapshot for
+                    # standalone inspection, so merge_spool gets a
+                    # throwaway registry to avoid double counting.
+                    metrics.merge(Metrics.from_dict(task_metrics))
+                    metrics.counter("parallel.tasks")
+                    metrics.histogram("parallel.queue.seconds", queued)
+                    if spool_dir is not None:
+                        merge_spool(
+                            spool_path(spool_dir, index),
+                            tracer,
+                            Metrics(),
+                            parent_id=parent_id,
+                            worker=worker,
+                        )
+                    tasks.append(
+                        TaskRecord(
+                            index=index,
+                            label=labels[index],
+                            # CLOCK_MONOTONIC is system-wide on Linux;
+                            # clamp for platforms where child clocks are
+                            # not comparable.
+                            worker=worker,
+                            queued_seconds=queued,
+                            seconds=max(0.0, ended - started),
+                            warnings=_reemit(notes),
+                        )
+                    )
+        finally:
+            if spool_dir is not None:
+                shutil.rmtree(spool_dir, ignore_errors=True)
         return ExecutionResult(values=values, tasks=tasks, workers=self.workers)
 
 

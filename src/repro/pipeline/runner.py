@@ -24,6 +24,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.dp.budget import BudgetAccountant
 from repro.exceptions import ConfigurationError
+from repro.obs import get_metrics, get_tracer, resource_snapshot
 from repro.parallel import execute, spawn_seed_sequences, task_generator
 from repro.pipeline.fingerprint import combine, fingerprint, rng_fingerprint
 from repro.pipeline.result import RunRecord
@@ -114,70 +115,96 @@ class Pipeline:
             )
         artifacts: dict[str, Any] = dict(initial or {})
         records: list[RunRecord] = []
+        tracer = get_tracer()
+        metrics = get_metrics()
 
-        for stage in self.stages:
-            missing = [n for n in stage.inputs if n not in artifacts]
-            if missing:
-                raise ConfigurationError(
-                    f"stage {stage.name!r} is missing input artifact(s) "
-                    f"{missing}; available: {sorted(artifacts)}"
-                )
-            stage_rng = overrides.get(stage.name, generator)
-            inputs = {n: artifacts[n] for n in stage.inputs}
-            entry_state = (
-                rng_fingerprint(stage_rng) if stage.uses_rng else None
-            )
-            key = (
-                self._key(stage, inputs, entry_state, seed)
-                if self.store is not None and stage.is_cacheable
-                else None
-            )
-
-            started = time.perf_counter()
-            spent_before = accountant.spent_epsilon if accountant else 0.0
-            cached = False
-            if key is not None:
-                hit = self.store.get(key)  # type: ignore[union-attr]
-                if hit is not None:
-                    value = hit.value
-                    cached = True
-                    if stage.uses_rng and hit.rng_state is not None:
-                        # Fast-forward the live stream to where the
-                        # stage left it, keeping downstream draws
-                        # bit-identical to a cold run.
-                        stage_rng.bit_generator.state = hit.rng_state
-            if not cached:
-                context = StageContext(
-                    rng=stage_rng, accountant=accountant, seed=seed
-                )
-                value = stage.fn(context, **inputs)
-                if key is not None:
-                    self.store.put(  # type: ignore[union-attr]
-                        key,
-                        value,
-                        stage=stage.name,
-                        rng_state=(
-                            stage_rng.bit_generator.state
-                            if stage.uses_rng
-                            else None
-                        ),
-                        spends_budget=stage.spends_budget,
+        with tracer.span(
+            "pipeline.run", pipeline=self.name, stages=len(self.stages)
+        ):
+            for stage in self.stages:
+                missing = [n for n in stage.inputs if n not in artifacts]
+                if missing:
+                    raise ConfigurationError(
+                        f"stage {stage.name!r} is missing input artifact(s) "
+                        f"{missing}; available: {sorted(artifacts)}"
                     )
-            seconds = time.perf_counter() - started
-            spent_after = accountant.spent_epsilon if accountant else 0.0
-
-            artifacts[stage.output_name] = value
-            records.append(
-                RunRecord(
-                    stage=stage.name,
-                    seconds=seconds,
-                    epsilon_spent=spent_after - spent_before,
-                    spends_budget=stage.spends_budget,
-                    cached=cached,
-                    artifact_key=key,
-                    rng_state=entry_state,
+                stage_rng = overrides.get(stage.name, generator)
+                inputs = {n: artifacts[n] for n in stage.inputs}
+                entry_state = (
+                    rng_fingerprint(stage_rng) if stage.uses_rng else None
                 )
-            )
+                key = (
+                    self._key(stage, inputs, entry_state, seed)
+                    if self.store is not None and stage.is_cacheable
+                    else None
+                )
+
+                # The span is strictly observational: it never touches
+                # stage_rng or the accountant, so traced and untraced
+                # runs produce bit-identical artifacts.
+                with tracer.span("pipeline.stage", stage=stage.name) as span:
+                    started = time.perf_counter()
+                    spent_before = accountant.spent_epsilon if accountant else 0.0
+                    cached = False
+                    if key is not None:
+                        hit = self.store.get(key)  # type: ignore[union-attr]
+                        if hit is not None:
+                            value = hit.value
+                            cached = True
+                            if stage.uses_rng and hit.rng_state is not None:
+                                # Fast-forward the live stream to where the
+                                # stage left it, keeping downstream draws
+                                # bit-identical to a cold run.
+                                stage_rng.bit_generator.state = hit.rng_state
+                    if not cached:
+                        context = StageContext(
+                            rng=stage_rng, accountant=accountant, seed=seed
+                        )
+                        value = stage.fn(context, **inputs)
+                        if key is not None:
+                            self.store.put(  # type: ignore[union-attr]
+                                key,
+                                value,
+                                stage=stage.name,
+                                rng_state=(
+                                    stage_rng.bit_generator.state
+                                    if stage.uses_rng
+                                    else None
+                                ),
+                                spends_budget=stage.spends_budget,
+                            )
+                    seconds = time.perf_counter() - started
+                    spent_after = accountant.spent_epsilon if accountant else 0.0
+                    epsilon_delta = spent_after - spent_before
+                    span.set_attribute(
+                        "cache",
+                        "hit" if cached else ("miss" if key else "uncacheable"),
+                    )
+                    span.set_attribute("epsilon_spent", epsilon_delta)
+                    span.set_attribute("spends_budget", stage.spends_budget)
+                    if getattr(tracer, "resource", False):
+                        span.set_attribute("resource", resource_snapshot())
+
+                if key is not None:
+                    metrics.counter(
+                        "pipeline.cache.hit" if cached else "pipeline.cache.miss"
+                    )
+                if epsilon_delta > 0.0:
+                    metrics.counter("dp.epsilon.spent", epsilon_delta)
+                metrics.histogram("pipeline.stage.seconds", seconds)
+
+                artifacts[stage.output_name] = value
+                records.append(
+                    RunRecord(
+                        stage=stage.name,
+                        seconds=seconds,
+                        epsilon_spent=epsilon_delta,
+                        spends_budget=stage.spends_budget,
+                        cached=cached,
+                        artifact_key=key,
+                        rng_state=entry_state,
+                    )
+                )
         return PipelineRun(
             artifacts=artifacts, records=records, accountant=accountant
         )

@@ -73,7 +73,12 @@ class ArtifactStore:
         self._puts = 0
         if cache_dir is not None:
             self._dir = Path(cache_dir)
-            self._dir.mkdir(parents=True, exist_ok=True)
+            try:
+                self._dir.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, NotADirectoryError) as error:
+                raise ConfigurationError(
+                    f"cache_dir {self._dir} is not a directory: {error}"
+                ) from error
 
     # ------------------------------------------------------------------
     # core protocol

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.data.matrix import ConsumptionMatrix
 from repro.exceptions import QueryError
+from repro.obs import get_metrics
 
 
 def query_bounds(queries) -> np.ndarray:
@@ -71,6 +72,7 @@ class QueryEngine:
             raise QueryError(
                 f"query {query} exceeds matrix shape {self.shape}"
             )
+        get_metrics().counter("queries.evaluated")
         table = self._table
         return float(
             table[query.x1, query.y1, query.t1]
@@ -104,6 +106,7 @@ class QueryEngine:
             )
         if bounds.size == 0:
             return np.zeros(0)
+        get_metrics().counter("queries.evaluated", float(len(bounds)))
         x0, x1, y0, y1, t0, t1 = bounds.T
         if (
             x1.max() > self.shape[0]

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.matrix import ConsumptionMatrix
 from repro.exceptions import ConfigurationError, QueryError
+from repro.obs import get_metrics
 from repro.queries.engine import QueryEngine
 from repro.rng import RngLike, ensure_rng
 
@@ -134,7 +135,10 @@ def _place_query(
             return query
     # All sampled regions answered zero: fall back to the last
     # placement, but say so — a zero true answer makes this query's
-    # Eq. 5 denominator degenerate (floored by the sanity bound).
+    # Eq. 5 denominator degenerate (floored by the sanity bound). The
+    # counter travels home from fork workers with the task's metrics
+    # snapshot; the warning rides the TaskRecord (see repro.parallel).
+    get_metrics().counter("queries.rejection_exhausted")
     warnings.warn(
         f"workload {workload!r}: {_MAX_REJECTION_ATTEMPTS} rejection "
         f"attempts found no region of size {tuple(spans)} with a "

@@ -179,6 +179,6 @@ class TestConfig:
 class TestRegistry:
     def test_all_issue_rules_registered(self):
         assert set(registered_rule_ids()) == {
-            "DP001", "DP002", "DP003", "NUM001", "PY001", "PY002", "RNG001",
-            "RNG002",
+            "DP001", "DP002", "DP003", "NUM001", "OBS001", "PY001", "PY002",
+            "RNG001", "RNG002",
         }

@@ -1,0 +1,84 @@
+"""OBS001 — static dotted-lowercase span names."""
+
+
+class TestSpanNameRule:
+    def test_fstring_span_name_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            from repro.obs import get_tracer
+
+            def run(stage):
+                with get_tracer().span(f"stage.{stage}"):
+                    pass
+            """,
+            rule="OBS001",
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "OBS001"
+        assert finding.line == 4
+        assert "f-string" in finding.message
+        assert "attribute" in finding.message
+
+    def test_non_constant_name_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def run(tracer, name):
+                with tracer.span(name):
+                    pass
+            """,
+            rule="OBS001",
+        )
+        assert len(result.findings) == 1
+        assert "not a string constant" in result.findings[0].message
+
+    def test_undotted_constant_flagged(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            def run(tracer):
+                with tracer.span("Flat"):
+                    pass
+            """,
+            rule="OBS001",
+        )
+        assert len(result.findings) == 1
+        assert "dotted-lowercase" in result.findings[0].message
+
+    def test_traced_decorator_checked(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            from repro.obs import traced
+
+            @traced("NotValid")
+            def helper():
+                return 1
+            """,
+            rule="OBS001",
+        )
+        assert [f.line for f in result.findings] == [3]
+
+    def test_conventional_names_pass(self, lint_snippet):
+        result = lint_snippet(
+            """\
+            from repro.obs import get_tracer, traced
+
+            @traced("helper.call")
+            def helper(tracer):
+                with tracer.span("pipeline.stage", stage="x"):
+                    with get_tracer().span("nn.fit"):
+                        pass
+            """,
+            rule="OBS001",
+        )
+        assert list(result.findings) == []
+
+    def test_unrelated_span_receivers_ignored(self, lint_snippet):
+        # `.span(...)` on a non-tracer receiver is someone else's API.
+        result = lint_snippet(
+            """\
+            def measure(ruler, label):
+                return ruler.span(label)
+            """,
+            rule="OBS001",
+        )
+        assert list(result.findings) == []

@@ -1,0 +1,140 @@
+"""Trace exporters: JSONL round-trip, error handling, tree, self time."""
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.obs import (
+    Metrics,
+    Span,
+    Trace,
+    Tracer,
+    load_trace,
+    render_tree,
+    self_times,
+    top_self_time,
+    write_trace,
+)
+
+
+def _sample_spans():
+    return [
+        Span(name="pipeline.run", span_id=0, started=0.0, wall_seconds=1.0,
+             cpu_seconds=0.9),
+        Span(name="pipeline.stage", span_id=1, parent_id=0, started=0.1,
+             wall_seconds=0.6, cpu_seconds=0.5,
+             attributes={"stage": "stpt/sanitize", "epsilon_spent": 20.0}),
+        Span(name="pipeline.stage", span_id=2, parent_id=0, started=0.7,
+             wall_seconds=0.2, cpu_seconds=0.2, worker="pid:9"),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        metrics = Metrics()
+        metrics.counter("dp.epsilon.spent", 30.0)
+        path = write_trace(
+            tmp_path / "trace.jsonl", _sample_spans(), metrics=metrics,
+            meta={"command": "publish"},
+        )
+        trace = load_trace(path)
+        assert trace.meta["command"] == "publish"
+        assert trace.meta["version"] == 1
+        assert [s.name for s in trace.spans] == [
+            "pipeline.run", "pipeline.stage", "pipeline.stage"
+        ]
+        assert trace.spans[1].attributes["stage"] == "stpt/sanitize"
+        assert trace.spans[2].worker == "pid:9"
+        assert trace.metrics.counter_value("dp.epsilon.spent") == 30.0
+        assert trace.wall_seconds == pytest.approx(1.0)
+
+    def test_private_attributes_not_exported(self, tmp_path):
+        span = Span(name="a.b", span_id=0,
+                    attributes={"keep": 1, "__drop": 2})
+        trace = load_trace(write_trace(tmp_path / "t.jsonl", [span]))
+        assert trace.spans[0].attributes == {"keep": 1}
+
+    def test_live_tracer_spans_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer.span"):
+            with tracer.span("inner.span"):
+                pass
+        trace = load_trace(
+            write_trace(tmp_path / "t.jsonl", tracer.spans)
+        )
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["inner.span"].parent_id == by_name["outer.span"].span_id
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_invalid_json_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "trace", "version": 1}\nnot json\n')
+        with pytest.raises(TraceError, match="bad.jsonl:2"):
+            load_trace(path)
+
+    def test_record_without_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"version": 1}\n')
+        with pytest.raises(TraceError, match="no 'type'"):
+            load_trace(path)
+
+    def test_unknown_record_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "trace", "version": 1}\n{"type": "mystery"}\n'
+        )
+        with pytest.raises(TraceError, match="unknown record type"):
+            load_trace(path)
+
+    def test_malformed_span_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "trace", "version": 1}\n{"type": "span"}\n'
+        )
+        with pytest.raises(TraceError, match="malformed span"):
+            load_trace(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "a.b", "span_id": 0}\n'
+        )
+        with pytest.raises(TraceError, match="missing trace header"):
+            load_trace(path)
+
+
+class TestRendering:
+    def test_tree_indents_children(self):
+        text = render_tree(Trace(spans=_sample_spans()))
+        lines = text.splitlines()
+        assert lines[0].startswith("pipeline.run")
+        assert lines[1].startswith("  pipeline.stage")
+        assert "stage=stpt/sanitize" in lines[1]
+        assert "worker=pid:9" in lines[2]
+
+    def test_empty_trace(self):
+        assert render_tree(Trace()) == "(empty trace)"
+
+    def test_self_times_subtract_child_wall(self):
+        aggregate = self_times(_sample_spans())
+        assert aggregate["pipeline.run"]["self_seconds"] == pytest.approx(0.2)
+        assert aggregate["pipeline.stage"]["self_seconds"] == pytest.approx(0.8)
+        assert aggregate["pipeline.stage"]["count"] == 2
+
+    def test_self_time_clamped_at_zero(self):
+        spans = [
+            Span(name="a.b", span_id=0, wall_seconds=0.1),
+            Span(name="c.d", span_id=1, parent_id=0, wall_seconds=0.5),
+        ]
+        assert self_times(spans)["a.b"]["self_seconds"] == 0.0
+
+    def test_top_self_time_ranks_and_limits(self):
+        rows = top_self_time(_sample_spans(), k=1)
+        assert len(rows) == 1
+        assert rows[0]["span"] == "pipeline.stage"
+        assert rows[0]["count"] == 2
+        assert rows[0]["self_seconds"] == pytest.approx(0.8)

@@ -1,0 +1,139 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, merge."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import DEFAULT_BUCKETS, Histogram, Metrics
+
+
+class TestHistogram:
+    def test_observe_buckets_and_stats(self):
+        histogram = Histogram(buckets=(1.0, 2.0, math.inf))
+        for value in (0.5, 1.5, 1.5, 10.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 1]
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(13.5)
+        assert histogram.mean == pytest.approx(13.5 / 4)
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 10.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_inf_bucket_is_appended_when_missing(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        assert histogram.buckets[-1] == math.inf
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_merge_adds_counts(self):
+        a = Histogram(buckets=(1.0, math.inf))
+        b = Histogram(buckets=(1.0, math.inf))
+        a.observe(0.5)
+        b.observe(0.5)
+        b.observe(3.0)
+        a.merge(b)
+        assert a.counts == [2, 1]
+        assert a.count == 3
+        assert a.maximum == 3.0
+
+    def test_merge_requires_identical_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=(1.0, math.inf)).merge(
+                Histogram(buckets=(2.0, math.inf))
+            )
+
+    def test_dict_round_trip_encodes_inf(self):
+        histogram = Histogram()
+        histogram.observe(0.25)
+        payload = histogram.as_dict()
+        assert payload["buckets"][-1] == "inf"
+        restored = Histogram.from_dict(payload)
+        assert restored.buckets == histogram.buckets
+        assert restored.counts == histogram.counts
+        assert restored.total == histogram.total
+        assert restored.minimum == histogram.minimum
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        metrics = Metrics()
+        metrics.counter("pipeline.cache.hit")
+        metrics.counter("pipeline.cache.hit", 2.0)
+        assert metrics.counter_value("pipeline.cache.hit") == 3.0
+        assert metrics.counter_value("never.recorded") == 0.0
+
+    def test_gauges_keep_last_value(self):
+        metrics = Metrics()
+        metrics.gauge("nn.epoch.loss", 5.0)
+        metrics.gauge("nn.epoch.loss", 2.5)
+        assert metrics.gauge_value("nn.epoch.loss") == 2.5
+        assert metrics.gauge_value("never.recorded") is None
+
+    def test_histogram_uses_default_buckets(self):
+        metrics = Metrics()
+        metrics.histogram("nn.step.seconds", 0.002)
+        histogram = metrics.histogram_value("nn.step.seconds")
+        assert histogram.buckets == DEFAULT_BUCKETS
+        assert histogram.count == 1
+
+    def test_names_validated_on_first_use(self):
+        metrics = Metrics()
+        with pytest.raises(ConfigurationError):
+            metrics.counter("NotDotted")
+        with pytest.raises(ConfigurationError):
+            metrics.gauge("also bad", 1.0)
+        with pytest.raises(ConfigurationError):
+            metrics.histogram("bad", 1.0)
+
+    def test_rows_are_sorted_and_typed(self):
+        metrics = Metrics()
+        metrics.counter("b.counter")
+        metrics.counter("a.counter")
+        metrics.gauge("c.gauge", 1.0)
+        metrics.histogram("d.histogram", 0.5)
+        rows = metrics.rows()
+        assert [row["metric"] for row in rows] == [
+            "a.counter", "b.counter", "c.gauge", "d.histogram"
+        ]
+        assert rows[-1]["kind"] == "histogram"
+        assert rows[-1]["count"] == 1
+
+    def test_dict_round_trip(self):
+        metrics = Metrics()
+        metrics.counter("queries.evaluated", 7.0)
+        metrics.gauge("nn.grad_norm", 1.25)
+        metrics.histogram("nn.step.seconds", 0.01)
+        restored = Metrics.from_dict(metrics.as_dict())
+        assert restored.counter_value("queries.evaluated") == 7.0
+        assert restored.gauge_value("nn.grad_norm") == 1.25
+        assert restored.histogram_value("nn.step.seconds").count == 1
+
+    def test_merge_semantics(self):
+        ours = Metrics()
+        ours.counter("queries.evaluated", 2.0)
+        ours.gauge("nn.epoch.loss", 9.0)
+        ours.histogram("nn.step.seconds", 0.5)
+        theirs = Metrics()
+        theirs.counter("queries.evaluated", 3.0)
+        theirs.counter("pipeline.cache.hit")
+        theirs.gauge("nn.epoch.loss", 1.0)
+        theirs.histogram("nn.step.seconds", 0.5)
+        ours.merge(theirs)
+        assert ours.counter_value("queries.evaluated") == 5.0
+        assert ours.counter_value("pipeline.cache.hit") == 1.0
+        assert ours.gauge_value("nn.epoch.loss") == 1.0
+        assert ours.histogram_value("nn.step.seconds").count == 2
+
+    def test_reset_clears_everything(self):
+        metrics = Metrics()
+        metrics.counter("queries.evaluated")
+        metrics.gauge("nn.epoch.loss", 1.0)
+        metrics.histogram("nn.step.seconds", 0.1)
+        metrics.reset()
+        assert metrics.rows() == []

@@ -1,0 +1,143 @@
+"""Tracer core: nesting, threads, naming, adoption, the null path."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import NullTracer, Span, Tracer, check_span_name
+from repro.obs.tracer import _NULL_SPAN, iter_children
+
+
+class TestSpanNames:
+    @pytest.mark.parametrize(
+        "name", ["pipeline.stage", "nn.epoch", "a.b.c", "dp.epsilon_2.spent"]
+    )
+    def test_accepts_dotted_lowercase(self, name):
+        assert check_span_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        ["flat", "Pipeline.stage", "pipeline.Stage", "pipeline stage",
+         "pipeline.", ".stage", "pipeline.st-age", "pipeline..stage", ""],
+    )
+    def test_rejects_everything_else(self, name):
+        with pytest.raises(ConfigurationError):
+            check_span_name(name)
+
+    def test_tracer_validates_at_open_time(self):
+        with pytest.raises(ConfigurationError):
+            Tracer().span("NotDotted")
+
+    def test_validation_can_be_disabled(self):
+        tracer = Tracer(validate_names=False)
+        with tracer.span("whatever"):
+            pass
+        assert tracer.spans[0].name == "whatever"
+
+
+class TestNullTracer:
+    def test_is_disabled_and_spanless(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        assert tracer.resource is False
+        assert tracer.spans == []
+
+    def test_span_returns_the_shared_noop_handle(self):
+        tracer = NullTracer()
+        handle = tracer.span("pipeline.stage", anything="goes")
+        assert handle is _NULL_SPAN
+        with handle as span:
+            span.set_attribute("ignored", 1)
+        assert tracer.spans == []
+
+    def test_never_validates_names(self):
+        with NullTracer().span("NOT a valid name"):
+            pass
+
+
+class TestTracer:
+    def test_records_nested_parentage(self):
+        tracer = Tracer()
+        with tracer.span("outer.span"):
+            with tracer.span("inner.span"):
+                pass
+            with tracer.span("inner.other"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        outer = by_name["outer.span"]
+        assert outer.parent_id is None
+        assert by_name["inner.span"].parent_id == outer.span_id
+        assert by_name["inner.other"].parent_id == outer.span_id
+
+    def test_timings_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("outer.span", fixed=1) as span:
+            span.set_attribute("late", "yes")
+        recorded = tracer.spans[0]
+        assert recorded.wall_seconds >= 0.0
+        assert recorded.cpu_seconds >= 0.0
+        assert recorded.started >= 0.0
+        assert recorded.attributes == {"fixed": 1, "late": "yes"}
+
+    def test_exception_marks_error_and_restores_context(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer.span"):
+                raise ValueError("boom")
+        assert tracer.spans[0].attributes["error"] == "ValueError"
+        assert tracer.current_span_id is None
+
+    def test_threads_build_disjoint_subtrees(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(f"worker.{name}"):
+                barrier.wait(timeout=5)
+                with tracer.span(f"worker.{name}.child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(n,)) for n in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["worker.a"].parent_id is None
+        assert by_name["worker.b"].parent_id is None
+        assert by_name["worker.a.child"].parent_id == by_name["worker.a"].span_id
+        assert by_name["worker.b.child"].parent_id == by_name["worker.b"].span_id
+
+    def test_adopt_remaps_ids_and_reparents_roots(self):
+        parent = Tracer()
+        with parent.span("parallel.run"):
+            anchor = parent.current_span_id
+            worker_spans = [
+                Span(name="parallel.task", span_id=0, parent_id=None),
+                Span(name="pipeline.stage", span_id=1, parent_id=0),
+            ]
+            adopted = parent.adopt(
+                worker_spans, parent_id=anchor, worker="pid:7"
+            )
+        assert [s.worker for s in adopted] == ["pid:7", "pid:7"]
+        assert adopted[0].parent_id == anchor
+        assert adopted[1].parent_id == adopted[0].span_id
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_iter_children_sorts_by_start(self):
+        spans = [
+            Span(name="b.span", span_id=2, parent_id=None, started=2.0),
+            Span(name="a.span", span_id=1, parent_id=None, started=1.0),
+            Span(name="c.span", span_id=3, parent_id=1, started=0.5),
+        ]
+        roots = list(iter_children(spans, None))
+        assert [s.name for s in roots] == ["a.span", "b.span"]
+        assert [s.name for s in iter_children(spans, 1)] == ["c.span"]
+
+    def test_resource_flag_stored(self):
+        assert Tracer().resource is False
+        assert Tracer(resource=True).resource is True

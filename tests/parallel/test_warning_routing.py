@@ -1,0 +1,84 @@
+"""Worker warnings must reach the parent interpreter.
+
+``warnings.warn`` inside a fork worker dies with the worker process, so
+the rejection-exhaustion diagnostic in ``repro.queries`` used to vanish
+whenever workload placement ran under ``workers >= 2``. The executor
+now captures each task's warnings, ships them home on the
+:class:`TaskRecord`, and re-emits them in the parent; the companion
+``queries.rejection_exhausted`` counter travels with the task's metrics
+snapshot. An all-zero reference matrix makes exhaustion deterministic:
+no region ever has a positive true answer.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.obs import Metrics, use_metrics
+from repro.parallel import execute
+from repro.queries import small_queries
+
+SHAPE = (4, 4, 6)
+QUERIES_PER_TASK = 2
+
+
+def exhaust_rejection(seed):
+    """Placement against an all-zero reference always exhausts."""
+    reference = np.zeros(SHAPE)
+    placed = small_queries(
+        SHAPE, count=QUERIES_PER_TASK, rng=seed, reference=reference
+    )
+    return len(placed)
+
+
+def quiet_task(value):
+    return value * 2
+
+
+class TestWarningRouting:
+    @pytest.mark.parametrize("workers", [None, 2], ids=["serial", "fork"])
+    def test_rejection_warning_reaches_the_parent(self, workers):
+        metrics = Metrics()
+        with use_metrics(metrics):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = execute(exhaust_rejection, [1, 2], workers=workers)
+        assert result.values == [QUERIES_PER_TASK, QUERIES_PER_TASK]
+        rejections = [
+            entry for entry in caught
+            if issubclass(entry.category, RuntimeWarning)
+            and "rejection" in str(entry.message)
+        ]
+        assert len(rejections) == 2 * QUERIES_PER_TASK
+        assert "positive true answer" in str(rejections[0].message)
+
+    @pytest.mark.parametrize("workers", [None, 2], ids=["serial", "fork"])
+    def test_task_records_carry_the_messages(self, workers):
+        with use_metrics(Metrics()):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                result = execute(exhaust_rejection, [1, 2], workers=workers)
+        for task in result.tasks:
+            assert len(task.warnings) == QUERIES_PER_TASK
+            assert all("rejection" in message for message in task.warnings)
+
+    @pytest.mark.parametrize("workers", [None, 2], ids=["serial", "fork"])
+    def test_exhaustion_counter_travels_home(self, workers):
+        metrics = Metrics()
+        with use_metrics(metrics):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                execute(exhaust_rejection, [1, 2], workers=workers)
+        assert metrics.counter_value("queries.rejection_exhausted") == (
+            2.0 * QUERIES_PER_TASK
+        )
+
+    def test_quiet_tasks_record_no_warnings(self):
+        with use_metrics(Metrics()):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = execute(quiet_task, [1, 2, 3], workers=2)
+        assert result.values == [2, 4, 6]
+        assert caught == []
+        assert all(task.warnings == () for task in result.tasks)

@@ -1,0 +1,71 @@
+"""Regression lock for the PR-4 golden contract, both backward paths.
+
+The batched BPTT backward (time-stacked weight-gradient gemms)
+reassociates gradient sums, moving the trained pattern matrix by
+exactly one ulp relative to the per-step loop. The release contract is
+that this drift never reaches the published bits: k-quantization snaps
+the pattern matrix to level values, so the sanitized output is
+bit-identical whichever backward runs. This module pins all three
+facts — the batched golden, the per-step golden, and the invariance of
+the release — so a future change to either path (or to the default)
+trips a test instead of silently shifting goldens.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import recurrent
+
+from tests.pipeline.test_determinism_golden import (
+    GOLDEN_DIAG,
+    GOLDEN_PATTERN_SUM,
+    GOLDEN_ROW,
+    GOLDEN_SUM,
+    assert_matches_goldens,
+    publish,
+)
+
+# Captured from the per-step (unbatched) backward on the same golden
+# run; exactly one ulp below the batched value.
+GOLDEN_PATTERN_SUM_PER_STEP = float.fromhex("0x1.13fd7f2d670e0p+9")
+
+
+@pytest.fixture(params=[True, False], ids=["batched", "per-step"])
+def backward_default(request, monkeypatch):
+    monkeypatch.setattr(
+        recurrent, "BATCHED_BACKWARD_DEFAULT", request.param
+    )
+    return request.param
+
+
+class TestGoldenContract:
+    def test_sanitized_release_is_identical_in_both_modes(
+        self, backward_default
+    ):
+        # ``assert_matches_goldens`` pins the batched pattern sum, so
+        # only the sanitized-release goldens apply to both modes.
+        result = publish()
+        sanitized = result.sanitized.values
+        assert float(sanitized.sum()) == GOLDEN_SUM
+        assert [float(v) for v in sanitized[0, 0, :]] == GOLDEN_ROW
+        assert [
+            float(v) for v in (sanitized[i, i, i % 8] for i in range(8))
+        ] == GOLDEN_DIAG
+        if backward_default:
+            assert_matches_goldens(result)
+
+    def test_pattern_matrix_matches_its_mode_golden(self, backward_default):
+        result = publish()
+        pattern_sum = float(result.pattern_matrix.sum())
+        if backward_default:
+            assert pattern_sum == GOLDEN_PATTERN_SUM
+        else:
+            assert pattern_sum == GOLDEN_PATTERN_SUM_PER_STEP
+
+    def test_mode_goldens_differ_by_exactly_one_ulp(self):
+        assert GOLDEN_PATTERN_SUM != GOLDEN_PATTERN_SUM_PER_STEP
+        ulp = np.spacing(GOLDEN_PATTERN_SUM_PER_STEP)
+        assert GOLDEN_PATTERN_SUM - GOLDEN_PATTERN_SUM_PER_STEP == ulp
+
+    def test_default_ships_batched(self):
+        assert recurrent.BATCHED_BACKWARD_DEFAULT is True

@@ -1,0 +1,164 @@
+"""CLI tracing: the ``--trace`` flags, ``repro trace``, error paths.
+
+The acceptance contract for the observability subsystem lives here:
+``repro publish --trace`` must emit a JSONL trace whose stage spans
+account for the run (per-stage epsilon deltas summing to the
+accountant's total, stage wall time fitting inside the pipeline span)
+while leaving the published matrix bit-identical to an untraced run.
+Every error path exits non-zero with a one-line message.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.io import load_matrix
+from repro.obs import load_trace
+
+from tests.test_cli import PUBLISH_ARGS, dataset_file  # noqa: F401
+
+
+@pytest.fixture()
+def traced_release(dataset_file, tmp_path):  # noqa: F811
+    """One traced publish: (release path, trace path, stdout)."""
+    out = tmp_path / "traced.npz"
+    trace_out = tmp_path / "trace.jsonl"
+    code = main([
+        "publish", "--data", str(dataset_file), "--out", str(out),
+        "--trace", "--trace-out", str(trace_out), *PUBLISH_ARGS,
+    ])
+    assert code == 0
+    return out, trace_out
+
+
+class TestPublishTrace:
+    def test_trace_accounts_for_the_run(self, traced_release):
+        _, trace_out = traced_release
+        trace = load_trace(trace_out)
+        assert trace.meta["command"] == "publish"
+        stages = [s for s in trace.spans if s.name == "pipeline.stage"]
+        assert [s.attributes["stage"] for s in stages] == [
+            "stpt/pattern-noise", "stpt/pattern-train",
+            "stpt/quantize", "stpt/sanitize",
+        ]
+        # Per-stage epsilon deltas reassemble the accountant's total.
+        deltas = sum(s.attributes["epsilon_spent"] for s in stages)
+        assert deltas == pytest.approx(
+            trace.metrics.counter_value("dp.epsilon.spent")
+        )
+        assert deltas == pytest.approx(30.0)
+        # Stage walls fit inside the enclosing pipeline span.
+        run = next(s for s in trace.spans if s.name == "pipeline.run")
+        stage_wall = sum(s.wall_seconds for s in stages)
+        assert stage_wall <= run.wall_seconds * 1.01 + 1e-6
+        assert run.wall_seconds <= trace.wall_seconds * 1.01 + 1e-6
+
+    def test_traced_release_is_bit_identical_to_untraced(
+        self, traced_release, dataset_file, tmp_path  # noqa: F811
+    ):
+        traced_out, _ = traced_release
+        plain_out = tmp_path / "plain.npz"
+        code = main([
+            "publish", "--data", str(dataset_file),
+            "--out", str(plain_out), *PUBLISH_ARGS,
+        ])
+        assert code == 0
+        np.testing.assert_array_equal(
+            load_matrix(traced_out).values, load_matrix(plain_out).values
+        )
+
+    def test_trace_subcommand_renders_all_sections(
+        self, traced_release, capsys
+    ):
+        _, trace_out = traced_release
+        capsys.readouterr()
+        assert main(["trace", str(trace_out)]) == 0
+        out = capsys.readouterr().out
+        assert "stpt.publish" in out          # span tree
+        assert "pipeline.stage" in out
+        assert "self_seconds" in out          # top self-time table
+        assert "dp.epsilon.spent" in out      # metrics table
+
+    def test_trace_resource_attaches_snapshots(
+        self, dataset_file, tmp_path  # noqa: F811
+    ):
+        trace_out = tmp_path / "trace.jsonl"
+        code = main([
+            "publish", "--data", str(dataset_file),
+            "--out", str(tmp_path / "r.npz"),
+            "--trace-resource", "--trace-out", str(trace_out),
+            *PUBLISH_ARGS,
+        ])
+        assert code == 0
+        trace = load_trace(trace_out)
+        stages = [s for s in trace.spans if s.name == "pipeline.stage"]
+        assert stages
+        assert all(
+            s.attributes["resource"]["rss_bytes"] > 0 for s in stages
+        )
+
+
+class TestErrorPaths:
+    def test_unknown_mechanism_is_one_line_error(self, tmp_path, capsys):
+        # The mechanism is resolved before the dataset is read, so a
+        # bogus data path keeps this test cheap.
+        code = main([
+            "publish", "--data", str(tmp_path / "unused.npz"),
+            "--out", str(tmp_path / "out.npz"),
+            "--mechanism", "NotAMechanism", *PUBLISH_ARGS,
+        ])
+        assert code == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:")
+        assert "NotAMechanism" in err
+        assert len(err.splitlines()) == 1
+
+    def test_cache_dir_at_a_file_is_an_error(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        code = main([
+            "pipeline", "inspect", "--cache-dir", str(blocker),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:")
+        assert "not a directory" in err
+
+    def test_zero_workers_rejected_by_argparse(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "publish", "--data", str(tmp_path / "unused.npz"),
+                "--out", str(tmp_path / "out.npz"),
+                "--workers", "0", *PUBLISH_ARGS,
+            ])
+        assert excinfo.value.code == 2
+
+    def test_trace_on_missing_file(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:")
+        assert "cannot read" in err
+        assert len(err.splitlines()) == 1
+
+    def test_trace_on_corrupt_file(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"type": "trace", "version": 1}\nnot json\n')
+        code = main(["trace", str(path)])
+        assert code == 1
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:")
+        assert "corrupt.jsonl:2" in err
+
+    def test_no_trace_written_when_the_command_fails(
+        self, tmp_path, capsys
+    ):
+        trace_out = tmp_path / "trace.jsonl"
+        code = main([
+            "publish", "--data", str(tmp_path / "missing.npz"),
+            "--out", str(tmp_path / "out.npz"),
+            "--trace", "--trace-out", str(trace_out), *PUBLISH_ARGS,
+        ])
+        assert code == 1
+        capsys.readouterr()
+        assert not trace_out.exists()
