@@ -1,0 +1,42 @@
+"""Runtime of the interprocedural privacy flow analysis.
+
+Not a figure of the paper — a CI-latency guard for the flow rules
+(DP100-DP102, RNG100, PURE001): ``repro lint --flow`` runs inside the
+tier-1 suite, and a whole-program pass (symbol table, call graph,
+summary fixpoint, findings walk over src/ and tests/) must stay under
+the registered ceiling or it becomes the suite's bottleneck. The tree
+must also be clean: any finding or warning here means CI is red.
+"""
+
+import time
+from pathlib import Path
+
+from repro.experiments.bench import _LINT_FLOW_MAX_SECONDS
+from repro.lint.config import load_config
+from repro.lint.engine import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run():
+    config = load_config(start=REPO_ROOT)
+    paths = [REPO_ROOT / "src", REPO_ROOT / "tests"]
+    started = time.perf_counter()
+    result = run_lint(paths, config=config, flow=True)
+    elapsed = time.perf_counter() - started
+    return [{
+        "files_checked": result.files_checked,
+        "findings": len(result.findings),
+        "warnings": len(result.warnings),
+        "suppressed": result.suppressed,
+        "seconds": round(elapsed, 3),
+    }]
+
+
+def test_lint_flow_runtime(print_rows):
+    rows = print_rows("Interprocedural flow lint (src/ + tests/)", run)
+    (row,) = rows
+    assert row["findings"] == 0
+    assert row["warnings"] == 0
+    assert row["files_checked"] > 100
+    assert row["seconds"] < _LINT_FLOW_MAX_SECONDS

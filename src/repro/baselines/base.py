@@ -36,6 +36,11 @@ from repro.obs import get_tracer
 from repro.pipeline import ArtifactStore, Pipeline, PublicationResult, Stage
 from repro.rng import RngLike, ensure_rng
 
+#: Flow-analysis role (repro.lint.flow): ``run`` charges its own
+#: accountant; concrete ``sanitize`` overrides are derived from the
+#: registry by the analysis itself.
+__flow_sanitizers__ = ("Mechanism.run",)
+
 #: The unified release record. ``MechanismRun`` predates the pipeline
 #: refactor and is kept as an alias; new code should name
 #: :class:`repro.pipeline.PublicationResult` directly.

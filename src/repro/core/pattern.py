@@ -35,6 +35,10 @@ from repro.nn.optimizers import RMSProp
 from repro.nn.training import Trainer, make_windows
 from repro.rng import RngLike, derive_seed, ensure_rng
 
+#: Flow-analysis role (repro.lint.flow): the sanitized quadtree is a
+#: charged release of the training matrix.
+__flow_sanitizers__ = ("PatternRecognizer.sanitize_tree",)
+
 
 @dataclass(frozen=True)
 class PatternConfig:

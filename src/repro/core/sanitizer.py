@@ -23,6 +23,10 @@ from repro.dp.mechanisms import laplace_noise
 from repro.exceptions import ConfigurationError, DataError
 from repro.rng import RngLike, ensure_rng
 
+#: Flow-analysis role (repro.lint.flow): partition-level Laplace
+#: sanitization, charged to the accountant it is passed.
+__flow_sanitizers__ = ("sanitize_by_partitions",)
+
 
 #: Budget-allocation strategies. ``optimal`` is Theorem 8's
 #: variance-minimizing ``s^(2/3)`` rule; ``uniform`` and

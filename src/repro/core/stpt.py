@@ -39,6 +39,10 @@ from repro.obs import get_tracer
 from repro.pipeline import ArtifactStore, Pipeline, PublicationResult, Stage
 from repro.rng import RngLike, ensure_rng
 
+#: Flow-analysis role (repro.lint.flow): ``publish`` runs the full
+#: charged STPT pipeline; its result is safe to release.
+__flow_sanitizers__ = ("STPT.publish",)
+
 
 @dataclass(frozen=True)
 class STPTConfig:

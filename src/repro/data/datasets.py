@@ -36,6 +36,10 @@ from repro.data.profiles import (
 )
 from repro.rng import RngLike, ensure_rng
 
+#: Flow-analysis role (repro.lint.flow): synthetic or not, the readings
+#: this produces are treated as raw per-household data.
+__flow_sources__ = ("generate_dataset",)
+
 
 @dataclass(frozen=True)
 class DatasetSpec:

@@ -12,6 +12,15 @@ from repro.data.datasets import DatasetSpec, SmartMeterDataset
 from repro.data.matrix import ConsumptionMatrix
 from repro.exceptions import DataError
 
+#: Flow-analysis roles (repro.lint.flow): loaders re-introduce raw
+#: household data; writers put bytes outside the process.
+__flow_sources__ = ("load_dataset", "load_matrix", "import_matrix_csv")
+__flow_sinks__ = (
+    "save_dataset:file",
+    "save_matrix:file",
+    "export_matrix_csv:release-writer",
+)
+
 
 def save_dataset(dataset: SmartMeterDataset, path: str | Path) -> Path:
     """Persist a dataset (readings + spec) to an ``.npz`` file."""

@@ -21,6 +21,10 @@ import numpy as np
 from repro.exceptions import ConfigurationError, DataError
 from repro.dp.sensitivity import clip_readings
 
+#: Flow-analysis roles (repro.lint.flow): consumption matrices are
+#: aggregated *unprotected* household data.
+__flow_sources__ = ("build_matrices", "ConsumptionMatrix.from_readings")
+
 
 @dataclass
 class ConsumptionMatrix:

@@ -22,6 +22,10 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 
+#: Flow-analysis role (repro.lint.flow): household placements are
+#: location data, as sensitive as the readings themselves.
+__flow_sources__ = ("place_households",)
+
 DISTRIBUTIONS = ("uniform", "normal", "la")
 
 

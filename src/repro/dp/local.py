@@ -26,6 +26,10 @@ from repro.dp.sensitivity import clip_readings
 from repro.exceptions import ConfigurationError, DataError, PrivacyError
 from repro.rng import RngLike, ensure_rng
 
+#: Flow-analysis roles (repro.lint.flow): randomized response output is
+#: locally differentially private by construction.
+__flow_sanitizers__ = ("randomize_readings", "LocalDPPublisher.publish")
+
 
 @dataclass(frozen=True)
 class LocalMeterReport:

@@ -16,6 +16,15 @@ import numpy as np
 from repro.exceptions import PrivacyError, SensitivityError
 from repro.rng import RngLike, ensure_rng
 
+#: Flow-analysis roles (repro.lint.flow): ``laplace_noise`` draws
+#: calibrated noise (adding it to a value sanitizes the sum); the
+#: ``randomize`` methods return noised copies of their input.
+__flow_noise_sources__ = ("laplace_noise",)
+__flow_sanitizers__ = (
+    "LaplaceMechanism.randomize",
+    "GeometricMechanism.randomize",
+)
+
 
 def _check_epsilon(epsilon: float) -> float:
     if not np.isfinite(epsilon) or epsilon <= 0.0:

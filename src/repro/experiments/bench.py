@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 import subprocess
 import time
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -59,6 +60,8 @@ _TRAINING_SPEEDUP_FLOOR = 2.0
 _QUERY_SPEEDUP_FLOOR = 10.0
 #: Ceiling on the instrumentation share of sweep wall time (NullTracer).
 _TRACE_OVERHEAD_CEILING = 0.02
+#: Whole-tree interprocedural lint pass must stay CI-friendly.
+_LINT_FLOW_MAX_SECONDS = 10.0
 
 
 def register(
@@ -528,6 +531,60 @@ def bench_trace_overhead(workers: int | None = None) -> dict:
     }
 
 
+@register(
+    "lint_flow",
+    threshold=f"whole-tree interprocedural flow analysis (src + tests) in "
+    f"< {_LINT_FLOW_MAX_SECONDS:.0f}s wall; zero findings, zero warnings",
+)
+def bench_lint_flow(workers: int | None = None) -> dict:
+    """Wall-clock cost of the interprocedural privacy flow analysis.
+
+    ``repro lint --flow`` runs in CI on every commit, so the
+    whole-program pass (symbol table + call graph + summary fixpoint +
+    findings walk over ``src`` and ``tests``) must stay cheap enough to
+    sit on the tier-1 path. The benchmark runs the real linter with the
+    repo's own configuration, asserts the tree is clean (any finding or
+    warning here means CI is red anyway), and bounds the best-of-2 wall
+    time of a cold analysis.
+    """
+    del workers  # single-process benchmark; kept for a uniform signature
+    from repro.lint.config import load_config
+    from repro.lint.engine import run_lint
+
+    root = Path(__file__).resolve().parents[3]
+    config = load_config(start=root)
+    paths = [root / "src", root / "tests"]
+
+    result = run_lint(paths, config=config, flow=True)
+    if result.findings:
+        raise AssertionError(
+            f"flow lint expected a clean tree, got {len(result.findings)} "
+            f"finding(s); first: {result.findings[0]}"
+        )
+    if result.warnings:
+        raise AssertionError(
+            f"flow lint expected zero warnings, got {result.warnings[0]!r}"
+        )
+
+    seconds = _best_of(
+        lambda: run_lint(paths, config=config, flow=True), repeats=2
+    )
+    if seconds > _LINT_FLOW_MAX_SECONDS:
+        raise AssertionError(
+            f"flow analysis took {seconds:.2f}s, over the "
+            f"{_LINT_FLOW_MAX_SECONDS:.0f}s ceiling"
+        )
+    return {
+        "benchmark": "lint_flow",
+        "cpu_count": os.cpu_count() or 1,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "flow_seconds": round(seconds, 3),
+        "max_seconds": _LINT_FLOW_MAX_SECONDS,
+        "clean": True,
+    }
+
+
 def _git_commit() -> str | None:
     try:
         completed = subprocess.run(
@@ -557,6 +614,7 @@ def run_benchmark(name: str, workers: int = 4) -> dict:
 __all__: Sequence[str] = [
     "BENCHMARKS",
     "THRESHOLDS",
+    "bench_lint_flow",
     "bench_nn_kernels",
     "bench_parallel_sweep",
     "bench_query_engine",

@@ -7,10 +7,16 @@ the benchmark. The pipeline is deliberately linear:
    :class:`repro.lint.project.Project` (parse failures become ``PARSE``
    findings — an uncheckable file must fail the run);
 2. run each enabled rule, skipping files on the rule's allow-list
-   (built-in default, overridable per rule in ``pyproject.toml``);
+   (built-in default, overridable per rule in ``pyproject.toml``).
+   Flow rules (``requires_flow``) only run when flow analysis is
+   enabled — by config, by ``--flow``, or by being explicitly selected;
 3. drop findings answered by a ``# lint: disable=RULE`` comment on the
    offending line (or ``disable-file`` anywhere in the file);
-4. return the surviving findings sorted by location.
+4. return the surviving findings sorted by location, plus *warnings*:
+   suppressions that matched nothing, suppressions without a written
+   justification, and unknown rule ids in config or comments. Warnings
+   never change the exit code on their own, but the self-clean test
+   holds the tree to zero of them.
 """
 
 from __future__ import annotations
@@ -23,8 +29,8 @@ from repro.exceptions import ConfigurationError
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, PARSE_RULE
 from repro.lint.project import ModuleInfo, Project, path_matches
-from repro.lint.registry import RuleOptions, create_rules
-from repro.lint.suppress import SuppressionIndex, scan_suppressions
+from repro.lint.registry import RuleOptions, create_rules, registered_rule_ids
+from repro.lint.suppress import Directive, SuppressionIndex, scan_suppressions
 
 
 @dataclass(frozen=True)
@@ -34,6 +40,7 @@ class LintResult:
     findings: tuple[Finding, ...]
     files_checked: int
     suppressed: int
+    warnings: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -50,15 +57,77 @@ def _suppression_for(
     return index
 
 
+def _config_warnings(config: LintConfig) -> list[str]:
+    """Unknown rule ids in ``[tool.repro-lint]`` warn instead of vanishing."""
+    known = set(registered_rule_ids())
+    warnings: list[str] = []
+    for rule_id in config.enable or ():
+        if rule_id.upper() not in known:
+            warnings.append(
+                f"[tool.repro-lint].enable: unknown rule id {rule_id!r} "
+                "(entry has no effect)"
+            )
+    for rule_id in config.rule_options:
+        if rule_id.upper() not in known:
+            warnings.append(
+                f"[tool.repro-lint.rules.{rule_id}]: unknown rule id "
+                f"{rule_id!r} (table has no effect)"
+            )
+    return warnings
+
+
+def _suppression_warnings(
+    project: Project,
+    cache: dict[str, SuppressionIndex],
+    used: set[tuple[str, Directive]],
+    ran_ids: set[str],
+) -> list[str]:
+    """Audit every directive in the linted tree, not just matching ones."""
+    known = set(registered_rule_ids())
+    full_run = known <= ran_ids
+    warnings: list[str] = []
+    for module in project.modules:
+        index = _suppression_for(module, cache)
+        for directive in index.directives:
+            where = f"{module.rel}:{directive.line}"
+            for rule_id in sorted(directive.rules - known - {"ALL"}):
+                warnings.append(
+                    f"{where}: suppression names unknown rule id {rule_id!r}"
+                )
+            if not directive.justification:
+                warnings.append(
+                    f"{where}: suppression without justification (append "
+                    "'-- why this is safe' to the directive)"
+                )
+            named = directive.rules & known
+            # Only judge a directive unused when every rule it names ran
+            # in this invocation (an ALL directive needs a full run);
+            # otherwise a --select subset would flag live suppressions.
+            ran_everything_named = (
+                named <= ran_ids if named else full_run
+            ) and ("ALL" not in directive.rules or full_run)
+            if ran_everything_named and (module.rel, directive) not in used:
+                what = ", ".join(sorted(directive.rules))
+                warnings.append(
+                    f"{where}: unused suppression for {what} (no finding "
+                    "matches; delete the directive)"
+                )
+    return warnings
+
+
 def run_lint(
     paths: Sequence[Path | str] | None = None,
     config: LintConfig | None = None,
     enable: Iterable[str] | None = None,
+    flow: bool | None = None,
 ) -> LintResult:
     """Lint ``paths`` (default: the config's include paths).
 
     ``enable`` narrows the rule set for this run; otherwise the
     config's ``enable`` list (or every registered rule) applies.
+    ``flow`` turns interprocedural flow rules on or off, overriding the
+    config's ``flow`` key; rules named explicitly in ``enable`` always
+    run, flow or not.
     """
     if config is None:
         config = LintConfig(root=Path.cwd())
@@ -74,7 +143,30 @@ def run_lint(
                 f"path(s) do not exist: {', '.join(missing)}"
             )
     project = Project.from_paths(config.root, target_paths, config.exclude)
-    rules = create_rules(enable if enable is not None else config.enable)
+    explicit = enable is not None
+    known = set(registered_rule_ids())
+    if explicit:
+        requested = [rule_id.upper() for rule_id in enable]
+        unknown = sorted(set(requested) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown rule id(s) in selection: {', '.join(unknown)}"
+            )
+    elif config.enable is not None:
+        # Unknown ids in config warn (via _config_warnings) instead of
+        # aborting the run — a typo'd pyproject entry must not mask
+        # every other rule's findings.
+        requested = [
+            rule_id
+            for rule_id in (r.upper() for r in config.enable)
+            if rule_id in known
+        ]
+    else:
+        requested = None
+    rules = create_rules(requested)
+    flow_enabled = flow if flow is not None else config.flow
+    if not flow_enabled and not explicit:
+        rules = [rule for rule in rules if not rule.requires_flow]
 
     raw: list[Finding] = [
         Finding(
@@ -107,20 +199,35 @@ def run_lint(
 
     modules_by_rel = {module.rel: module for module in project.modules}
     suppression_cache: dict[str, SuppressionIndex] = {}
+    used_directives: set[tuple[str, Directive]] = set()
     kept: list[Finding] = []
     suppressed = 0
     for finding in raw:
         module = modules_by_rel.get(finding.path)
         if module is not None and finding.rule != PARSE_RULE:
             index = _suppression_for(module, suppression_cache)
-            if index.is_suppressed(finding.rule, finding.line):
+            matched = index.matching(finding.rule, finding.line)
+            if matched:
                 suppressed += 1
+                for directive in matched:
+                    used_directives.add((module.rel, directive))
                 continue
         kept.append(finding)
+
+    warnings = _config_warnings(config)
+    warnings.extend(
+        _suppression_warnings(
+            project,
+            suppression_cache,
+            used_directives,
+            {rule.id for rule in rules},
+        )
+    )
     return LintResult(
         findings=tuple(sorted(set(kept))),
         files_checked=len(project.modules) + len(project.failures),
         suppressed=suppressed,
+        warnings=tuple(warnings),
     )
 
 

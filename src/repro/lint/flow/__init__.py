@@ -1,0 +1,43 @@
+"""Interprocedural privacy dataflow analysis for the lint engine.
+
+The pieces, bottom to top:
+
+* :mod:`~repro.lint.flow.lattice` — the taint lattice (labels and
+  parameter provenance) every value is abstracted into;
+* :mod:`~repro.lint.flow.symbols` — project-wide symbol table and name
+  resolution through imports, re-exports and ``self`` dispatch;
+* :mod:`~repro.lint.flow.model` — the source / sanitizer / sink tables,
+  merged from built-ins, in-tree ``__flow_*__`` declarations and the
+  mechanism registry;
+* :mod:`~repro.lint.flow.callgraph` — static call edges condensed into
+  SCCs, ordered callees-first;
+* :mod:`~repro.lint.flow.summaries` — the per-function transfer
+  function producing :class:`~repro.lint.flow.summaries.FunctionSummary`;
+* :mod:`~repro.lint.flow.engine` — the whole-project fixpoint and
+  findings pass, cached per :class:`~repro.lint.project.Project`;
+* :mod:`~repro.lint.flow.rules` — DP100, DP101, DP102, RNG100 and
+  PURE001, thin rule shims over the shared analysis.
+"""
+
+from repro.lint.flow.engine import FlowAnalysis, FlowFinding, analyze_project
+from repro.lint.flow.lattice import EMPTY, GENERATOR, NOISE, RAW, SANITIZED, Taint
+from repro.lint.flow.model import FlowModel, build_model
+from repro.lint.flow.summaries import FunctionAnalyzer, FunctionSummary
+from repro.lint.flow.symbols import SymbolTable
+
+__all__ = [
+    "EMPTY",
+    "FlowAnalysis",
+    "FlowFinding",
+    "FlowModel",
+    "FunctionAnalyzer",
+    "FunctionSummary",
+    "GENERATOR",
+    "NOISE",
+    "RAW",
+    "SANITIZED",
+    "SymbolTable",
+    "Taint",
+    "analyze_project",
+    "build_model",
+]

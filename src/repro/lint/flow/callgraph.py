@@ -1,0 +1,108 @@
+"""Static call graph over project functions, in summary-safe order.
+
+Summaries must be computed callee-before-caller so each call site can
+look its callee up instead of re-walking it. We collect resolvable call
+edges per function, condense cycles with Tarjan's strongly-connected
+components, and return functions in reverse topological order of the
+condensation. Mutually recursive functions land in one SCC and are
+iterated to a (finite-lattice) fixpoint by the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.flow.symbols import ClassDecl, FunctionDecl, SymbolTable
+
+
+@dataclass
+class CallGraph:
+    """Edges between project function qualnames."""
+
+    edges: dict[str, frozenset[str]] = field(default_factory=dict)
+    order: tuple[tuple[str, ...], ...] = ()  #: SCCs, callees first
+
+    @classmethod
+    def build(cls, symbols: SymbolTable) -> "CallGraph":
+        edges: dict[str, set[str]] = {}
+        for qualname, decl in symbols.functions.items():
+            edges[qualname] = _call_edges(symbols, decl)
+        frozen = {name: frozenset(targets) for name, targets in edges.items()}
+        return cls(edges=frozen, order=_scc_order(frozen))
+
+
+def _class_ctx(symbols: SymbolTable, decl: FunctionDecl) -> ClassDecl | None:
+    if decl.class_qualname is None:
+        return None
+    return symbols.classes.get(decl.class_qualname)
+
+
+def _call_edges(symbols: SymbolTable, decl: FunctionDecl) -> set[str]:
+    targets: set[str] = set()
+    ctx = _class_ctx(symbols, decl)
+    for node in ast.walk(decl.node):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = symbols.resolve_call(decl.module, node.func, ctx)
+        if resolved is not None and resolved in symbols.functions:
+            targets.add(resolved)
+        # A bare name that is a sibling nested function resolves inside
+        # the analyzer via local summaries; no edge needed here.
+    return targets
+
+
+def _scc_order(edges: dict[str, frozenset[str]]) -> tuple[tuple[str, ...], ...]:
+    """Tarjan's SCC, iterative; components come out callees-first."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[tuple[str, ...]] = []
+    counter = 0
+
+    for root in sorted(edges):
+        if root in index_of:
+            continue
+        work: list[tuple[str, iter]] = [(root, iter(sorted(edges.get(root, ()))))]
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in edges:
+                    continue
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(tuple(sorted(component)))
+    # Tarjan emits components in reverse topological order already:
+    # a component is finalized only after everything it reaches.
+    return tuple(components)
+
+
+__all__ = ["CallGraph"]

@@ -1,0 +1,236 @@
+"""Whole-project flow analysis: one pass, shared by all flow rules.
+
+:func:`analyze_project` runs the pipeline
+
+    symbol table -> source/sink model -> call graph
+    -> per-function summary fixpoint (callees first, SCCs iterated)
+    -> module-global taint environments
+    -> findings pass (every body re-walked with reporting enabled)
+
+and caches the result on the :class:`~repro.lint.project.Project`
+instance, so the five flow rules in one lint run share a single
+analysis. Findings carry their rule id; each rule just filters.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.model import FlowModel, build_model
+from repro.lint.flow.summaries import (
+    FunctionAnalyzer,
+    FunctionSummary,
+    module_mutable_globals,
+)
+from repro.lint.flow.symbols import SymbolTable
+from repro.lint.flow.lattice import Taint
+from repro.lint.project import ModuleInfo, Project
+
+#: Fixpoint iterations per SCC; the lattice is small, 4 is generous.
+_MAX_SCC_ROUNDS = 4
+
+_CACHE_ATTR = "_flow_analysis_cache"
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One raw flow finding, before rule filtering/suppression."""
+
+    rule: str
+    path: str  # project-relative, matching Finding.path
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class FlowAnalysis:
+    """Everything the flow pass computed for one project."""
+
+    symbols: SymbolTable
+    model: FlowModel
+    graph: CallGraph
+    summaries: dict[str, FunctionSummary]
+    module_envs: dict[str, dict[str, Taint]] = field(default_factory=dict)
+    findings: tuple[FlowFinding, ...] = ()
+
+    def findings_for(self, rule: str) -> tuple[FlowFinding, ...]:
+        return tuple(f for f in self.findings if f.rule == rule)
+
+
+def analyze_project(project: Project) -> FlowAnalysis:
+    """Run (or fetch the cached) flow analysis for ``project``."""
+    cached = getattr(project, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    analysis = _run(project)
+    object.__setattr__(project, _CACHE_ATTR, analysis)
+    return analysis
+
+
+def _run(project: Project) -> FlowAnalysis:
+    symbols = SymbolTable.build(project)
+    model = build_model(project, symbols)
+    graph = CallGraph.build(symbols)
+    summaries: dict[str, FunctionSummary] = {}
+
+    module_envs = _initial_module_envs(project, symbols, model, summaries)
+    _summary_fixpoint(symbols, model, graph, summaries, module_envs)
+    # Recompute globals now that function summaries exist (a module-level
+    # ``DATA = load_and_strip()`` needs load_and_strip's summary).
+    module_envs = _initial_module_envs(project, symbols, model, summaries)
+    _share_imported_globals(symbols, module_envs)
+
+    findings = _findings_pass(project, symbols, model, summaries, module_envs)
+    return FlowAnalysis(
+        symbols=symbols,
+        model=model,
+        graph=graph,
+        summaries=summaries,
+        module_envs=module_envs,
+        findings=findings,
+    )
+
+
+def _analyzer(
+    module: ModuleInfo,
+    symbols: SymbolTable,
+    model: FlowModel,
+    summaries: dict[str, FunctionSummary],
+    module_env: dict[str, Taint] | None,
+    **kwargs,
+) -> FunctionAnalyzer:
+    return FunctionAnalyzer(
+        module,
+        symbols,
+        model,
+        summaries,
+        module_env=module_env,
+        mutable_globals=module_mutable_globals(module),
+        **kwargs,
+    )
+
+
+def _initial_module_envs(
+    project: Project,
+    symbols: SymbolTable,
+    model: FlowModel,
+    summaries: dict[str, FunctionSummary],
+) -> dict[str, dict[str, Taint]]:
+    envs: dict[str, dict[str, Taint]] = {}
+    for module in project.modules:
+        analyzer = _analyzer(module, symbols, model, summaries, None)
+        envs[module.rel] = analyzer.analyze_module_body()
+    return envs
+
+
+def _share_imported_globals(
+    symbols: SymbolTable, envs: dict[str, dict[str, Taint]]
+) -> None:
+    """``from a import DATA`` makes a's global taint visible in b."""
+    for rel, aliases in symbols.imports.items():
+        env = envs.get(rel)
+        if env is None:
+            continue
+        for local, target in aliases.items():
+            owner, __sep, leaf = target.rpartition(".")
+            if not owner or owner not in symbols.modules:
+                continue
+            source_env = envs.get(symbols.modules[owner].rel, {})
+            taint = source_env.get(leaf)
+            if taint is not None and local not in env:
+                env[local] = taint
+
+
+def _summary_fixpoint(
+    symbols: SymbolTable,
+    model: FlowModel,
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+    module_envs: dict[str, dict[str, Taint]],
+) -> None:
+    for component in graph.order:
+        for __round in range(_MAX_SCC_ROUNDS):
+            changed = False
+            for qualname in component:
+                decl = symbols.functions.get(qualname)
+                if decl is None:
+                    continue
+                class_ctx = (
+                    symbols.classes.get(decl.class_qualname)
+                    if decl.class_qualname
+                    else None
+                )
+                analyzer = _analyzer(
+                    decl.module,
+                    symbols,
+                    model,
+                    summaries,
+                    module_envs.get(decl.module.rel),
+                    class_ctx=class_ctx,
+                )
+                new = analyzer.analyze_function(
+                    decl.node, qualname, is_method=decl.is_method
+                )
+                if summaries.get(qualname) != new:
+                    summaries[qualname] = new
+                    changed = True
+            if not changed or len(component) == 1:
+                break
+
+
+def _findings_pass(
+    project: Project,
+    symbols: SymbolTable,
+    model: FlowModel,
+    summaries: dict[str, FunctionSummary],
+    module_envs: dict[str, dict[str, Taint]],
+) -> tuple[FlowFinding, ...]:
+    collected: set[FlowFinding] = set()
+
+    for module in project.modules:
+
+        def emit(rule: str, node: ast.AST, message: str, _module=module) -> None:
+            collected.add(
+                FlowFinding(
+                    rule=rule,
+                    path=_module.rel,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                )
+            )
+
+        env = module_envs.get(module.rel)
+        _analyzer(
+            module, symbols, model, summaries, env, emit=emit
+        ).analyze_module_body()
+        prefix = symbols.module_prefix(module)
+        for qualname, decl in symbols.functions.items():
+            if decl.module.rel != module.rel:
+                continue
+            if not qualname.startswith(f"{prefix}."):
+                continue
+            class_ctx = (
+                symbols.classes.get(decl.class_qualname)
+                if decl.class_qualname
+                else None
+            )
+            _analyzer(
+                module,
+                symbols,
+                model,
+                summaries,
+                env,
+                class_ctx=class_ctx,
+                emit=emit,
+            ).analyze_function(decl.node, qualname, is_method=decl.is_method)
+
+    return tuple(
+        sorted(collected, key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    )
+
+
+__all__ = ["FlowAnalysis", "FlowFinding", "analyze_project"]

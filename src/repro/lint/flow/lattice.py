@@ -1,0 +1,101 @@
+"""The taint lattice the flow analysis computes over.
+
+A :class:`Taint` value describes what one expression may hold:
+
+* ``labels`` — the privacy classes that may have flowed into it.
+  ``RAW`` marks raw per-household data (readings, placements,
+  consumption matrices built from them); ``SANITIZED`` marks values
+  that passed through a charged mechanism and are free to publish
+  (post-processing, Theorem 3); ``NOISE`` marks a fresh calibrated
+  noise draw (``laplace_noise``) — additively combining ``NOISE`` with
+  anything yields ``SANITIZED``; ``GENERATOR`` marks a live
+  ``np.random.Generator``.
+* ``params`` — provenance: which of the enclosing function's
+  parameters may have flowed into the value. Summaries use this to
+  lift facts ("parameter ``m`` reaches the artifact store") to call
+  sites, which is what makes the analysis interprocedural without
+  re-analyzing bodies per call.
+
+Join is set union on both components; the lattice is finite (labels
+are drawn from four constants, params from one function's signature)
+so every fixpoint terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+RAW = "raw"
+SANITIZED = "sanitized"
+NOISE = "noise"
+GENERATOR = "generator"
+
+#: Every label the lattice knows, for validation in tests.
+LABELS = frozenset({RAW, SANITIZED, NOISE, GENERATOR})
+
+
+@dataclass(frozen=True)
+class Taint:
+    """What one value may carry: privacy labels plus parameter origins."""
+
+    labels: frozenset[str] = field(default_factory=frozenset)
+    params: frozenset[str] = field(default_factory=frozenset)
+
+    def join(self, *others: "Taint") -> "Taint":
+        labels = set(self.labels)
+        params = set(self.params)
+        for other in others:
+            labels |= other.labels
+            params |= other.params
+        return Taint(frozenset(labels), frozenset(params))
+
+    @property
+    def is_raw(self) -> bool:
+        """May this value still contain uncharged household data?"""
+        return RAW in self.labels
+
+    @property
+    def is_generator(self) -> bool:
+        return GENERATOR in self.labels
+
+    @property
+    def has_noise(self) -> bool:
+        return NOISE in self.labels
+
+    def sanitized(self) -> "Taint":
+        """The result of passing this value through a charged mechanism.
+
+        Sanitization is a *kill*: whatever raw content flowed in, the
+        output is safe to publish. Parameter provenance is dropped too —
+        the caller's data no longer reaches anything through this value.
+        """
+        return Taint(frozenset({SANITIZED}))
+
+
+EMPTY = Taint()
+
+
+def taint_of(labels: Iterable[str] = (), params: Iterable[str] = ()) -> Taint:
+    """Convenience constructor used by the model and the tests."""
+    return Taint(frozenset(labels), frozenset(params))
+
+
+def join_all(taints: Iterable[Taint]) -> Taint:
+    result = EMPTY
+    for taint in taints:
+        result = result.join(taint)
+    return result
+
+
+__all__ = [
+    "EMPTY",
+    "GENERATOR",
+    "LABELS",
+    "NOISE",
+    "RAW",
+    "SANITIZED",
+    "Taint",
+    "join_all",
+    "taint_of",
+]

@@ -1,0 +1,126 @@
+"""The five flow-backed lint rules (DP100–DP102, RNG100, PURE001).
+
+All five are project-scope rules over one shared
+:func:`~repro.lint.flow.engine.analyze_project` result — the analysis
+runs once per lint invocation regardless of how many flow rules are
+enabled. Each rule just selects its findings by id; the detection
+logic lives in :mod:`repro.lint.flow.summaries`.
+
+They are gated behind ``requires_flow``: the runner skips them unless
+flow analysis is enabled (``flow = true`` in ``[tool.repro-lint]``,
+``repro lint --flow``, or an explicit ``--select``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import Rule, RuleOptions, register
+
+
+class _FlowRule(Rule):
+    """Shared plumbing: pull this rule's findings from the analysis."""
+
+    requires_flow = True
+
+    def check_project(
+        self, project: Project, options: RuleOptions
+    ) -> Iterable[Finding]:
+        # Imported lazily: rules/__init__ pulls this module in while
+        # repro.lint.flow.engine may itself still be mid-import (its
+        # summaries module uses rules.common helpers).
+        from repro.lint.flow.engine import analyze_project
+
+        analysis = analyze_project(project)
+        for flow_finding in analysis.findings_for(self.id):
+            yield Finding(
+                path=flow_finding.path,
+                line=flow_finding.line,
+                col=flow_finding.col,
+                rule=self.id,
+                message=flow_finding.message,
+            )
+
+
+@register
+class RawDataReachesSink(_FlowRule):
+    id = "DP100"
+    title = "raw household data reaches a publication sink uncharged"
+    rationale = (
+        "Theorem 1's guarantee holds only if every published value passed "
+        "through a calibrated, accountant-charged mechanism. The flow "
+        "analysis tracks raw readings/matrices through assignments, calls, "
+        "returns, containers and closures; any path from a source to an "
+        "artifact store, release writer, trace span, file/stdout write or "
+        "non-spending stage output that is not killed by a sanitizer is a "
+        "privacy leak, even when source and sink live in different modules."
+    )
+    default_allow = ("tests", "benchmarks")
+
+
+@register
+class MechanismNotDominatedByCharge(_FlowRule):
+    id = "DP101"
+    title = "mechanism call not dominated by an accountant charge"
+    rationale = (
+        "A mechanism that runs without its spend reaching a "
+        "BudgetAccountant produces output that *looks* sanitized but is "
+        "off the ledger — composition (Theorem 2) silently breaks. Calls "
+        "to accountant-aware sanitizers must thread accountant= (or be "
+        "made in a scope that itself charges or constructs an accountant)."
+    )
+    default_allow = ("tests", "benchmarks")
+
+
+@register
+class DataDependentBudget(_FlowRule):
+    id = "DP102"
+    title = "privacy budget (ε/δ) derived from raw data"
+    rationale = (
+        "Choosing ε from the data being protected leaks information "
+        "through the budget itself and voids the calibration of every "
+        "noise draw made with it. Budgets must come from configuration "
+        "or a BudgetSplit, never from statistics of the input."
+    )
+    default_allow = ("tests", "benchmarks")
+
+
+@register
+class GeneratorCrossesExecutorIndirectly(_FlowRule):
+    id = "RNG100"
+    title = "live Generator crosses an executor boundary via indirection"
+    rationale = (
+        "RNG002 catches a generator passed directly into a submission "
+        "call; this is its interprocedural closure. A generator returned "
+        "by a helper, stored in a container, or forwarded through a "
+        "wrapper that submits it is still pickled into the worker, "
+        "forking its state and destroying replay determinism. Ship a "
+        "seed and rebuild with repro.parallel.task_generator instead."
+    )
+    default_allow = ()
+
+
+@register
+class ImpureStageFunction(_FlowRule):
+    id = "PURE001"
+    title = "stage function is not a pure function of (ctx, inputs)"
+    rationale = (
+        "Stage caching and replay assume a stage's output is determined "
+        "by its declared inputs, config and seeded rng. A stage body that "
+        "reads a mutable module global or calls a nondeterministic "
+        "builtin (time, uuid, os.urandom, global random) can return "
+        "different values for identical cache keys, corrupting resumed "
+        "runs."
+    )
+    default_allow = ("tests", "benchmarks")
+
+
+__all__ = [
+    "DataDependentBudget",
+    "GeneratorCrossesExecutorIndirectly",
+    "ImpureStageFunction",
+    "MechanismNotDominatedByCharge",
+    "RawDataReachesSink",
+]

@@ -1,0 +1,348 @@
+"""Project-wide symbol table: defs, imports and name resolution.
+
+The flow analysis needs to answer one question constantly: *which
+function does this call expression reach?* This module builds, from the
+parsed :class:`repro.lint.project.Project`, an index of every top-level
+function, class and method with its dotted qualname, plus each module's
+import aliases, and resolves name/attribute chains through import
+aliases, package re-exports (``from repro.pipeline import Stage``) and
+``self``/``cls`` method lookups along statically known base classes.
+
+Resolution is best-effort by design: a name the table cannot resolve is
+an *external* callee and the analysis treats it conservatively (taint
+flows through, nothing is killed). That keeps the table linear in
+project size — no per-call re-parsing, no evaluation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.project import ModuleInfo, Project
+
+#: Chains longer than this are never project symbols; stop following.
+_MAX_ALIAS_HOPS = 8
+
+
+def param_names(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> tuple[str, ...]:
+    """Positional-capable parameter names, in call-mapping order."""
+    args = node.args
+    return tuple(a.arg for a in args.posonlyargs + args.args)
+
+
+def keyword_param_names(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> tuple[str, ...]:
+    args = node.args
+    return tuple(a.arg for a in args.kwonlyargs)
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    """One top-level function or method, addressable by qualname."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_qualname: str | None = None  #: owning class for methods
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qualname is not None
+
+    def call_params(self) -> tuple[str, ...]:
+        """Parameter names as seen by a caller (``self``/``cls`` dropped)."""
+        names = param_names(self.node) + keyword_param_names(self.node)
+        if self.is_method and names and names[0] in ("self", "cls"):
+            return names[1:]
+        return names
+
+
+@dataclass
+class ClassDecl:
+    """One top-level class with its methods and (unresolved) base names."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()  #: dotted base expressions, unresolved
+    methods: dict[str, FunctionDecl] = field(default_factory=dict)
+
+
+def _dotted_expr(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string, or None for anything fancier."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _relative_base(dotted: str | None, level: int, is_init: bool) -> str | None:
+    """Package a ``from ... import`` with ``level`` dots resolves against."""
+    if not dotted or level <= 0:
+        return None
+    parts = dotted.split(".")
+    # The module's own package: everything but the leaf (init files *are*
+    # their package).
+    package = parts if is_init else parts[:-1]
+    drop = level - 1
+    if drop >= len(package):
+        return None
+    return ".".join(package[: len(package) - drop])
+
+
+@dataclass
+class SymbolTable:
+    """Everything the analysis knows about names across the project."""
+
+    functions: dict[str, FunctionDecl] = field(default_factory=dict)
+    classes: dict[str, ClassDecl] = field(default_factory=dict)
+    #: per-module alias map: local name -> dotted target
+    imports: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: dotted module name -> ModuleInfo, for re-export chasing
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: Project) -> "SymbolTable":
+        table = cls()
+        for module in project.modules:
+            if module.dotted:
+                table.modules[module.dotted] = module
+            table.imports[module.rel] = cls._import_map(module)
+            table._index_module(module)
+        return table
+
+    @staticmethod
+    def _import_map(module: ModuleInfo) -> dict[str, str]:
+        aliases: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    rel = _relative_base(
+                        module.dotted, node.level, module.is_package_init
+                    )
+                    if rel is None:
+                        continue
+                    base = f"{rel}.{node.module}" if node.module else rel
+                if not base:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{base}.{alias.name}"
+        return aliases
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        if not module.dotted:
+            prefix = module.rel.removesuffix(".py").replace("/", ".")
+        else:
+            prefix = module.dotted
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{node.name}"
+                self.functions[qualname] = FunctionDecl(qualname, module, node)
+            elif isinstance(node, ast.ClassDef):
+                class_qual = f"{prefix}.{node.name}"
+                bases = tuple(
+                    dotted
+                    for dotted in (_dotted_expr(b) for b in node.bases)
+                    if dotted
+                )
+                decl = ClassDecl(class_qual, module, node, bases=bases)
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_qual = f"{class_qual}.{sub.name}"
+                        method = FunctionDecl(
+                            method_qual, module, sub, class_qualname=class_qual
+                        )
+                        decl.methods[sub.name] = method
+                        self.functions[method_qual] = method
+                self.classes[class_qual] = decl
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def module_prefix(self, module: ModuleInfo) -> str:
+        return module.dotted or module.rel.removesuffix(".py").replace("/", ".")
+
+    def resolve_dotted(self, dotted: str) -> str:
+        """Canonicalize ``dotted`` through re-export alias chains.
+
+        ``repro.pipeline.Stage`` (a package re-export) becomes
+        ``repro.pipeline.stage.Stage``. Unknown names come back
+        unchanged — callers treat them as external.
+        """
+        seen: set[str] = set()
+        for __ in range(_MAX_ALIAS_HOPS):
+            if dotted in self.functions or dotted in self.classes:
+                return dotted
+            if dotted in seen:
+                break
+            seen.add(dotted)
+            head, __sep, leaf = dotted.rpartition(".")
+            if not head:
+                break
+            # Method on a known (possibly aliased) class?
+            owner = head if head in self.classes else None
+            if owner is None and head not in self.modules:
+                resolved_head = self._resolve_prefix(head)
+                if resolved_head is None or resolved_head == head:
+                    break
+                dotted = f"{resolved_head}.{leaf}"
+                continue
+            if owner is not None:
+                method = self.lookup_method(owner, leaf)
+                return method.qualname if method else dotted
+            target = self.imports.get(self.modules[head].rel, {}).get(leaf)
+            if target is None:
+                break
+            dotted = target
+        return dotted
+
+    def _resolve_prefix(self, head: str) -> str | None:
+        """Resolve the non-leaf part of a chain one alias hop."""
+        inner_head, __sep, inner_leaf = head.rpartition(".")
+        if not inner_head:
+            return None
+        if inner_head in self.modules:
+            target = self.imports.get(self.modules[inner_head].rel, {}).get(
+                inner_leaf
+            )
+            return target
+        resolved = self._resolve_prefix(inner_head)
+        if resolved is None:
+            return None
+        return f"{resolved}.{inner_leaf}"
+
+    def resolve_name(self, module: ModuleInfo, name: str) -> str | None:
+        """What dotted target does ``name`` denote at module scope?"""
+        prefix = self.module_prefix(module)
+        own = f"{prefix}.{name}"
+        if own in self.functions or own in self.classes:
+            return own
+        target = self.imports.get(module.rel, {}).get(name)
+        if target is not None:
+            return self.resolve_dotted(target)
+        return None
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        func: ast.expr,
+        class_ctx: ClassDecl | None = None,
+    ) -> str | None:
+        """Qualname of the project function a call expression reaches.
+
+        Returns None for calls the table cannot pin to a project
+        definition (external libraries, dynamic dispatch).
+        """
+        if isinstance(func, ast.Name):
+            resolved = self.resolve_name(module, func.id)
+            if resolved and resolved in self.classes:
+                init = self.lookup_method(resolved, "__init__")
+                return init.qualname if init else resolved
+            if resolved and resolved in self.functions:
+                return resolved
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        dotted = _dotted_expr(func)
+        if dotted is None:
+            return None
+        root = dotted.split(".")[0]
+        if class_ctx is not None and root in ("self", "cls"):
+            parts = dotted.split(".")
+            if len(parts) == 2:
+                method = self.lookup_method(class_ctx.qualname, parts[1])
+                return method.qualname if method else None
+            return None
+        resolved_root = self.resolve_name(module, root) or self.imports.get(
+            module.rel, {}
+        ).get(root)
+        if resolved_root is None:
+            return None
+        full = self.resolve_dotted(
+            ".".join([resolved_root] + dotted.split(".")[1:])
+        )
+        return full if full in self.functions else None
+
+    def lookup_method(self, class_qualname: str, name: str) -> FunctionDecl | None:
+        """Find ``name`` on a class or its statically known ancestors."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            decl = self.classes.get(current)
+            if decl is None:
+                continue
+            if name in decl.methods:
+                return decl.methods[name]
+            for base in decl.bases:
+                resolved = self.resolve_name(decl.module, base.split(".")[0])
+                if resolved is None:
+                    continue
+                if "." in base:
+                    resolved = self.resolve_dotted(
+                        ".".join([resolved] + base.split(".")[1:])
+                    )
+                stack.append(resolved)
+        return None
+
+    def is_subclass(self, class_qualname: str, base_qualname: str) -> bool:
+        """Is ``class_qualname`` a (transitive) subclass of ``base_qualname``?"""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop()
+            if current == base_qualname:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            decl = self.classes.get(current)
+            if decl is None:
+                continue
+            for base in decl.bases:
+                resolved = self.resolve_name(decl.module, base.split(".")[0])
+                if resolved is None:
+                    continue
+                if "." in base:
+                    resolved = self.resolve_dotted(
+                        ".".join([resolved] + base.split(".")[1:])
+                    )
+                stack.append(resolved)
+        return False
+
+
+__all__ = [
+    "ClassDecl",
+    "FunctionDecl",
+    "SymbolTable",
+    "keyword_param_names",
+    "param_names",
+]

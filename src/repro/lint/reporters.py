@@ -16,8 +16,9 @@ REPORTERS = ("text", "json")
 
 
 def render_text(result: LintResult) -> str:
-    """One line per finding plus a summary trailer."""
+    """One line per finding plus warnings and a summary trailer."""
     lines = [finding.format() for finding in result.findings]
+    lines.extend(f"warning: {warning}" for warning in result.warnings)
     noun = "finding" if len(result.findings) == 1 else "findings"
     summary = (
         f"{len(result.findings)} {noun} in {result.files_checked} files "
@@ -28,6 +29,9 @@ def render_text(result: LintResult) -> str:
             f"clean: {result.files_checked} files checked "
             f"({result.suppressed} suppressed)"
         )
+    if result.warnings:
+        noun = "warning" if len(result.warnings) == 1 else "warnings"
+        summary += f", {len(result.warnings)} {noun}"
     lines.append(summary)
     return "\n".join(lines)
 
@@ -36,10 +40,12 @@ def render_json(result: LintResult) -> str:
     """Stable JSON document with findings and summary counters."""
     payload = {
         "findings": [finding.as_dict() for finding in result.findings],
+        "warnings": list(result.warnings),
         "summary": {
             "findings": len(result.findings),
             "files_checked": result.files_checked,
             "suppressed": result.suppressed,
+            "warnings": len(result.warnings),
             "ok": result.ok,
         },
     }

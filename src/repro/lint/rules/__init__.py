@@ -1,5 +1,12 @@
 """Built-in rule set; importing this package registers every rule."""
 
+from repro.lint.flow.rules import (
+    DataDependentBudget,
+    GeneratorCrossesExecutorIndirectly,
+    ImpureStageFunction,
+    MechanismNotDominatedByCharge,
+    RawDataReachesSink,
+)
 from repro.lint.rules.dp import (
     CacheWriteRule,
     EpsilonArithmeticRule,
@@ -12,11 +19,16 @@ from repro.lint.rules.rng import GlobalRngRule
 
 __all__ = [
     "CacheWriteRule",
+    "DataDependentBudget",
     "EpsilonArithmeticRule",
     "FloatEqualityRule",
+    "GeneratorCrossesExecutorIndirectly",
     "GlobalRngRule",
+    "ImpureStageFunction",
+    "MechanismNotDominatedByCharge",
     "MutableDefaultRule",
     "NoisePrimitiveRule",
+    "RawDataReachesSink",
     "ReexportedModuleAllRule",
     "SpanNameRule",
 ]

@@ -3,14 +3,21 @@
 Two directive forms are recognized, both scanned from real comment
 tokens (so occurrences inside string literals never count):
 
-* ``# lint: disable=RULE1,RULE2`` — suppress those rules on the line
-  the comment sits on. This is the form to use at a call site that is
-  a deliberate, reviewed exception.
-* ``# lint: disable-file=RULE1,RULE2`` — suppress those rules for the
-  whole containing file, wherever the comment appears.
+* ``# lint: disable=RULE1,RULE2 -- why this is safe`` — suppress those
+  rules on the line the comment sits on. This is the form to use at a
+  call site that is a deliberate, reviewed exception.
+* ``# lint: disable-file=RULE1,RULE2 -- why`` — suppress those rules
+  for the whole containing file, wherever the comment appears.
 
 ``all`` (or ``*``) may be used in place of a rule id to suppress every
 rule. Rule ids are matched case-insensitively.
+
+The text after ``--`` is the *justification*. The engine warns about
+suppressions that carry none — a suppression is a claim that a finding
+is a false positive or an accepted risk, and the claim must be written
+down where the next reader can audit it. The engine also warns about
+directives naming unknown rule ids and about directives that no longer
+match any finding (both signs of drift).
 """
 
 from __future__ import annotations
@@ -18,9 +25,11 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from dataclasses import dataclass
 
 _DIRECTIVE = re.compile(
-    r"#\s*lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<rules>[\w*,\s]+)"
+    r"#\s*lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[\w*,\s]+?)\s*(?:--\s*(?P<why>.*\S))?\s*$"
 )
 
 
@@ -34,24 +43,40 @@ def _parse_rule_list(raw: str) -> frozenset[str]:
     return frozenset(rules)
 
 
+@dataclass(frozen=True)
+class Directive:
+    """One parsed ``# lint:`` comment."""
+
+    line: int
+    scope: str  # "disable" | "disable-file"
+    rules: frozenset[str]
+    justification: str = ""
+
+    @property
+    def is_file_scope(self) -> bool:
+        return self.scope == "disable-file"
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        if not (self.is_file_scope or self.line == line):
+            return False
+        return "ALL" in self.rules or rule.upper() in self.rules
+
+
 class SuppressionIndex:
     """Which rules are suppressed on which lines of one file."""
 
-    def __init__(
-        self,
-        line_rules: dict[int, frozenset[str]],
-        file_rules: frozenset[str] = frozenset(),
-    ) -> None:
-        self._line_rules = dict(line_rules)
-        self._file_rules = frozenset(file_rules)
+    def __init__(self, directives: tuple[Directive, ...] = ()) -> None:
+        self.directives = tuple(directives)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        rule = rule.upper()
-        active = self._file_rules | self._line_rules.get(line, frozenset())
-        return "ALL" in active or rule in active
+        return any(d.suppresses(rule, line) for d in self.directives)
+
+    def matching(self, rule: str, line: int) -> tuple[Directive, ...]:
+        """Every directive that answers this (rule, line) finding."""
+        return tuple(d for d in self.directives if d.suppresses(rule, line))
 
     def __bool__(self) -> bool:
-        return bool(self._line_rules or self._file_rules)
+        return bool(self.directives)
 
 
 def scan_suppressions(source: str) -> SuppressionIndex:
@@ -61,12 +86,11 @@ def scan_suppressions(source: str) -> SuppressionIndex:
     already; tokenization errors are treated as "no suppressions"
     rather than masking the parse failure the engine reports anyway.
     """
-    line_rules: dict[int, frozenset[str]] = {}
-    file_rules: frozenset[str] = frozenset()
+    directives: list[Directive] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenizeError, IndentationError, SyntaxError):
-        return SuppressionIndex({})
+        return SuppressionIndex()
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
@@ -74,12 +98,17 @@ def scan_suppressions(source: str) -> SuppressionIndex:
         if match is None:
             continue
         rules = _parse_rule_list(match.group("rules"))
-        if match.group("scope") == "disable-file":
-            file_rules = file_rules | rules
-        else:
-            line = token.start[0]
-            line_rules[line] = line_rules.get(line, frozenset()) | rules
-    return SuppressionIndex(line_rules, file_rules)
+        if not rules:
+            continue
+        directives.append(
+            Directive(
+                line=token.start[0],
+                scope=match.group("scope"),
+                rules=rules,
+                justification=(match.group("why") or "").strip(),
+            )
+        )
+    return SuppressionIndex(tuple(directives))
 
 
-__all__ = ["SuppressionIndex", "scan_suppressions"]
+__all__ = ["Directive", "SuppressionIndex", "scan_suppressions"]

@@ -90,7 +90,7 @@ def traced(name: str, **attributes: Any) -> Callable[[_F], _F]:
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
             # name was validated as a constant at decoration time
-            with get_tracer().span(name, **attributes):  # lint: disable=OBS001
+            with get_tracer().span(name, **attributes):  # lint: disable=OBS001 -- generic span wrapper: the caller supplies the dotted span name
                 return fn(*args, **kwargs)
 
         return wrapper  # type: ignore[return-value]

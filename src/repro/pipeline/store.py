@@ -29,6 +29,10 @@ from typing import Any, Iterator
 
 from repro.exceptions import ConfigurationError, PrivacyError
 
+#: Flow-analysis role (repro.lint.flow): everything put in the store is
+#: presumed publishable by later stages.
+__flow_sinks__ = ("ArtifactStore.put:artifact-store",)
+
 #: How long a writer waits on a peer's lock before treating it as stale.
 #: Artifact pickles are small (milliseconds to write); a lock this old
 #: belongs to a crashed process, not a slow one.

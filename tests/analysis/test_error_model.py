@@ -30,7 +30,7 @@ class TestExpectedAbsSum:
         rng = np.random.default_rng(0)
         count, scale = 50, 2.0
         # Monte-Carlo reference distribution, not a DP release.
-        draws = rng.laplace(0, scale, size=(200_000, count)).sum(axis=1)  # lint: disable=DP001
+        draws = rng.laplace(0, scale, size=(200_000, count)).sum(axis=1)  # lint: disable=DP001 -- Monte-Carlo check of the error model's variance formula
         empirical = np.abs(draws).mean()
         predicted = expected_abs_sum_of_laplace(count, scale)
         assert predicted == pytest.approx(empirical, rel=0.02)

@@ -67,7 +67,7 @@ class TestFAST:
         estimate_error = np.abs(run.sanitized.values[0, 0] - truth).mean()
         raw_noise = np.abs(
             # reference draw mirroring the mechanism, not a DP release
-            np.random.default_rng(3).laplace(0, 60 / 30.0, size=60)  # lint: disable=DP001
+            np.random.default_rng(3).laplace(0, 60 / 30.0, size=60)  # lint: disable=DP001 -- reconstructs the expected draw to pin the sampling path
         ).mean()
         assert estimate_error < raw_noise
 

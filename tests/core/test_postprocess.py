@@ -115,7 +115,7 @@ class TestRefineRelease:
         truth = np.zeros((6, 6, 4))
         truth[0, 0, :] = 5.0
         # Synthetic noisy release for the refinement test, not DP noise.
-        noisy = truth + rng.laplace(0, 1.0, size=truth.shape)  # lint: disable=DP001
+        noisy = truth + rng.laplace(0, 1.0, size=truth.shape)  # lint: disable=DP001 -- synthetic noisy input for the post-processing projection test
         release = ConsumptionMatrix(noisy)
         refined = refine_release(release)
         before = np.abs(release.values - truth).mean()

@@ -1,0 +1,56 @@
+"""Shared helpers for the flow-analysis tests.
+
+``flow_analysis`` builds a throwaway multi-module project in
+``tmp_path`` (packages get real ``__init__.py`` files so dotted names
+resolve) and runs the whole-project analysis on it, so taint tests can
+assert on summaries, module environments and raw findings directly.
+``lint_fixture`` lints one of the checked-in golden fixture packages
+under ``fixtures/`` with exactly the rules under test enabled.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintResult, run_lint
+from repro.lint.flow import FlowAnalysis, analyze_project
+from repro.lint.project import Project
+from tests.lint.conftest import write_module
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def build_project(root: Path, files: dict[str, str]) -> Project:
+    for rel, source in files.items():
+        write_module(root, rel, source)
+    return Project.from_paths(root, [root])
+
+
+@pytest.fixture()
+def flow_analysis(tmp_path):
+    """Analyze a dict of {relative path: source} as one project."""
+
+    def runner(files: dict[str, str]) -> FlowAnalysis:
+        return analyze_project(build_project(tmp_path, files))
+
+    return runner
+
+
+@pytest.fixture()
+def lint_fixture():
+    """Lint one golden fixture package with the named rules enabled."""
+
+    def runner(name: str, rules: list[str]) -> LintResult:
+        root = FIXTURES / name
+        assert root.is_dir(), f"missing fixture {name}"
+        config = LintConfig(
+            root=root,
+            include=("pkg",),
+            rule_options={rule: {"allow": []} for rule in rules},
+        )
+        return run_lint([root / "pkg"], config=config, enable=rules)
+
+    return runner

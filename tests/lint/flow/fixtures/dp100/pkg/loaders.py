@@ -1,0 +1,7 @@
+"""Raw data source for the DP100 fixture."""
+
+__flow_sources__ = ("load_readings",)
+
+
+def load_readings():
+    return [[1.2, 0.4], [0.9, 1.1]]

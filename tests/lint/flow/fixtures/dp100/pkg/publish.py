@@ -1,0 +1,33 @@
+"""Seeded DP100 violations: raw data reaching a release writer.
+
+Two leaks (direct-through-container, and through a passthrough
+helper) plus one clean post-processing path that must not be flagged.
+"""
+
+from pkg.loaders import load_readings
+from pkg.mech import sanitize
+
+__flow_sinks__ = ("write_release:release-writer",)
+
+
+def write_release(payload):
+    return payload
+
+
+def passthrough(values):
+    return values
+
+
+def publish_raw():
+    rows = [load_readings()]
+    write_release(rows)  # seeded: raw container into the sink
+
+
+def publish_indirect():
+    # seeded: raw data threaded through a helper's return value
+    write_release(passthrough(load_readings()))
+
+
+def publish_clean(accountant):
+    safe = sanitize(load_readings(), 0.5, accountant=accountant)
+    write_release([2.0 * v for v in safe])  # post-processing: clean

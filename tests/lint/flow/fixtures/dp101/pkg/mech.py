@@ -1,0 +1,11 @@
+"""Accountant-aware mechanism for the DP101 fixture.
+
+The spend is the *caller's* obligation (thread ``accountant=`` or
+charge in scope), so the body itself does not touch a ledger.
+"""
+
+__flow_sanitizers__ = ("sanitize",)
+
+
+def sanitize(values, epsilon, accountant=None):
+    return list(values)

@@ -1,0 +1,20 @@
+"""Seeded DP101 violation: a mechanism call with no accounting.
+
+``bad`` drops the spend on the floor; the two ``good_*`` variants show
+the sanctioned shapes (threading accountant=, charging in scope).
+"""
+
+from pkg.mech import sanitize
+
+
+def bad(values):
+    return sanitize(values, 0.5)  # seeded: spend never hits a ledger
+
+
+def good_threaded(values, ledger):
+    return sanitize(values, 0.5, accountant=ledger)
+
+
+def good_charged_scope(values, ledger):
+    ledger.spend(0.5)
+    return sanitize(values, 0.5)

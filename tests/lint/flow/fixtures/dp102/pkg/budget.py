@@ -1,0 +1,30 @@
+"""Seeded DP102 violations: epsilon derived from the protected data.
+
+One direct (a data statistic passed as the epsilon argument) and one
+interprocedural (a helper whose ``eps`` parameter is known to flow
+into a mechanism budget, called with a data-derived value). The
+config-driven variant is clean.
+"""
+
+from pkg.loaders import load_readings
+from pkg.mech import sanitize
+
+
+def eps_from_data(accountant):
+    data = load_readings()
+    eps = max(data)
+    return sanitize(data, eps, accountant=accountant)  # seeded: data-derived ε
+
+
+def helper(data, eps, accountant):
+    return sanitize(data, eps, accountant=accountant)
+
+
+def eps_from_data_indirect(accountant):
+    data = load_readings()
+    # seeded: the mean of the data flows into helper's budget parameter
+    return helper(data, sum(data) / len(data), accountant)
+
+
+def eps_from_config(accountant, config):
+    return sanitize(load_readings(), config["epsilon"], accountant=accountant)

@@ -1,0 +1,7 @@
+"""Charged mechanism for the DP102 fixture."""
+
+__flow_sanitizers__ = ("sanitize",)
+
+
+def sanitize(values, epsilon, accountant=None):
+    return list(values)

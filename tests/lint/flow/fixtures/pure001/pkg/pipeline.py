@@ -1,0 +1,8 @@
+"""Minimal Stage shim for the PURE001 fixture."""
+
+
+class Stage:
+    def __init__(self, name, fn, spends_budget=False):
+        self.name = name
+        self.fn = fn
+        self.spends_budget = spends_budget

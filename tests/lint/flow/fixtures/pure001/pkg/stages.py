@@ -1,0 +1,38 @@
+"""Seeded PURE001 violations: impure stage functions bound to Stages.
+
+``cached_stage`` reads a mutable module global; ``timed_stage`` calls
+a nondeterministic builtin. ``clean_stage`` is a pure function of its
+inputs and must not be flagged (nor may reading the ALL_CAPS registry,
+which is write-once by convention).
+"""
+
+import time
+
+from pkg.pipeline import Stage
+
+_cache = {}
+REGISTRY = {}
+
+
+def cached_stage(ctx):
+    return _cache.get("latest")
+
+
+def timed_stage(ctx):
+    return time.time()
+
+
+def clean_stage(ctx):
+    return ctx["value"] * 2.0
+
+
+def registry_stage(ctx):
+    return REGISTRY.get("model")
+
+
+STAGES = [
+    Stage("cached", cached_stage),  # seeded: reads mutable global
+    Stage("timed", timed_stage),  # seeded: nondeterministic call
+    Stage("clean", clean_stage),
+    Stage("registry", registry_stage),
+]

@@ -1,0 +1,12 @@
+"""Generator factory for the RNG100 fixture."""
+
+import numpy as np
+
+
+def make_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def derive_seed(rng):
+    # Values *drawn from* a generator are plain ints — not generators.
+    return int(rng.integers(0, 2**32))

@@ -1,0 +1,66 @@
+"""Golden multi-file fixtures: one package of seeded violations per rule.
+
+Each assertion pins the exact (path, line) set for one rule, so any
+change to propagation or rule logic that moves, drops or duplicates a
+finding fails loudly. The clean functions sitting next to the seeded
+ones double as false-positive guards.
+"""
+
+from __future__ import annotations
+
+
+def _locations(result, rule):
+    return sorted(
+        (f.path, f.line) for f in result.findings if f.rule == rule
+    )
+
+
+def test_dp100_raw_to_sink(lint_fixture):
+    result = lint_fixture("dp100", ["DP100"])
+    assert _locations(result, "DP100") == [
+        ("pkg/publish.py", 23),  # raw container into the release writer
+        ("pkg/publish.py", 28),  # raw data through the passthrough helper
+    ]
+    assert len(result.findings) == 2
+
+
+def test_dp101_uncharged_mechanism(lint_fixture):
+    result = lint_fixture("dp101", ["DP101"])
+    assert _locations(result, "DP101") == [
+        ("pkg/use.py", 11),  # sanitize() with no accountant anywhere
+    ]
+    assert len(result.findings) == 1
+
+
+def test_dp102_data_dependent_budget(lint_fixture):
+    result = lint_fixture("dp102", ["DP102"])
+    assert _locations(result, "DP102") == [
+        ("pkg/budget.py", 16),  # eps = max(data) passed positionally
+        ("pkg/budget.py", 26),  # mean of data into helper's eps param
+    ]
+    assert len(result.findings) == 2
+
+
+def test_rng100_generator_through_indirection(lint_fixture):
+    result = lint_fixture("rng100", ["RNG100"])
+    assert _locations(result, "RNG100") == [
+        ("pkg/work.py", 15),  # generator hidden in a list payload
+        ("pkg/work.py", 24),  # generator through the dispatch wrapper
+    ]
+    assert len(result.findings) == 2
+
+
+def test_pure001_impure_stage_functions(lint_fixture):
+    result = lint_fixture("pure001", ["PURE001"])
+    assert _locations(result, "PURE001") == [
+        ("pkg/stages.py", 34),  # reads the mutable _cache global
+        ("pkg/stages.py", 35),  # calls time.time()
+    ]
+    assert len(result.findings) == 2
+
+
+def test_fixtures_clean_under_other_rules(lint_fixture):
+    # Cross-check: the dp100 fixture seeds *only* DP100 violations —
+    # running the other flow rules over it must stay quiet.
+    result = lint_fixture("dp100", ["DP101", "DP102", "RNG100", "PURE001"])
+    assert result.findings == ()

@@ -1,0 +1,86 @@
+"""Symbol table: qualnames, import aliases, re-exports, method lookup."""
+
+from __future__ import annotations
+
+from repro.lint.flow.symbols import SymbolTable
+
+from tests.lint.flow.conftest import build_project
+
+
+PKG = {
+    "pkg/__init__.py": """
+        from pkg.impl import helper
+        """,
+    "pkg/impl.py": """
+        class Base:
+            def sanitize(self, values):
+                return values
+
+        class Child(Base):
+            def extra(self):
+                return self.sanitize([])
+
+        def helper(values):
+            return values
+        """,
+    "pkg/client.py": """
+        import pkg.impl as impl
+        from pkg import helper as h
+
+        def use(values):
+            return impl.helper(h(values))
+        """,
+}
+
+
+def _table(tmp_path) -> SymbolTable:
+    project = build_project(tmp_path, PKG)
+    return SymbolTable.build(project)
+
+
+def test_indexes_functions_and_methods(tmp_path):
+    table = _table(tmp_path)
+    assert "pkg.impl.helper" in table.functions
+    assert "pkg.impl.Base.sanitize" in table.functions
+    assert "pkg.impl.Child" in table.classes
+    assert table.functions["pkg.impl.Base.sanitize"].is_method
+    # self is dropped from the caller-visible signature
+    assert table.functions["pkg.impl.Base.sanitize"].call_params() == ("values",)
+
+
+def test_resolve_dotted_chases_reexports(tmp_path):
+    table = _table(tmp_path)
+    # pkg/__init__.py re-exports impl.helper as pkg.helper
+    assert table.resolve_dotted("pkg.helper") == "pkg.impl.helper"
+    # unknown names come back unchanged (external callee)
+    assert table.resolve_dotted("numpy.mean") == "numpy.mean"
+
+
+def test_resolve_call_through_import_aliases(tmp_path):
+    import ast
+
+    table = _table(tmp_path)
+    client = next(m for m in table.modules.values() if m.rel.endswith("client.py"))
+    calls = [
+        node
+        for node in ast.walk(client.tree)
+        if isinstance(node, ast.Call)
+    ]
+    resolved = {table.resolve_call(client, call.func) for call in calls}
+    # impl.helper(...) via "import pkg.impl as impl" and h(...) via
+    # "from pkg import helper as h" both land on the same definition.
+    assert resolved == {"pkg.impl.helper"}
+
+
+def test_lookup_method_walks_bases(tmp_path):
+    table = _table(tmp_path)
+    found = table.lookup_method("pkg.impl.Child", "sanitize")
+    assert found is not None
+    assert found.qualname == "pkg.impl.Base.sanitize"
+    assert table.lookup_method("pkg.impl.Child", "missing") is None
+
+
+def test_is_subclass_transitive(tmp_path):
+    table = _table(tmp_path)
+    assert table.is_subclass("pkg.impl.Child", "pkg.impl.Base")
+    assert not table.is_subclass("pkg.impl.Base", "pkg.impl.Child")

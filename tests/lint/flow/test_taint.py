@@ -1,0 +1,222 @@
+"""Taint propagation through the whole-project analysis.
+
+Each test builds a small multi-module project whose privacy roles are
+declared with the same ``__flow_*__`` tuples library code uses, runs
+:func:`analyze_project`, and asserts on the raw findings — so these
+tests pin the *propagation* semantics (calls, returns, containers,
+closures, sanitizer kills, noise addition) independently of the rule /
+suppression machinery.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow import GENERATOR, RAW
+
+ROLES = {
+    "pkg/__init__.py": "",
+    "pkg/data.py": """
+        __flow_sources__ = ("load",)
+
+        def load():
+            return [1.0, 2.0]
+        """,
+    "pkg/mech.py": """
+        __flow_sanitizers__ = ("sanitize",)
+
+        def sanitize(values, epsilon, accountant=None):
+            return list(values)
+        """,
+    "pkg/out.py": """
+        __flow_sinks__ = ("write_release:release-writer",)
+
+        def write_release(payload):
+            return payload
+        """,
+}
+
+
+def _dp100_lines(analysis, rel):
+    return [
+        f.line for f in analysis.findings_for("DP100") if f.path == rel
+    ]
+
+
+def test_source_reaches_sink_directly(flow_analysis):
+    analysis = flow_analysis(
+        ROLES
+        | {
+            "pkg/use.py": """
+                from pkg.data import load
+                from pkg.out import write_release
+
+                def publish():
+                    write_release(load())
+                """,
+        }
+    )
+    assert _dp100_lines(analysis, "pkg/use.py") == [6]
+
+
+def test_taint_carried_through_helper_return(flow_analysis):
+    analysis = flow_analysis(
+        ROLES
+        | {
+            "pkg/use.py": """
+                from pkg.data import load
+                from pkg.out import write_release
+
+                def passthrough(values):
+                    return values
+
+                def publish():
+                    write_release(passthrough(load()))
+                """,
+        }
+    )
+    summary = analysis.summaries["pkg.use.passthrough"]
+    assert summary.return_params == frozenset({"values"})
+    assert _dp100_lines(analysis, "pkg/use.py") == [9]
+
+
+def test_taint_survives_containers(flow_analysis):
+    analysis = flow_analysis(
+        ROLES
+        | {
+            "pkg/use.py": """
+                from pkg.data import load
+                from pkg.out import write_release
+
+                def publish():
+                    rows = {"readings": load()}
+                    batches = [rows]
+                    write_release(batches)
+                """,
+        }
+    )
+    assert _dp100_lines(analysis, "pkg/use.py") == [8]
+
+
+def test_taint_captured_by_closure(flow_analysis):
+    analysis = flow_analysis(
+        ROLES
+        | {
+            "pkg/use.py": """
+                from pkg.data import load
+                from pkg.out import write_release
+
+                def publish():
+                    data = load()
+
+                    def flush():
+                        write_release(data)
+
+                    flush()
+                """,
+        }
+    )
+    assert _dp100_lines(analysis, "pkg/use.py") == [9]
+
+
+def test_sanitizer_kills_taint(flow_analysis):
+    analysis = flow_analysis(
+        ROLES
+        | {
+            "pkg/use.py": """
+                from pkg.data import load
+                from pkg.mech import sanitize
+                from pkg.out import write_release
+
+                def publish(accountant):
+                    safe = sanitize(load(), 0.5, accountant=accountant)
+                    write_release(safe)
+                """,
+        }
+    )
+    assert analysis.findings == ()
+
+
+def test_post_processing_of_sanitized_values_is_clean(flow_analysis):
+    # Theorem 3: arithmetic on a sanitized release stays sanitized.
+    analysis = flow_analysis(
+        ROLES
+        | {
+            "pkg/use.py": """
+                from pkg.data import load
+                from pkg.mech import sanitize
+                from pkg.out import write_release
+
+                def publish(accountant):
+                    safe = sanitize(load(), 0.5, accountant=accountant)
+                    scaled = [2.0 * v for v in safe]
+                    write_release({"series": scaled, "count": len(scaled)})
+                """,
+        }
+    )
+    assert analysis.findings == ()
+
+
+def test_adding_noise_sanitizes(flow_analysis):
+    analysis = flow_analysis(
+        ROLES
+        | {
+            "pkg/noise.py": """
+                __flow_noise_sources__ = ("lap",)
+
+                def lap(scale):
+                    return scale
+                """,
+            "pkg/use.py": """
+                from pkg.data import load
+                from pkg.noise import lap
+                from pkg.out import write_release
+
+                def publish():
+                    noisy = load() + lap(2.0)
+                    write_release(noisy)
+                """,
+        }
+    )
+    assert analysis.findings == ()
+
+
+def test_module_global_taint_crosses_imports(flow_analysis):
+    analysis = flow_analysis(
+        ROLES
+        | {
+            "pkg/cache.py": """
+                from pkg.data import load
+
+                DATASET = load()
+                """,
+            "pkg/use.py": """
+                from pkg.cache import DATASET
+                from pkg.out import write_release
+
+                def publish():
+                    write_release(DATASET)
+                """,
+        }
+    )
+    assert _dp100_lines(analysis, "pkg/use.py") == [6]
+
+
+def test_summary_labels_for_sources_and_generators(flow_analysis):
+    analysis = flow_analysis(
+        ROLES
+        | {
+            "pkg/rngs.py": """
+                import numpy as np
+
+                from pkg.data import load
+
+                def make(seed):
+                    return np.random.default_rng(seed)
+
+                def reload():
+                    return make(0), load()
+                """,
+        }
+    )
+    assert GENERATOR in analysis.summaries["pkg.rngs.make"].returns_labels
+    reload_labels = analysis.summaries["pkg.rngs.reload"].returns_labels
+    assert {GENERATOR, RAW} <= set(reload_labels)

@@ -181,4 +181,6 @@ class TestRegistry:
         assert set(registered_rule_ids()) == {
             "DP001", "DP002", "DP003", "NUM001", "OBS001", "PY001", "PY002",
             "RNG001", "RNG002",
+            # interprocedural flow rules (requires_flow)
+            "DP100", "DP101", "DP102", "RNG100", "PURE001",
         }

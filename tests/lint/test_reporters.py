@@ -42,6 +42,19 @@ class TestTextReporter:
             "2 findings in 3 files (1 suppressed)"
         )
 
+    def test_warnings_rendered_and_counted(self):
+        result = LintResult(
+            findings=(),
+            files_checked=3,
+            suppressed=0,
+            warnings=("src/pkg/mod.py:9: unused suppression for DP001",),
+        )
+        lines = render_text(result).splitlines()
+        assert lines[0] == (
+            "warning: src/pkg/mod.py:9: unused suppression for DP001"
+        )
+        assert lines[-1] == "clean: 3 files checked (0 suppressed), 1 warning"
+
 
 class TestJsonReporter:
     def test_document_shape(self):
@@ -51,6 +64,7 @@ class TestJsonReporter:
             "findings": 1,
             "files_checked": 3,
             "suppressed": 1,
+            "warnings": 0,
             "ok": False,
         }
         assert payload["findings"] == [
@@ -68,6 +82,20 @@ class TestJsonReporter:
         payload = json.loads(render_json(result))
         assert payload["summary"]["ok"] is True
         assert payload["findings"] == []
+        assert payload["warnings"] == []
+
+    def test_warnings_listed(self):
+        result = LintResult(
+            findings=(),
+            files_checked=3,
+            suppressed=0,
+            warnings=("a-warning", "b-warning"),
+        )
+        payload = json.loads(render_json(result))
+        assert payload["warnings"] == ["a-warning", "b-warning"]
+        assert payload["summary"]["warnings"] == 2
+        # warnings never flip ok on their own
+        assert payload["summary"]["ok"] is True
 
 
 class TestRenderDispatch:

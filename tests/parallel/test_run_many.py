@@ -17,7 +17,7 @@ def noisy_scale(ctx, x):
 def spend_epsilon(ctx, scaled):
     ctx.accountant.spend(0.5, "release")
     # Toy stage: raw laplace keeps the fixture free of mechanism deps.
-    return scaled + ctx.rng.laplace(scale=1.0 / 0.5)  # lint: disable=DP001
+    return scaled + ctx.rng.laplace(scale=1.0 / 0.5)  # lint: disable=DP001 -- toy noisy stage for determinism tests, not a DP mechanism
 
 
 def build_pipeline(store=None):

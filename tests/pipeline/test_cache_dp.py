@@ -17,7 +17,7 @@ from repro.pipeline import ArtifactStore, Pipeline, Stage
 def make_noisy_stage():
     def add_noise(ctx, x):
         ctx.accountant.spend(1.0, label="noise")
-        noise = ctx.rng.laplace(0.0, 1.0, size=np.shape(x))  # lint: disable=DP001
+        noise = ctx.rng.laplace(0.0, 1.0, size=np.shape(x))  # lint: disable=DP001 -- test fabricates a budget-spending stage; calibration is irrelevant
         return x + noise
 
     return Stage(
