@@ -10,9 +10,13 @@ Examples::
     python -m repro figure table2
     python -m repro figure fig6 --dataset CER
     python -m repro lint src/ tests/ --format json
+    python -m repro scenarios list --kind figure
+    python -m repro scenarios show fig6-cer
+    python -m repro publish --data cer.npz --scenario fig6-cer --out out.npz
     python -m repro bench --list
     python -m repro bench nn_kernels
     python -m repro bench parallel_sweep --workers 4
+    python -m repro bench query_engine --trend
     python -m repro pipeline run --data ca.npz --grid 16 --t-train 40 \
         --cache-dir .repro-cache
     python -m repro pipeline inspect --cache-dir .repro-cache
@@ -25,11 +29,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.baselines.base import get_mechanism
 from repro.core.pattern import PatternConfig
@@ -46,8 +51,14 @@ from repro.data.matrix import ConsumptionMatrix, build_matrices
 from repro.data.spatial import DISTRIBUTIONS, place_households
 from repro.exceptions import ReproError
 from repro.experiments import ablations, figures
-from repro.experiments.bench import BENCHMARKS, THRESHOLDS, run_benchmark
+from repro.experiments.bench import (
+    BENCHMARKS,
+    THRESHOLDS,
+    TREND_THRESHOLDS,
+    run_benchmark,
+)
 from repro.experiments.harness import format_table, publish_stpt_sweep
+from repro.experiments.trend import append_result, check_regression, trend_rows
 from repro.obs import (
     Metrics,
     Tracer,
@@ -62,6 +73,13 @@ from repro.pipeline import ArtifactStore
 from repro.queries.metrics import workload_mre
 from repro.queries.range_query import make_workload
 from repro.rng import derive_seed, ensure_rng
+from repro.scenarios import (
+    SCENARIO_KINDS,
+    dumps as dump_scenario,
+    get_scenario,
+    resolve_scenario,
+    scenario_names,
+)
 
 FIGURE_RUNNERS: dict[str, Callable[..., list[dict]]] = {
     "table2": figures.table2,
@@ -198,11 +216,12 @@ def _build_parser() -> argparse.ArgumentParser:
     eva = sub.add_parser("evaluate", help="MRE of a release vs the raw data")
     eva.add_argument("--data", required=True)
     eva.add_argument("--release", required=True)
-    eva.add_argument("--grid", type=int, default=32)
-    eva.add_argument("--distribution", choices=DISTRIBUTIONS, default="uniform")
-    eva.add_argument("--t-train", type=int, default=100)
-    eva.add_argument("--queries", type=int, default=300)
-    eva.add_argument("--seed", type=int, default=0)
+    _add_scenario_argument(eva)
+    eva.add_argument("--grid", type=int, default=None)
+    eva.add_argument("--distribution", choices=DISTRIBUTIONS, default=None)
+    eva.add_argument("--t-train", type=int, default=None)
+    eva.add_argument("--queries", type=int, default=None)
+    eva.add_argument("--seed", type=int, default=None)
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("name", choices=sorted(FIGURE_RUNNERS))
@@ -214,6 +233,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "(results are bit-identical to serial)",
     )
     _add_trace_arguments(fig)
+
+    scn = sub.add_parser(
+        "scenarios", help="list or show the registered scenario specs"
+    )
+    scn_sub = scn.add_subparsers(dest="scenarios_command", required=True)
+    slist = scn_sub.add_parser(
+        "list", help="one row per registered scenario"
+    )
+    slist.add_argument(
+        "--kind", choices=SCENARIO_KINDS, default=None,
+        help="only scenarios of this kind",
+    )
+    sshow = scn_sub.add_parser(
+        "show", help="print one scenario spec as JSON (re-loadable via "
+        "--scenario PATH after saving)",
+    )
+    sshow.add_argument("name", help="registered name or a .toml/.json file")
 
     ben = sub.add_parser(
         "bench", help="run a named benchmark, write BENCH_<name>.json"
@@ -229,6 +265,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ben.add_argument(
         "--out", help="output JSON path (default: BENCH_<name>.json)"
+    )
+    ben.add_argument(
+        "--trend", action="store_true",
+        help="append this run to the BENCH file's commit-stamped "
+        "history, print the trend table, and exit non-zero if the "
+        "newest run regresses past the registered threshold",
     )
     _add_trace_arguments(ben)
 
@@ -279,33 +321,113 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Builtin fallbacks for the publish/evaluate options (the historical
+#: CLI defaults). Argparse leaves every scenario-coverable option at
+#: ``None`` so :func:`_finalize_args` can tell "not given" apart from an
+#: explicit flag: explicit flag > ``--scenario`` value > this table.
+_PUBLISH_DEFAULTS: dict[str, Any] = {
+    "grid": 32,
+    "distribution": "uniform",
+    "t_train": 100,
+    "epsilon_pattern": 10.0,
+    "epsilon_sanitize": [20.0],
+    "quantization": 20,
+    "window": 6,
+    "epochs": 20,
+    "embed_dim": 32,
+    "hidden_dim": 32,
+    "seed": 0,
+    "mechanism": "STPT",
+    "queries": 300,
+}
+
+#: The subset of :data:`_PUBLISH_DEFAULTS` the evaluate command uses.
+_EVALUATE_KEYS = ("grid", "distribution", "t_train", "queries", "seed")
+
+
+def _scenario_defaults(name: str) -> dict[str, Any]:
+    """Publish-option values a registered scenario resolves to.
+
+    The scenario is a *defaults provider*: the returned values slot in
+    exactly where the builtin defaults would, so ``--scenario NAME``
+    and the equivalent explicit flag spelling follow one code path and
+    produce bit-identical releases.
+    """
+    resolved = resolve_scenario(name)
+    spec = resolved.spec
+    config = resolved.configs[0]
+    pattern = config.pattern
+    return {
+        "grid": resolved.preset.grid_shape[0],
+        "distribution": resolved.distribution,
+        "t_train": config.t_train,
+        "epsilon_pattern": config.epsilon_pattern,
+        "epsilon_sanitize": [c.epsilon_sanitize for c in resolved.configs],
+        "quantization": config.quantization_levels,
+        "window": pattern.window,
+        "epochs": pattern.epochs,
+        "embed_dim": pattern.embed_dim,
+        "hidden_dim": pattern.hidden_dim,
+        "seed": spec.seeds.seed,
+        "mechanism": spec.mechanism.name,
+        "queries": resolved.query_count,
+    }
+
+
+def _finalize_args(
+    args: argparse.Namespace, keys: Sequence[str] | None = None
+) -> None:
+    """Fill ``None`` options from ``--scenario`` then builtin defaults."""
+    merged = dict(_PUBLISH_DEFAULTS)
+    if getattr(args, "scenario", None):
+        derived = _scenario_defaults(args.scenario)
+        merged.update({k: v for k, v in derived.items() if k in merged})
+    for key in keys if keys is not None else merged:
+        if getattr(args, key, None) is None:
+            setattr(args, key, merged[key])
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", metavar="NAME",
+        help="registered scenario (or a .toml/.json spec file) that "
+        "provides the option defaults below; explicit flags override "
+        "(see 'repro scenarios list')",
+    )
+
+
 def _add_publish_arguments(parser: argparse.ArgumentParser) -> None:
-    """Data/config options shared by ``publish`` and ``pipeline run``."""
+    """Data/config options shared by ``publish`` and ``pipeline run``.
+
+    Scenario-coverable options default to ``None``;
+    :func:`_finalize_args` resolves the effective values.
+    """
     parser.add_argument(
         "--data", required=True, help="dataset .npz from 'generate'"
     )
+    _add_scenario_argument(parser)
     parser.add_argument(
-        "--grid", type=int, default=32, help="grid side (power of 2)"
+        "--grid", type=int, default=None, help="grid side (power of 2)"
     )
     parser.add_argument(
-        "--distribution", choices=DISTRIBUTIONS, default="uniform"
+        "--distribution", choices=DISTRIBUTIONS, default=None
     )
-    parser.add_argument("--t-train", type=int, default=100)
-    parser.add_argument("--epsilon-pattern", type=float, default=10.0)
+    parser.add_argument("--t-train", type=int, default=None)
+    parser.add_argument("--epsilon-pattern", type=float, default=None)
     parser.add_argument(
-        "--epsilon-sanitize", type=float, nargs="+", default=[20.0],
+        "--epsilon-sanitize", type=float, nargs="+", default=None,
         metavar="EPS",
         help="sanitization budget(s); several values run an epsilon "
         "sweep, one release per value",
     )
-    parser.add_argument("--quantization", type=int, default=20)
-    parser.add_argument("--window", type=int, default=6)
-    parser.add_argument("--epochs", type=int, default=20)
-    parser.add_argument("--embed-dim", type=int, default=32)
-    parser.add_argument("--hidden-dim", type=int, default=32)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quantization", type=int, default=None)
+    parser.add_argument("--window", type=int, default=None)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--embed-dim", type=int, default=None)
+    parser.add_argument("--hidden-dim", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
-        "--mechanism", default="STPT",
+        "--mechanism", default=None,
         help="mechanism to publish with: STPT (default) or any "
         "registered baseline, e.g. FourierPerturbation, AGrid, FAST",
     )
@@ -440,12 +562,17 @@ def _publish_results(args: argparse.Namespace):
 
 
 def _suffixed(path: str, epsilon: float) -> str:
-    """``release.npz`` -> ``release-eps5.npz`` for multi-epsilon output."""
-    p = Path(path)
-    return str(p.with_name(f"{p.stem}-eps{epsilon:g}{p.suffix}"))
+    """``release.npz`` -> ``release-eps5.npz`` for multi-epsilon output.
+
+    Splits on the final extension only, so a dotted directory name
+    (``out.v2/release.npz``) or a dotted stem keeps its dots intact.
+    """
+    root, ext = os.path.splitext(path)
+    return f"{root}-eps{epsilon:g}{ext}"
 
 
 def _cmd_publish(args: argparse.Namespace) -> int:
+    _finalize_args(args)
     results, store = _publish_results(args)
     single = len(results) == 1
     for epsilon, result in results:
@@ -477,6 +604,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         print(f"{len(rows)} artifact(s)")
         return 0
 
+    _finalize_args(args)
     results, store = _publish_results(args)
     single = len(results) == 1
     for epsilon, result in results:
@@ -498,6 +626,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _finalize_args(args, keys=_EVALUATE_KEYS)
     __, cons, __, __ = _matrices_for(args)
     release = load_matrix(args.release)
     test_cons = cons.time_slice(args.t_train)
@@ -583,7 +712,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
     payload = run_benchmark(args.name, workers=args.workers)
     out = Path(args.out or f"BENCH_{args.name}.json")
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    if args.trend:
+        threshold = TREND_THRESHOLDS.get(args.name)
+        history = append_result(out, payload, threshold)
+    else:
+        history = None
+        out.write_text(json.dumps(payload, indent=2) + "\n")
     line = f"wrote {out}: {payload['wall_seconds']:.1f}s wall"
     if "speedup" in payload:
         line += f", speedup {payload['speedup']:.2f}x"
@@ -592,6 +726,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f" (not asserted: {payload['cpu_count']} core(s) available)"
             )
     print(line)
+    if history is not None:
+        print(format_table(trend_rows(history)))
+        failures = check_regression(args.name, history, threshold)
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.scenarios_command == "show":
+        spec = get_scenario(args.name)
+        sys.stdout.write(dump_scenario(spec))
+        return 0
+    rows = []
+    for name in scenario_names(kind=args.kind):
+        spec = get_scenario(name)
+        rows.append(
+            {
+                "name": name,
+                "kind": spec.kind,
+                "dataset": spec.dataset.name,
+                "scale": spec.scale,
+                "sweep": spec.sweep.parameter if spec.sweep else "-",
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows))
+    print(f"{len(rows)} scenario(s)")
     return 0
 
 
@@ -623,6 +787,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "lint": _cmd_lint,
         "pipeline": _cmd_pipeline,
         "bench": _cmd_bench,
+        "scenarios": _cmd_scenarios,
         "trace": _cmd_trace,
     }
     try:

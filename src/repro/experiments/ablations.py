@@ -8,23 +8,27 @@ makes and measures its effect on utility with everything else fixed:
 * the self-attention stage of the paper's attention+GRU model;
 * hierarchical (inverse-variance) seed denoising vs raw leaf seeds;
 * the central model vs the future-work local-DP deployment.
+
+Every runner resolves its named ``ablation-*`` scenario from the
+registry — the swept variants are the spec's declared axis, so
+``repro scenarios show ablation-rollout`` prints exactly what runs.
 """
 
 from __future__ import annotations
 
 from repro.baselines.event_level import EventLevelIdentity
 from repro.baselines.identity import Identity
-from repro.core.sanitizer import ALLOCATION_STRATEGIES
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.local import LocalDPPublisher
 from repro.experiments.harness import (
-    build_context,
+    build_scenario_context,
     run_mechanism,
     run_stpt,
     run_stpt_many,
 )
-from repro.experiments.presets import ScalePreset, active_preset
+from repro.experiments.presets import ScalePreset
 from repro.rng import RngLike, derive_seed, ensure_rng
+from repro.scenarios import resolve_scenario
 
 
 def ablation_budget_allocation(
@@ -34,19 +38,17 @@ def ablation_budget_allocation(
     workers: int | None = None,
 ) -> list[dict]:
     """Theorem 8 allocation vs uniform and proportional splits."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "ablation-allocation", preset=preset, dataset=dataset_name
     )
-    configs = [
-        preset.stpt_config(allocation=strategy)
-        for strategy in ALLOCATION_STRATEGIES
-    ]
-    runs = run_stpt_many(context, configs, rng=generator, workers=workers)
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
+    runs = run_stpt_many(
+        context, resolved.configs, rng=generator, workers=workers
+    )
     return [
         {"allocation": strategy, **mre}
-        for strategy, (__, mre) in zip(ALLOCATION_STRATEGIES, runs)
+        for strategy, (__, mre) in zip(resolved.values, runs)
     ]
 
 
@@ -57,17 +59,17 @@ def ablation_rollout(
     workers: int | None = None,
 ) -> list[dict]:
     """Anchored (shape x level) vs literal per-cell roll-out."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "normal", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "ablation-rollout", preset=preset, dataset=dataset_name
     )
-    rollouts = ("anchored", "cell")
-    configs = [preset.stpt_config(rollout=rollout) for rollout in rollouts]
-    runs = run_stpt_many(context, configs, rng=generator, workers=workers)
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
+    runs = run_stpt_many(
+        context, resolved.configs, rng=generator, workers=workers
+    )
     return [
         {"rollout": rollout, **mre, **_pattern_error(result, context)}
-        for rollout, (result, mre) in zip(rollouts, runs)
+        for rollout, (result, mre) in zip(resolved.values, runs)
     ]
 
 
@@ -78,20 +80,17 @@ def ablation_attention(
     workers: int | None = None,
 ) -> list[dict]:
     """The paper's self-attention + GRU model vs a plain GRU."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "ablation-attention", preset=preset, dataset=dataset_name
     )
-    variants = (True, False)
-    configs = [
-        preset.stpt_config(pattern_overrides={"use_attention": use_attention})
-        for use_attention in variants
-    ]
-    runs = run_stpt_many(context, configs, rng=generator, workers=workers)
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
+    runs = run_stpt_many(
+        context, resolved.configs, rng=generator, workers=workers
+    )
     return [
         {"model": "attention+GRU" if use_attention else "GRU-only", **mre}
-        for use_attention, (__, mre) in zip(variants, runs)
+        for use_attention, (__, mre) in zip(resolved.values, runs)
     ]
 
 
@@ -102,24 +101,21 @@ def ablation_seed_denoising(
     workers: int | None = None,
 ) -> list[dict]:
     """Inverse-variance hierarchical seeds vs raw finest-level seeds."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "la", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "ablation-seeds", preset=preset, dataset=dataset_name
     )
-    variants = (True, False)
-    configs = [
-        preset.stpt_config(pattern_overrides={"hierarchical_seeds": hierarchical})
-        for hierarchical in variants
-    ]
-    runs = run_stpt_many(context, configs, rng=generator, workers=workers)
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
+    runs = run_stpt_many(
+        context, resolved.configs, rng=generator, workers=workers
+    )
     return [
         {
             "seeds": "hierarchical" if hierarchical else "leaf-only",
             **mre,
             **_pattern_error(result, context),
         }
-        for hierarchical, (result, mre) in zip(variants, runs)
+        for hierarchical, (result, mre) in zip(resolved.values, runs)
     ]
 
 
@@ -134,11 +130,12 @@ def ablation_local_dp(
     aggregator each household randomizes independently, and the
     per-household noise accumulates in every cell.
     """
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "ablation-local-dp", preset=preset, dataset=dataset_name
     )
+    preset = resolved.preset
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
     rows = []
     __, stpt_mre = run_stpt(context, rng=derive_seed(generator))
     rows.append({"deployment": "central/STPT", **stpt_mre})
@@ -175,11 +172,12 @@ def ablation_refinement(
     """
     from repro.core.postprocess import project_nonnegative
 
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "normal", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "ablation-refinement", preset=preset, dataset=dataset_name
     )
+    preset = resolved.preset
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
     rows = []
     result, raw_mre = run_stpt(context, rng=derive_seed(generator))
     refined = project_nonnegative(result.sanitized_kwh)
@@ -212,11 +210,11 @@ def ablation_privacy_model(
     costs; STPT's job is to close as much of that gap as possible while
     keeping the stronger model.
     """
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "ablation-privacy-model", preset=preset, dataset=dataset_name
     )
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
     rows = []
     __, stpt_mre = run_stpt(context, rng=derive_seed(generator))
     rows.append({"setting": "user-level STPT", **stpt_mre})

@@ -23,12 +23,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.core.pattern import PatternConfig, _rollout_per_node_reference
-from repro.core.stpt import STPT, STPTConfig
+from repro.core.pattern import _rollout_per_node_reference
+from repro.core.stpt import STPT
 from repro.data.matrix import ConsumptionMatrix
 from repro.exceptions import ConfigurationError
-from repro.experiments.harness import build_context, run_stpt_many
-from repro.experiments.presets import ScalePreset
+from repro.experiments.harness import build_scenario_context, run_stpt_many
+from repro.experiments.trend import Threshold
 from repro.nn.models import GRUForecaster, make_forecaster
 from repro.nn.optimizers import RMSProp
 from repro.obs import Metrics, NullTracer, Tracer, use_metrics, use_tracer
@@ -44,10 +44,13 @@ from repro.queries.range_query import (
     random_queries,
     small_queries,
 )
+from repro.scenarios import resolve_scenario
 
 BENCHMARKS: dict[str, Callable[..., dict]] = {}
 #: name -> human-readable asserted threshold, shown by ``repro bench --list``.
 THRESHOLDS: dict[str, str] = {}
+#: name -> numeric trend bounds enforced by ``repro bench --trend``.
+TREND_THRESHOLDS: dict[str, Threshold] = {}
 
 #: Sweep speedup floor asserted on machines with at least this many cores.
 _SWEEP_SPEEDUP_FLOOR = 2.0
@@ -65,11 +68,25 @@ _LINT_FLOW_MAX_SECONDS = 10.0
 
 
 def register(
-    name: str, threshold: str = ""
+    name: str,
+    threshold: str = "",
+    metrics: tuple[str, ...] = (),
+    floor: float | None = None,
+    ceiling: float | None = None,
+    gate: str | None = None,
 ) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
+    """Register a benchmark; ``metrics``/``floor``/``ceiling``/``gate``
+    additionally declare the numeric trend bounds ``repro bench
+    --trend`` enforces on every recorded run (``threshold`` stays the
+    human-readable description ``--list`` prints)."""
+
     def decorator(fn: Callable[..., dict]) -> Callable[..., dict]:
         BENCHMARKS[name] = fn
         THRESHOLDS[name] = threshold
+        if metrics:
+            TREND_THRESHOLDS[name] = Threshold(
+                metrics=tuple(metrics), floor=floor, ceiling=ceiling, gate=gate
+            )
         return fn
 
     return decorator
@@ -103,47 +120,32 @@ def _best_of_interleaved(
     return best
 
 
-def _bench_preset() -> ScalePreset:
-    """Small enough to finish in seconds, big enough that per-point
-    work dwarfs the ~0.1s process-pool startup the speedup is paid from.
-    """
-    return ScalePreset(
-        name="bench",
-        grid_shape=(16, 16),
-        n_days=56,
-        t_train=32,
-        query_count=100,
-        epochs=80,
-        embed_dim=32,
-        hidden_dim=32,
-        quantization_levels=8,
-        epsilon_pattern=10.0,
-        epsilon_sanitize=20.0,
-        cer_household_fraction=0.02,
-        lgan_iterations=4,
-        window=6,
-    )
-
-
 @register(
     "parallel_sweep",
     threshold=f">= {_SWEEP_SPEEDUP_FLOOR}x serial vs 4 workers "
     f"(asserted on >= {_SWEEP_CORE_FLOOR} cores); bit-identical always",
+    metrics=("speedup",),
+    floor=_SWEEP_SPEEDUP_FLOOR,
+    gate="speedup_asserted",
 )
 def bench_parallel_sweep(workers: int = 4) -> dict:
     """Four-point epsilon sweep: serial vs ``workers`` processes.
 
-    Uses :func:`run_stpt_many`, where each point is a complete
-    independent STPT release (own pattern training), so the serial
-    baseline cannot amortize work across points through the artifact
-    cache — the speedup measures genuine parallelism, not cache luck.
-    Bit-identity between the two runs is asserted unconditionally; the
-    >= 2x speedup target only on a machine with >= 4 cores.
+    The geometry and ε schedule come from the registered
+    ``bench-default`` scenario (the ``bench`` scale preset: small
+    enough to finish in seconds, big enough that per-point work dwarfs
+    the ~0.1s process-pool startup the speedup is paid from). Uses
+    :func:`run_stpt_many`, where each point is a complete independent
+    STPT release (own pattern training), so the serial baseline cannot
+    amortize work across points through the artifact cache — the
+    speedup measures genuine parallelism, not cache luck. Bit-identity
+    between the two runs is asserted unconditionally; the >= 2x speedup
+    target only on a machine with >= 4 cores.
     """
-    epsilons = (2.0, 5.0, 10.0, 20.0)
-    preset = _bench_preset()
-    context = build_context("CA", "uniform", preset, rng=7)
-    configs = [preset.stpt_config(epsilon_sanitize=eps) for eps in epsilons]
+    resolved = resolve_scenario("bench-default")
+    epsilons = resolved.epsilon_schedule
+    context = build_scenario_context(resolved, rng=resolved.spec.seeds.seed)
+    configs = resolved.configs
 
     serial_started = time.perf_counter()
     serial = run_stpt_many(context, configs, rng=11)
@@ -241,6 +243,8 @@ def _bench_batched_rollout(rng: np.random.Generator) -> dict:
     "nn_kernels",
     threshold=f">= {_KERNEL_SPEEDUP_FLOOR}x per kernel vs the kept "
     "Python reference loops; equivalence checked before timing",
+    metrics=("kernels.make_windows.speedup", "kernels.batched_rollout.speedup"),
+    floor=_KERNEL_SPEEDUP_FLOOR,
 )
 def bench_nn_kernels(workers: int | None = None) -> dict:
     """Vectorized NN kernels vs their kept reference implementations."""
@@ -292,6 +296,8 @@ def _training_fit(
     "training_step",
     threshold=f">= {_TRAINING_SPEEDUP_FLOOR}x Trainer.fit: batched BPTT + "
     "flat-buffer RMSProp vs per-step backward + per-parameter steps",
+    metrics=("speedup",),
+    floor=_TRAINING_SPEEDUP_FLOOR,
 )
 def bench_training_step(workers: int | None = None) -> dict:
     """End-to-end ``Trainer.fit``: fast kernels vs the reference path.
@@ -355,6 +361,8 @@ def bench_training_step(workers: int | None = None) -> dict:
     "query_engine",
     threshold=f">= {_QUERY_SPEEDUP_FLOOR}x on a 900-query mixed workload "
     "vs per-query slice sums (engine build included in the timing)",
+    metrics=("speedup",),
+    floor=_QUERY_SPEEDUP_FLOOR,
 )
 def bench_query_engine(workers: int | None = None) -> dict:
     """Prefix-sum engine vs per-query slice sums on a mixed workload.
@@ -426,20 +434,18 @@ def _trace_bench_matrix() -> ConsumptionMatrix:
 
 
 def _trace_bench_sweep(tracer, metrics: Metrics) -> np.ndarray:
-    """A two-point epsilon sweep under ``tracer``; returns the releases."""
+    """A two-point epsilon sweep under ``tracer``; returns the releases.
+
+    Geometry, ε schedule and seed come from the registered
+    ``bench-trace-overhead`` scenario; resolution happens outside the
+    tracer scope so the counted span sites are exactly the sweep's own.
+    """
+    resolved = resolve_scenario("bench-trace-overhead")
+    seed = resolved.spec.seeds.seed
     releases = []
     with use_tracer(tracer), use_metrics(metrics):
-        for epsilon_sanitize in (10.0, 20.0):
-            config = STPTConfig(
-                epsilon_pattern=10.0,
-                epsilon_sanitize=epsilon_sanitize,
-                t_train=16,
-                quantization_levels=6,
-                pattern=PatternConfig(
-                    window=3, epochs=8, embed_dim=8, hidden_dim=8
-                ),
-            )
-            result = STPT(config, rng=1234).publish(
+        for config in resolved.configs:
+            result = STPT(config, rng=seed).publish(
                 _trace_bench_matrix(), clip_scale=2.0
             )
             releases.append(result.sanitized.values)
@@ -462,6 +468,8 @@ def _per_call_seconds(fn: Callable[[], object], calls: int = 50_000) -> float:
     threshold=f"<= {_TRACE_OVERHEAD_CEILING:.0%} of sweep wall time spent "
     "in NullTracer span sites + metric updates; traced and untraced "
     "releases bit-identical",
+    metrics=("overhead_percent",),
+    ceiling=_TRACE_OVERHEAD_CEILING * 100.0,
 )
 def bench_trace_overhead(workers: int | None = None) -> dict:
     """Cost of the always-on instrumentation on a pipeline sweep.
@@ -535,6 +543,8 @@ def bench_trace_overhead(workers: int | None = None) -> dict:
     "lint_flow",
     threshold=f"whole-tree interprocedural flow analysis (src + tests) in "
     f"< {_LINT_FLOW_MAX_SECONDS:.0f}s wall; zero findings, zero warnings",
+    metrics=("flow_seconds",),
+    ceiling=_LINT_FLOW_MAX_SECONDS,
 )
 def bench_lint_flow(workers: int | None = None) -> dict:
     """Wall-clock cost of the interprocedural privacy flow analysis.
@@ -614,6 +624,7 @@ def run_benchmark(name: str, workers: int = 4) -> dict:
 __all__: Sequence[str] = [
     "BENCHMARKS",
     "THRESHOLDS",
+    "TREND_THRESHOLDS",
     "bench_lint_flow",
     "bench_nn_kernels",
     "bench_parallel_sweep",

@@ -4,6 +4,14 @@ Every function returns a list of plain-dict rows — the same series the
 paper plots — and is wrapped by a benchmark under ``benchmarks/``.
 See DESIGN.md for the experiment index and EXPERIMENTS.md for measured
 vs published results.
+
+Each runner resolves its named scenario from
+:mod:`repro.scenarios.catalog` (``fig6-cer``, ``fig8c-quantization``,
+...) and executes the resolved configs; explicit arguments (dataset,
+axis values, preset) substitute into the spec before resolution, so a
+runner call and ``repro scenarios show`` always agree on what ran.
+The generator discipline is unchanged from the pre-registry code —
+resolution consumes no randomness — so all outputs stay bit-identical.
 """
 
 from __future__ import annotations
@@ -14,20 +22,20 @@ import numpy as np
 
 from repro.baselines import WPO, Identity, standard_benchmarks
 from repro.core.pattern import PatternRecognizer
-from repro.core.quadtree import max_depth_for_grid
 from repro.data.datasets import TABLE2, generate_dataset
 from repro.experiments.harness import (
     DATASET_NAMES,
     ExperimentContext,
-    build_context,
+    build_scenario_context,
     run_mechanism,
     run_mechanisms,
     run_stpt,
     run_stpt_many,
     run_stpt_sweep,
 )
-from repro.experiments.presets import ScalePreset, active_preset
+from repro.experiments.presets import ScalePreset
 from repro.rng import RngLike, derive_seed, ensure_rng
+from repro.scenarios import ResolvedScenario, resolve_scenario
 
 # ---------------------------------------------------------------------------
 # Table 2 and Figure 9: dataset statistics
@@ -36,7 +44,7 @@ from repro.rng import RngLike, derive_seed, ensure_rng
 
 def table2(preset: ScalePreset | None = None, rng: RngLike = None) -> list[dict]:
     """Synthetic-corpus statistics next to the Table 2 targets."""
-    preset = preset or active_preset()
+    preset = resolve_scenario("table2-datasets", preset=preset).preset
     generator = ensure_rng(rng)
     rows = []
     for name in DATASET_NAMES:
@@ -71,7 +79,7 @@ def figure9(preset: ScalePreset | None = None, rng: RngLike = None) -> list[dict
     factors are computed — the standard seasonal decomposition — so the
     weekly profile is not confounded by which weeks were warm.
     """
-    preset = preset or active_preset()
+    preset = resolve_scenario("fig9-weekday-profile", preset=preset).preset
     generator = ensure_rng(rng)
     weekdays = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
     rows = []
@@ -108,7 +116,7 @@ def figure9(preset: ScalePreset | None = None, rng: RngLike = None) -> list[dict
 
 def figure6(
     dataset_name: str,
-    distributions: tuple[str, ...] = ("uniform", "normal"),
+    distributions: tuple[str, ...] | None = None,
     preset: ScalePreset | None = None,
     rng: RngLike = None,
     workers: int | None = None,
@@ -116,12 +124,16 @@ def figure6(
     """One Figure 6 row (a dataset): MRE per algorithm x distribution x
     query class. ``workers`` fans the benchmark suite out over a
     process pool, bit-identically to the serial run."""
-    preset = preset or active_preset()
+    resolved = resolve_scenario(
+        f"fig6-{dataset_name.lower()}",
+        preset=preset,
+        distributions=distributions,
+    )
     generator = ensure_rng(rng)
     rows = []
-    for distribution in distributions:
-        context = build_context(
-            dataset_name, distribution, preset, rng=derive_seed(generator)
+    for distribution in resolved.distributions:
+        context = build_scenario_context(
+            resolved, distribution=distribution, rng=derive_seed(generator)
         )
         __, stpt_mre = run_stpt(context, rng=derive_seed(generator))
         rows.append(
@@ -154,7 +166,6 @@ def figure6_all(
     workers: int | None = None,
 ) -> list[dict]:
     """All four Figure 6 dataset rows."""
-    preset = preset or active_preset()
     generator = ensure_rng(rng)
     rows = []
     for name in DATASET_NAMES:
@@ -177,9 +188,9 @@ def figure7(
     rng: RngLike = None,
 ) -> list[dict]:
     """WPO against STPT (plus Identity for context) on LA placement."""
-    preset = preset or active_preset()
+    resolved = resolve_scenario("fig7-wpo", preset=preset, dataset=dataset_name)
     generator = ensure_rng(rng)
-    context = build_context(dataset_name, "la", preset, rng=derive_seed(generator))
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
     rows = []
     __, stpt_mre = run_stpt(context, rng=derive_seed(generator))
     rows.append({"algorithm": "STPT", **stpt_mre})
@@ -194,26 +205,38 @@ def figure7(
 # ---------------------------------------------------------------------------
 
 
+def _pattern_study_slices(
+    resolved: ResolvedScenario, context: ExperimentContext
+) -> tuple[np.ndarray, np.ndarray]:
+    """Train/test split of the normalized matrix for pattern-only runs."""
+    t_train = resolved.preset.t_train
+    return (
+        context.norm.values[:, :, :t_train],
+        context.norm.values[:, :, t_train:],
+    )
+
+
 def figure8ab(
     dataset_name: str = "CER",
-    budgets_per_point: tuple[float, ...] = (0.01, 0.05, 0.1, 0.25, 0.5),
+    budgets_per_point: tuple[float, ...] | None = None,
     preset: ScalePreset | None = None,
     rng: RngLike = None,
 ) -> list[dict]:
     """Pattern MAE/RMSE as the per-training-point budget grows."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "fig8ab-budget-pattern",
+        preset=preset,
+        dataset=dataset_name,
+        values=budgets_per_point,
     )
-    train = context.norm.values[:, :, : preset.t_train]
-    test = context.norm.values[:, :, preset.t_train :]
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
+    train, test = _pattern_study_slices(resolved, context)
     rows = []
-    for per_point in budgets_per_point:
-        epsilon_pattern = per_point * preset.t_train
+    for per_point, config in zip(resolved.values, resolved.configs):
         recognizer = PatternRecognizer(
-            epsilon_pattern,
-            preset.pattern_config(),
+            config.epsilon_pattern,
+            config.pattern,
             rng=derive_seed(generator),
         )
         recognizer.fit(train)
@@ -221,7 +244,7 @@ def figure8ab(
         rows.append(
             {
                 "budget_per_point": per_point,
-                "epsilon_pattern": epsilon_pattern,
+                "epsilon_pattern": config.epsilon_pattern,
                 "mae": metrics["mae"],
                 "rmse": metrics["rmse"],
             }
@@ -236,27 +259,27 @@ def figure8ab(
 
 def figure8c(
     dataset_name: str = "CER",
-    levels: tuple[int, ...] = (2, 5, 10, 20, 40, 80),
+    levels: tuple[int, ...] | None = None,
     preset: ScalePreset | None = None,
     rng: RngLike = None,
     workers: int | None = None,
 ) -> list[dict]:
     """MRE per query class as the number of quantization levels varies."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "fig8c-quantization", preset=preset, dataset=dataset_name, values=levels
     )
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
     # All sweep points share the pattern phase (only the quantization
-    # granularity differs), so the sweep helper replays the trained
-    # forecaster from cache after the first point.
-    configs = [preset.stpt_config(quantization_levels=k) for k in levels]
+    # granularity differs — the spec's shared-pattern seed policy), so
+    # the sweep helper replays the trained forecaster from cache after
+    # the first point.
     sweep = run_stpt_sweep(
-        context, configs, rng=derive_seed(generator), workers=workers
+        context, resolved.configs, rng=derive_seed(generator), workers=workers
     )
     return [
         {"quantization_levels": k, **mre}
-        for k, (__, mre) in zip(levels, sweep)
+        for k, (__, mre) in zip(resolved.values, sweep)
     ]
 
 
@@ -271,11 +294,11 @@ def figure8d(
     rng: RngLike = None,
 ) -> list[dict]:
     """Wall-clock seconds per algorithm (STPT includes training)."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "fig8d-runtime", preset=preset, dataset=dataset_name
     )
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
     rows = []
     started = time.perf_counter()
     result, __ = run_stpt(context, rng=derive_seed(generator))
@@ -305,26 +328,22 @@ def figure8ef(
     preset: ScalePreset | None = None,
     rng: RngLike = None,
 ) -> list[dict]:
-    """Pattern MAE/RMSE as the quadtree depth varies."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    """Pattern MAE/RMSE as the quadtree depth varies.
+
+    With ``depths`` unset the scenario's auto axis covers every depth
+    the resolved geometry supports.
+    """
+    resolved = resolve_scenario(
+        "fig8ef-depth", preset=preset, dataset=dataset_name, values=depths
     )
-    if depths is None:
-        window = preset.pattern_config().window
-        deepest = min(
-            max_depth_for_grid(preset.grid_shape),
-            preset.t_train // (window + 1) - 1,
-        )
-        depths = tuple(range(deepest + 1))
-    train = context.norm.values[:, :, : preset.t_train]
-    test = context.norm.values[:, :, preset.t_train :]
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
+    train, test = _pattern_study_slices(resolved, context)
     rows = []
-    for depth in depths:
+    for depth, config in zip(resolved.values, resolved.configs):
         recognizer = PatternRecognizer(
-            preset.epsilon_pattern,
-            preset.pattern_config(depth=depth),
+            config.epsilon_pattern,
+            config.pattern,
             rng=derive_seed(generator),
         )
         recognizer.fit(train)
@@ -340,34 +359,29 @@ def figure8ef(
 
 def figure8g(
     dataset_name: str = "CER",
-    pattern_fractions: tuple[float, ...] = (0.1, 0.2, 1.0 / 3.0, 0.5, 0.7, 0.9),
+    pattern_fractions: tuple[float, ...] | None = None,
     preset: ScalePreset | None = None,
     rng: RngLike = None,
     workers: int | None = None,
 ) -> list[dict]:
     """MRE as the share of ε_tot given to pattern recognition varies."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "fig8g-budget-split",
+        preset=preset,
+        dataset=dataset_name,
+        values=pattern_fractions,
     )
-    total = preset.epsilon_total
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
     # ε_pattern differs per point, so pattern caching cannot kick in
     # here — the sweep helper still shares the cached context phases
     # and keeps the per-point rng discipline uniform across figures.
-    configs = [
-        preset.stpt_config(
-            epsilon_pattern=total * fraction,
-            epsilon_sanitize=total * (1.0 - fraction),
-        )
-        for fraction in pattern_fractions
-    ]
     sweep = run_stpt_sweep(
-        context, configs, rng=derive_seed(generator), workers=workers
+        context, resolved.configs, rng=derive_seed(generator), workers=workers
     )
     return [
         {"pattern_fraction": fraction, **mre}
-        for fraction, (__, mre) in zip(pattern_fractions, sweep)
+        for fraction, (__, mre) in zip(resolved.values, sweep)
     ]
 
 
@@ -378,31 +392,23 @@ def figure8g(
 
 def figure8h(
     dataset_name: str = "CER",
-    totals: tuple[float, ...] = (3.0, 7.5, 15.0, 30.0, 60.0),
+    totals: tuple[float, ...] | None = None,
     preset: ScalePreset | None = None,
     rng: RngLike = None,
     workers: int | None = None,
 ) -> list[dict]:
     """MRE as ε_tot varies at the paper's 1:2 pattern:sanitize ratio."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "fig8h-total-budget", preset=preset, dataset=dataset_name, values=totals
     )
-    ratio = preset.epsilon_pattern / preset.epsilon_total
-    configs = [
-        preset.stpt_config(
-            epsilon_pattern=total * ratio,
-            epsilon_sanitize=total * (1.0 - ratio),
-        )
-        for total in totals
-    ]
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
     sweep = run_stpt_sweep(
-        context, configs, rng=derive_seed(generator), workers=workers
+        context, resolved.configs, rng=derive_seed(generator), workers=workers
     )
     return [
         {"epsilon_total": total, **mre}
-        for total, (__, mre) in zip(totals, sweep)
+        for total, (__, mre) in zip(resolved.values, sweep)
     ]
 
 
@@ -413,25 +419,23 @@ def figure8h(
 
 def figure8i(
     dataset_name: str = "CER",
-    families: tuple[str, ...] = ("rnn", "gru", "transformer"),
+    families: tuple[str, ...] | None = None,
     preset: ScalePreset | None = None,
     rng: RngLike = None,
     workers: int | None = None,
 ) -> list[dict]:
     """MRE per query class for each pattern-model family."""
-    preset = preset or active_preset()
-    generator = ensure_rng(rng)
-    context = build_context(
-        dataset_name, "uniform", preset, rng=derive_seed(generator)
+    resolved = resolve_scenario(
+        "fig8i-models", preset=preset, dataset=dataset_name, values=families
     )
-    configs = [
-        preset.stpt_config(pattern_overrides={"model_family": family})
-        for family in families
-    ]
-    results = run_stpt_many(context, configs, rng=generator, workers=workers)
+    generator = ensure_rng(rng)
+    context = build_scenario_context(resolved, rng=derive_seed(generator))
+    results = run_stpt_many(
+        context, resolved.configs, rng=generator, workers=workers
+    )
     return [
         {"model": family, **mre}
-        for family, (__, mre) in zip(families, results)
+        for family, (__, mre) in zip(resolved.values, results)
     ]
 
 __all__ = [

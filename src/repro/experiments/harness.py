@@ -36,6 +36,7 @@ from repro.queries.engine import QueryEngine, query_bounds
 from repro.queries.metrics import workload_mre
 from repro.queries.range_query import RangeQuery, make_workload
 from repro.rng import RngLike, derive_seed, ensure_rng
+from repro.scenarios import ResolvedScenario
 
 DATASET_NAMES = ("CER", "CA", "MI", "TX")
 QUERY_KINDS = ("random", "small", "large")
@@ -244,6 +245,32 @@ def build_context(
         test_norm=matrices["test_norm"],
         workloads=run.artifact("workloads"),
         records=list(run.records),
+    )
+
+
+def build_scenario_context(
+    resolved: ResolvedScenario,
+    distribution: str | None = None,
+    rng: RngLike = None,
+    store: ArtifactStore | None = None,
+) -> ExperimentContext:
+    """Materialize the context a resolved scenario declares.
+
+    ``distribution`` picks one of the scenario's distributions for
+    multi-distribution specs (Figure 6 runs one context per
+    distribution); the default is the spec's primary distribution. A
+    declared workload ``query_count`` overrides the preset's.
+    """
+    preset = resolved.preset
+    count = resolved.spec.workload.query_count
+    if count is not None and count != preset.query_count:
+        preset = replace(preset, query_count=count)
+    return build_context(
+        resolved.dataset_name,
+        distribution if distribution is not None else resolved.distribution,
+        preset,
+        rng=rng,
+        store=store,
     )
 
 
@@ -535,6 +562,7 @@ __all__ = [
     "ExperimentContext",
     "build_context",
     "build_context_stages",
+    "build_scenario_context",
     "publish_stpt_sweep",
     "run_stpt",
     "run_stpt_many",

@@ -1,0 +1,197 @@
+"""Commit-stamped benchmark trend histories (``repro bench --trend``).
+
+``BENCH_<name>.json`` files started life as single snapshots: the
+newest payload, flat. ``--trend`` turns each file into a trajectory
+while staying a superset of that format — the newest payload keeps its
+flat top-level keys (so anything reading ``wall_seconds`` or
+``speedup`` directly still works) and a ``history`` key accumulates
+one compact entry per recorded run: commit, wall seconds, and the
+benchmark's registered trend metrics. Legacy snapshot files are
+migrated in place on the first ``--trend`` run (the old snapshot
+becomes the first history entry).
+
+A :class:`Threshold` names the payload metrics (dotted paths) a
+benchmark is judged by and the floor/ceiling each must respect;
+``gate`` names a payload key (e.g. ``speedup_asserted``) that, when
+falsy, turns enforcement off — the same hardware-honesty escape hatch
+the benchmark's own assertion uses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """Trend metrics of one benchmark and the bounds they must hold."""
+
+    metrics: tuple[str, ...]
+    floor: float | None = None
+    ceiling: float | None = None
+    gate: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.metrics:
+            raise ConfigurationError("a trend threshold needs >= 1 metric")
+        if self.floor is None and self.ceiling is None:
+            raise ConfigurationError(
+                "a trend threshold needs a floor or a ceiling"
+            )
+
+
+def metric_value(payload: Mapping[str, Any], dotted: str) -> float | None:
+    """Resolve a dotted metric path against a payload; None if absent."""
+    node: Any = payload
+    for part in dotted.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def compact_entry(
+    payload: Mapping[str, Any], threshold: Threshold | None = None
+) -> dict[str, Any]:
+    """One history row: commit stamp, wall time, trend metrics."""
+    metrics: dict[str, float] = {}
+    for dotted in threshold.metrics if threshold is not None else ():
+        value = metric_value(payload, dotted)
+        if value is not None:
+            metrics[dotted] = value
+    entry: dict[str, Any] = {
+        "commit": payload.get("commit"),
+        "wall_seconds": payload.get("wall_seconds"),
+        "metrics": metrics,
+    }
+    if threshold is not None and threshold.gate is not None:
+        entry["asserted"] = bool(payload.get(threshold.gate))
+    return entry
+
+
+def load_history(
+    path: str | Path, threshold: Threshold | None = None
+) -> list[dict[str, Any]]:
+    """History entries of a BENCH file; migrates legacy snapshots.
+
+    A legacy single-snapshot file (no ``history`` key) yields one entry
+    compacted from the flat payload, so its measurement survives as the
+    first point of the trajectory.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"unreadable benchmark file {path}: {error}")
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"benchmark file {path} must hold a JSON object"
+        )
+    history = payload.get("history")
+    if history is None:
+        return [compact_entry(payload, threshold)]
+    if not isinstance(history, list):
+        raise ConfigurationError(
+            f"benchmark file {path} has a non-list 'history'"
+        )
+    return list(history)
+
+
+def append_result(
+    path: str | Path,
+    payload: Mapping[str, Any],
+    threshold: Threshold | None = None,
+) -> list[dict[str, Any]]:
+    """Record one run: newest payload flat + accumulated history.
+
+    Returns the updated history (oldest first, newest last).
+    """
+    path = Path(path)
+    history = load_history(path, threshold)
+    history.append(compact_entry(payload, threshold))
+    merged = dict(payload)
+    merged["history"] = history
+    path.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+    return history
+
+
+def trend_rows(history: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """History entries as printable table rows (one per recorded run)."""
+    names: list[str] = []
+    for entry in history:
+        for name in entry.get("metrics") or {}:
+            if name not in names:
+                names.append(name)
+    rows = []
+    for entry in history:
+        commit = entry.get("commit")
+        row: dict[str, Any] = {
+            "commit": (commit or "-")[:12],
+            "wall_s": entry.get("wall_seconds"),
+        }
+        metrics = entry.get("metrics") or {}
+        for name in names:
+            row[name] = metrics.get(name, "")
+        if "asserted" in entry:
+            row["asserted"] = entry["asserted"]
+        rows.append(row)
+    return rows
+
+
+def check_regression(
+    name: str,
+    history: list[dict[str, Any]],
+    threshold: Threshold | None,
+) -> list[str]:
+    """Bound violations of the newest entry; empty list means healthy.
+
+    With a gate registered and the newest run not asserted (e.g. too
+    few cores for the parallel floor), enforcement is skipped — the
+    entry still lands in the history, it just cannot fail the build.
+    """
+    if threshold is None or not history:
+        return []
+    newest = history[-1]
+    if threshold.gate is not None and not newest.get("asserted", True):
+        return []
+    failures = []
+    metrics = newest.get("metrics") or {}
+    for dotted in threshold.metrics:
+        value = metrics.get(dotted)
+        if value is None:
+            failures.append(
+                f"{name}: trend metric {dotted!r} missing from the "
+                "newest run"
+            )
+            continue
+        if threshold.floor is not None and value < threshold.floor:
+            failures.append(
+                f"{name}: {dotted} = {value:g} regressed below the "
+                f"{threshold.floor:g} floor"
+            )
+        if threshold.ceiling is not None and value > threshold.ceiling:
+            failures.append(
+                f"{name}: {dotted} = {value:g} exceeds the "
+                f"{threshold.ceiling:g} ceiling"
+            )
+    return failures
+
+
+__all__ = [
+    "Threshold",
+    "append_result",
+    "check_regression",
+    "compact_entry",
+    "load_history",
+    "metric_value",
+    "trend_rows",
+]

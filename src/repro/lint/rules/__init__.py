@@ -16,6 +16,7 @@ from repro.lint.rules.hygiene import MutableDefaultRule, ReexportedModuleAllRule
 from repro.lint.rules.numerics import FloatEqualityRule
 from repro.lint.rules.obs import SpanNameRule
 from repro.lint.rules.rng import GlobalRngRule
+from repro.lint.rules.scenarios import InlineScenarioConfigRule
 
 __all__ = [
     "CacheWriteRule",
@@ -25,6 +26,7 @@ __all__ = [
     "GeneratorCrossesExecutorIndirectly",
     "GlobalRngRule",
     "ImpureStageFunction",
+    "InlineScenarioConfigRule",
     "MechanismNotDominatedByCharge",
     "MutableDefaultRule",
     "NoisePrimitiveRule",

@@ -1,0 +1,87 @@
+"""Declarative scenario registry (the single description of every run).
+
+One :class:`ScenarioSpec` — dataset, scale geometry, mechanism +
+ε schedule, query workload, seed policy, optional sweep — fully
+describes a workload. The built-in catalog names every paper figure,
+ablation and benchmark; the experiment runners, ``repro publish
+--scenario`` and ``repro bench`` all resolve through this registry, so
+adding a modality is one new registered spec, not CLI surgery.
+
+See ``docs/scenarios.md`` for the spec schema and CLI examples.
+"""
+
+from repro.scenarios.io import (
+    dumps,
+    load_scenario_file,
+    loads,
+    save_scenario_file,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.scenarios.presets import (
+    BENCH,
+    CI,
+    PAPER,
+    PAPER_SCALE_ENV,
+    SCALE_PRESETS,
+    ScalePreset,
+    active_preset,
+)
+from repro.scenarios.registry import (
+    REGISTRY,
+    ScenarioRegistry,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    QUERY_KINDS,
+    SCENARIO_KINDS,
+    SWEEP_MODES,
+    SWEEP_PARAMETERS,
+    DatasetRef,
+    EpsilonSchedule,
+    GeometryOverrides,
+    MechanismSpec,
+    ResolvedScenario,
+    ScenarioSpec,
+    SeedPolicy,
+    Sweep,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "BENCH",
+    "CI",
+    "PAPER",
+    "PAPER_SCALE_ENV",
+    "QUERY_KINDS",
+    "REGISTRY",
+    "SCALE_PRESETS",
+    "SCENARIO_KINDS",
+    "SWEEP_MODES",
+    "SWEEP_PARAMETERS",
+    "DatasetRef",
+    "EpsilonSchedule",
+    "GeometryOverrides",
+    "MechanismSpec",
+    "ResolvedScenario",
+    "ScalePreset",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "SeedPolicy",
+    "Sweep",
+    "WorkloadSpec",
+    "active_preset",
+    "dumps",
+    "get_scenario",
+    "load_scenario_file",
+    "loads",
+    "register_scenario",
+    "resolve_scenario",
+    "save_scenario_file",
+    "scenario_names",
+    "spec_to_dict",
+    "spec_from_dict",
+]

@@ -1,0 +1,95 @@
+"""Scenario specs as files: JSON always, TOML where the stdlib has it.
+
+The on-disk schema is exactly :meth:`ScenarioSpec.to_dict` — the same
+payload ``repro scenarios show`` prints — so a shown spec re-parses
+into an equal spec, and a spec file checked into a repo is diffable
+data, not code. ``tomllib`` ships with Python >= 3.11; on 3.10 TOML
+files raise a clear error and JSON remains fully supported.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+
+def spec_to_dict(spec: ScenarioSpec) -> dict[str, Any]:
+    """Plain-data payload of a spec (the file/CLI schema)."""
+    return spec.to_dict()
+
+
+def spec_from_dict(payload: dict[str, Any]) -> ScenarioSpec:
+    """Inverse of :func:`spec_to_dict`."""
+    return ScenarioSpec.from_dict(payload)
+
+
+def dumps(spec: ScenarioSpec) -> str:
+    """Serialize a spec to the canonical JSON text."""
+    return json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def loads(text: str) -> ScenarioSpec:
+    """Parse a spec from JSON text."""
+    return spec_from_dict(json.loads(text))
+
+
+def load_scenario_file(path: str | Path) -> ScenarioSpec:
+    """Load a spec from a ``.json`` or ``.toml`` file.
+
+    TOML has no null, so TOML files simply omit the optional keys the
+    JSON schema spells as ``null`` (``sweep``, ``query_count``, ...).
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".json":
+        payload = json.loads(text)
+    elif path.suffix == ".toml":
+        if tomllib is None:
+            raise ConfigurationError(
+                "TOML scenario files need Python >= 3.11 (tomllib); "
+                f"convert {path.name} to JSON or upgrade"
+            )
+        payload = tomllib.loads(text)
+    else:
+        raise ConfigurationError(
+            f"unsupported scenario file suffix {path.suffix!r} "
+            f"({path}); use .json or .toml"
+        )
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"scenario file {path} must contain a single spec table/object"
+        )
+    try:
+        return spec_from_dict(payload)
+    except ConfigurationError as error:
+        raise ConfigurationError(f"{path}: {error}") from error
+
+
+def save_scenario_file(spec: ScenarioSpec, path: str | Path) -> Path:
+    """Write a spec as canonical JSON (the round-trip format)."""
+    path = Path(path)
+    if path.suffix != ".json":
+        raise ConfigurationError(
+            f"scenario specs are saved as .json, got {path.suffix!r}"
+        )
+    path.write_text(dumps(spec), encoding="utf-8")
+    return path
+
+
+__all__ = [
+    "dumps",
+    "load_scenario_file",
+    "loads",
+    "save_scenario_file",
+    "spec_from_dict",
+    "spec_to_dict",
+]

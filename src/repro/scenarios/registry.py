@@ -1,0 +1,166 @@
+"""The scenario registry: named, validated specs and their resolution.
+
+All built-in scenarios (:mod:`repro.scenarios.catalog`) register here
+at first use; consumers look specs up by name and resolve them —
+optionally substituting the dataset, the sweep values or the scale
+preset, which is how figure runners keep their explicit-argument
+signatures while every default flows from the registry. Names that are
+not registered but point at a ``.toml``/``.json`` file on disk load the
+spec from that file, so ad-hoc scenarios need no code change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.presets import ScalePreset
+from repro.scenarios.spec import ResolvedScenario, ScenarioSpec, Sweep
+
+#: File suffixes :func:`get_scenario` will load a spec from.
+SCENARIO_FILE_SUFFIXES = (".toml", ".json")
+
+
+class ScenarioRegistry:
+    """Name -> validated :class:`ScenarioSpec` mapping."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ScenarioSpec] = {}
+
+    def register(self, spec: ScenarioSpec) -> ScenarioSpec:
+        """Validate and add a spec; duplicate names are an error."""
+        spec.validate()
+        existing = self._specs.get(spec.name)
+        if existing is not None and existing != spec:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} is already registered with a "
+                "different spec"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "(none)"
+            raise ConfigurationError(
+                f"unknown scenario {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._specs))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        for name in self.names():
+            yield self._specs[name]
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The process-wide registry every consumer resolves through.
+REGISTRY = ScenarioRegistry()
+
+_catalog_loaded = False
+
+
+def _ensure_catalog() -> None:
+    """Import the built-in catalog once (its import registers specs)."""
+    global _catalog_loaded
+    if not _catalog_loaded:
+        _catalog_loaded = True
+        import repro.scenarios.catalog  # noqa: F401
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Validate ``spec`` and add it to the global registry."""
+    return REGISTRY.register(spec)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a spec up by registered name, or load it from a spec file."""
+    _ensure_catalog()
+    if name in REGISTRY:
+        return REGISTRY.get(name)
+    path = Path(name)
+    if path.suffix in SCENARIO_FILE_SUFFIXES and path.exists():
+        from repro.scenarios.io import load_scenario_file
+
+        spec = load_scenario_file(path)
+        spec.validate()
+        return spec
+    return REGISTRY.get(name)  # raises with the registered-name list
+
+
+def scenario_names(kind: str | None = None) -> tuple[str, ...]:
+    """Registered names, optionally restricted to one scenario kind."""
+    _ensure_catalog()
+    if kind is None:
+        return REGISTRY.names()
+    return tuple(
+        name for name in REGISTRY.names() if REGISTRY.get(name).kind == kind
+    )
+
+
+def resolve_scenario(
+    name: str | ScenarioSpec,
+    preset: ScalePreset | None = None,
+    dataset: str | None = None,
+    distributions: tuple[str, ...] | None = None,
+    values: tuple[Any, ...] | None = None,
+) -> ResolvedScenario:
+    """Resolve a scenario, optionally substituting parts of the spec.
+
+    ``dataset``/``distributions``/``values`` swap the corpus or the
+    sweep points while keeping everything else declared — this is how a
+    figure runner honours its explicit arguments without re-plumbing
+    configs by hand. Substituted specs are re-validated before
+    resolution, so a bad substitution fails exactly like a bad
+    registration.
+    """
+    spec = get_scenario(name) if isinstance(name, str) else name
+    substituted = False
+    if dataset is not None or distributions is not None:
+        spec = replace(
+            spec,
+            dataset=replace(
+                spec.dataset,
+                name=dataset if dataset is not None else spec.dataset.name,
+                distributions=(
+                    tuple(distributions)
+                    if distributions is not None
+                    else spec.dataset.distributions
+                ),
+            ),
+        )
+        substituted = True
+    if values is not None:
+        if spec.sweep is None:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} has no sweep to substitute "
+                "values into"
+            )
+        spec = replace(
+            spec, sweep=Sweep(spec.sweep.parameter, tuple(values))
+        )
+        substituted = True
+    if substituted:
+        spec.validate()
+    return spec.resolve(preset)
+
+
+__all__ = [
+    "REGISTRY",
+    "SCENARIO_FILE_SUFFIXES",
+    "ScenarioRegistry",
+    "get_scenario",
+    "register_scenario",
+    "resolve_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,666 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a frozen, validated, fully-serializable
+description of one workload: which dataset and household distribution,
+which grid/scale geometry, which mechanism with which ε schedule, which
+query workload, and how seeds fan out across sweep points. One spec
+resolves — against a named scale preset or an explicitly supplied one —
+into a :class:`ResolvedScenario` carrying the concrete
+:class:`~repro.core.stpt.STPTConfig` per point, so the experiment
+harness, the figure runners, the benchmarks and the CLI all derive
+their hand-rolled dataset × grid × mechanism × workload combinations
+from the same data instead of re-plumbing arguments.
+
+Sweeps are declarative too: ``Sweep(parameter, values)`` names one of a
+small vocabulary of axes (:data:`SWEEP_PARAMETERS`) and the values to
+walk; the parameter, not the runner, determines how each value turns
+into config overrides (e.g. ``pattern_fraction`` splits the preset's
+total budget, ``quantization_levels`` overrides one field). Everything
+in a spec is plain data — strings, numbers, booleans, tuples — so specs
+round-trip through JSON/TOML and fingerprint deterministically via the
+pipeline's structural fingerprints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from repro.baselines.base import available_mechanisms
+from repro.core.pattern import PatternConfig
+from repro.core.quadtree import max_depth_for_grid
+from repro.core.stpt import STPTConfig
+from repro.data.datasets import TABLE2
+from repro.data.spatial import DISTRIBUTIONS
+from repro.exceptions import ConfigurationError
+from repro.obs import get_tracer
+from repro.pipeline.fingerprint import fingerprint
+from repro.scenarios.presets import SCALE_PRESETS, ScalePreset, active_preset
+
+#: Scenario kinds. ``stream`` and ``serve`` are reserved for the
+#: ROADMAP's continual-observation and query-serving workloads, which
+#: become new scenario kinds rather than new CLI surfaces.
+SCENARIO_KINDS = (
+    "publish",
+    "figure",
+    "ablation",
+    "bench",
+    "pattern",
+    "stream",
+    "serve",
+)
+
+#: Query classes a workload may name (mirrors the harness vocabulary).
+QUERY_KINDS = ("random", "small", "large")
+
+#: How per-point seeds relate across a sweep: ``shared-pattern`` pins
+#: the pattern phase of every point to one generator (an ε/quantization
+#: sweep replays the trained forecaster from cache), ``independent``
+#: derives a fresh seed per point (each point is a complete release).
+SWEEP_MODES = ("shared-pattern", "independent")
+
+_NAME = re.compile(r"[a-z0-9]+(-[a-z0-9]+)*\Z")
+
+_STPT_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(STPTConfig) if f.name != "pattern"
+)
+_PATTERN_FIELDS = frozenset(f.name for f in dataclasses.fields(PatternConfig))
+
+#: JSON-representable scalar types a spec may carry.
+_SCALARS = (str, int, float, bool)
+
+
+def _derive_pattern_fraction(
+    preset: ScalePreset, value: float
+) -> tuple[dict, dict]:
+    total = preset.epsilon_total
+    return (
+        {
+            "epsilon_pattern": total * value,
+            "epsilon_sanitize": total * (1.0 - value),
+        },
+        {},
+    )
+
+
+def _derive_epsilon_total(preset: ScalePreset, value: float) -> tuple[dict, dict]:
+    ratio = preset.epsilon_pattern / preset.epsilon_total
+    return (
+        {
+            "epsilon_pattern": value * ratio,
+            "epsilon_sanitize": value * (1.0 - ratio),
+        },
+        {},
+    )
+
+
+#: parameter -> (preset, value) -> (config overrides, pattern overrides).
+#: The sweep axis vocabulary: every entry is one way a single scalar
+#: value expands into STPT configuration, shared by all consumers.
+SWEEP_PARAMETERS: dict[
+    str, Callable[[ScalePreset, Any], tuple[dict, dict]]
+] = {
+    "quantization_levels": lambda preset, v: ({"quantization_levels": int(v)}, {}),
+    "pattern_fraction": _derive_pattern_fraction,
+    "epsilon_total": _derive_epsilon_total,
+    "budget_per_point": lambda preset, v: (
+        {"epsilon_pattern": float(v) * preset.t_train},
+        {},
+    ),
+    "depth": lambda preset, v: ({}, {"depth": int(v)}),
+    "model_family": lambda preset, v: ({}, {"model_family": str(v)}),
+    "allocation": lambda preset, v: ({"allocation": str(v)}, {}),
+    "rollout": lambda preset, v: ({"rollout": str(v)}, {}),
+    "use_attention": lambda preset, v: ({}, {"use_attention": bool(v)}),
+    "hierarchical_seeds": lambda preset, v: ({}, {"hierarchical_seeds": bool(v)}),
+}
+
+
+@dataclass(frozen=True)
+class DatasetRef:
+    """Which corpus and household placement(s) a scenario runs on."""
+
+    name: str
+    distributions: tuple[str, ...] = ("uniform",)
+
+    @property
+    def distribution(self) -> str:
+        """The primary (first) distribution."""
+        return self.distributions[0]
+
+
+@dataclass(frozen=True)
+class GeometryOverrides:
+    """Optional per-scenario overrides of the scale preset's geometry."""
+
+    grid_shape: tuple[int, int] | None = None
+    n_days: int | None = None
+    t_train: int | None = None
+    query_count: int | None = None
+    epochs: int | None = None
+    embed_dim: int | None = None
+    hidden_dim: int | None = None
+    window: int | None = None
+
+    def apply(self, preset: ScalePreset) -> ScalePreset:
+        overrides = {
+            name: value
+            for name, value in dataclasses.asdict(self).items()
+            if value is not None
+        }
+        if "grid_shape" in overrides:
+            overrides["grid_shape"] = tuple(overrides["grid_shape"])
+        if not overrides:
+            return preset
+        return replace(preset, **overrides)
+
+
+@dataclass(frozen=True)
+class EpsilonSchedule:
+    """The privacy budget(s) of a scenario.
+
+    ``None`` means "the scale preset's value", so figure scenarios track
+    whatever preset they resolve under; several ``sanitize`` values make
+    the scenario a multi-release ε sweep (one release per value).
+    """
+
+    pattern: float | None = None
+    sanitize: tuple[float, ...] | None = None
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """Mechanism name plus its configuration deltas."""
+
+    name: str = "STPT"
+    epsilons: EpsilonSchedule = field(default_factory=EpsilonSchedule)
+    overrides: tuple[tuple[str, Any], ...] = ()
+    pattern_overrides: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which query classes score the release, and how many queries."""
+
+    kinds: tuple[str, ...] = QUERY_KINDS
+    query_count: int | None = None
+
+
+@dataclass(frozen=True)
+class SeedPolicy:
+    """Base seed and how it fans out across sweep points."""
+
+    seed: int = 0
+    sweep_mode: str = "independent"
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One declarative axis: a named parameter and the values to walk.
+
+    An empty ``values`` tuple is only legal for the ``depth`` axis,
+    where it means "every depth the resolved geometry supports".
+    """
+
+    parameter: str
+    values: tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class ResolvedScenario:
+    """A spec made concrete against one scale preset."""
+
+    spec: ScenarioSpec
+    preset: ScalePreset
+    configs: tuple[STPTConfig, ...]
+    values: tuple[Any, ...]
+    labels: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def dataset_name(self) -> str:
+        return self.spec.dataset.name
+
+    @property
+    def distribution(self) -> str:
+        return self.spec.dataset.distribution
+
+    @property
+    def distributions(self) -> tuple[str, ...]:
+        return self.spec.dataset.distributions
+
+    @property
+    def epsilon_schedule(self) -> tuple[float, ...]:
+        """ε_sanitize per release, in sweep order."""
+        return tuple(config.epsilon_sanitize for config in self.configs)
+
+    @property
+    def query_count(self) -> int:
+        count = self.spec.workload.query_count
+        return count if count is not None else self.preset.query_count
+
+    def fingerprint(self) -> str:
+        """Digest of the spec *and* the concrete preset it resolved to."""
+        return fingerprint((self.spec, self.preset))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-declarative workload description. See module docs."""
+
+    name: str
+    description: str
+    dataset: DatasetRef
+    scale: str = "active"
+    geometry: GeometryOverrides = field(default_factory=GeometryOverrides)
+    mechanism: MechanismSpec = field(default_factory=MechanismSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    seeds: SeedPolicy = field(default_factory=SeedPolicy)
+    sweep: Sweep | None = None
+    kind: str = "publish"
+    tags: tuple[str, ...] = ()
+
+    # -- validation ----------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on the first defect."""
+        self._validate_identity()
+        self._validate_dataset()
+        self._validate_mechanism()
+        self._validate_workload()
+        self._validate_sweep()
+        # Geometry/config consistency: the spec must actually resolve
+        # under its own base preset (t_train vs n_days, positive ε,
+        # known allocation strategies — the config dataclasses check).
+        try:
+            self._resolve(self.base_preset())
+        except ConfigurationError as error:
+            raise ConfigurationError(
+                f"scenario {self.name!r} does not resolve: {error}"
+            ) from error
+
+    def _validate_identity(self) -> None:
+        if not _NAME.fullmatch(self.name or ""):
+            raise ConfigurationError(
+                f"scenario name {self.name!r} is not kebab-case "
+                "([a-z0-9]+(-[a-z0-9]+)*)"
+            )
+        if not self.description.strip():
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs a description"
+            )
+        if self.kind not in SCENARIO_KINDS:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown kind {self.kind!r}; "
+                f"options: {SCENARIO_KINDS}"
+            )
+        if self.scale != "active" and self.scale not in SCALE_PRESETS:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown scale {self.scale!r}; "
+                f"options: {('active', *sorted(SCALE_PRESETS))}"
+            )
+        if self.seeds.sweep_mode not in SWEEP_MODES:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: sweep_mode must be one of "
+                f"{SWEEP_MODES}, got {self.seeds.sweep_mode!r}"
+            )
+
+    def _validate_dataset(self) -> None:
+        if self.dataset.name not in TABLE2:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown dataset "
+                f"{self.dataset.name!r}; options: {sorted(TABLE2)}"
+            )
+        if not self.dataset.distributions:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: needs at least one distribution"
+            )
+        for distribution in self.dataset.distributions:
+            if distribution not in DISTRIBUTIONS:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: unknown distribution "
+                    f"{distribution!r}; options: {DISTRIBUTIONS}"
+                )
+
+    def _validate_mechanism(self) -> None:
+        mechanism = self.mechanism
+        if mechanism.name != "STPT" and mechanism.name not in available_mechanisms():
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown mechanism "
+                f"{mechanism.name!r}; options: "
+                f"{['STPT', *available_mechanisms()]}"
+            )
+        epsilons = mechanism.epsilons
+        if epsilons.pattern is not None and epsilons.pattern <= 0:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: epsilon_pattern must be positive"
+            )
+        if epsilons.sanitize is not None:
+            if not epsilons.sanitize:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: empty sanitize ε schedule"
+                )
+            if any(value <= 0 for value in epsilons.sanitize):
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: sanitize ε values must be "
+                    "positive"
+                )
+        self._validate_overrides(mechanism.overrides, _STPT_FIELDS, "overrides")
+        self._validate_overrides(
+            mechanism.pattern_overrides, _PATTERN_FIELDS, "pattern_overrides"
+        )
+
+    def _validate_overrides(
+        self,
+        overrides: tuple[tuple[str, Any], ...],
+        known: frozenset[str],
+        label: str,
+    ) -> None:
+        for key, value in overrides:
+            if key not in known:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: {label} names unknown field "
+                    f"{key!r}; options: {sorted(known)}"
+                )
+            if not isinstance(value, _SCALARS) and value is not None:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: {label}[{key!r}] must be a "
+                    f"JSON scalar, got {type(value).__name__}"
+                )
+
+    def _validate_workload(self) -> None:
+        if not self.workload.kinds:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: workload needs at least one "
+                "query class"
+            )
+        for kind in self.workload.kinds:
+            if kind not in QUERY_KINDS:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: unknown query class "
+                    f"{kind!r}; options: {QUERY_KINDS}"
+                )
+        count = self.workload.query_count
+        if count is not None and count <= 0:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: query_count must be positive"
+            )
+
+    def _validate_sweep(self) -> None:
+        if self.sweep is None:
+            return
+        if self.sweep.parameter not in SWEEP_PARAMETERS:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown sweep parameter "
+                f"{self.sweep.parameter!r}; options: "
+                f"{sorted(SWEEP_PARAMETERS)}"
+            )
+        if not self.sweep.values and self.sweep.parameter != "depth":
+            raise ConfigurationError(
+                f"scenario {self.name!r}: sweep over "
+                f"{self.sweep.parameter!r} needs explicit values"
+            )
+        sanitize = self.mechanism.epsilons.sanitize
+        if sanitize is not None and len(sanitize) > 1:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: a sweep cannot combine with a "
+                "multi-value sanitize ε schedule"
+            )
+
+    # -- resolution ----------------------------------------------------
+
+    def base_preset(self) -> ScalePreset:
+        """The scale preset this spec resolves under by default."""
+        if self.scale == "active":
+            return active_preset()
+        return SCALE_PRESETS[self.scale]
+
+    def sweep_values(self, preset: ScalePreset) -> tuple[Any, ...]:
+        """Concrete sweep values under ``preset`` (auto-derives depth)."""
+        if self.sweep is None:
+            return ()
+        if self.sweep.values:
+            return self.sweep.values
+        # depth axis with no explicit values: every depth the resolved
+        # geometry supports, matching the paper's Figure 8e/f default.
+        pattern = preset.pattern_config(
+            **dict(self.mechanism.pattern_overrides)
+        )
+        deepest = min(
+            max_depth_for_grid(preset.grid_shape),
+            preset.t_train // (pattern.window + 1) - 1,
+        )
+        return tuple(range(deepest + 1))
+
+    def resolve(self, preset: ScalePreset | None = None) -> ResolvedScenario:
+        """Make the spec concrete: preset, per-point configs, labels.
+
+        ``preset`` overrides the spec's named scale (test fixtures pass
+        tiny geometries); the spec's geometry overrides still apply on
+        top. Every resolution emits a ``scenario.resolve`` span carrying
+        the scenario name and fingerprint, so traces record exactly
+        which spec produced a release.
+        """
+        base = preset if preset is not None else self.base_preset()
+        resolved = self._resolve(base)
+        with get_tracer().span(
+            "scenario.resolve",
+            scenario=self.name,
+            fingerprint=resolved.fingerprint(),
+        ):
+            return resolved
+
+    def _resolve(self, base: ScalePreset) -> ResolvedScenario:
+        preset = self.geometry.apply(base)
+        base_overrides = dict(self.mechanism.overrides)
+        base_pattern = dict(self.mechanism.pattern_overrides)
+        epsilons = self.mechanism.epsilons
+        if epsilons.pattern is not None:
+            base_overrides.setdefault("epsilon_pattern", epsilons.pattern)
+
+        configs: list[STPTConfig] = []
+        labels: list[str] = []
+        values = self.sweep_values(preset)
+        if self.sweep is not None:
+            derive = SWEEP_PARAMETERS[self.sweep.parameter]
+            if epsilons.sanitize is not None:
+                base_overrides.setdefault(
+                    "epsilon_sanitize", epsilons.sanitize[0]
+                )
+            for value in values:
+                overrides, pattern_overrides = derive(preset, value)
+                configs.append(
+                    preset.stpt_config(
+                        pattern_overrides={**base_pattern, **pattern_overrides},
+                        **{**base_overrides, **overrides},
+                    )
+                )
+                labels.append(f"{self.sweep.parameter}={value}")
+        else:
+            schedule = (
+                epsilons.sanitize
+                if epsilons.sanitize is not None
+                else (None,)
+            )
+            for epsilon_sanitize in schedule:
+                overrides = dict(base_overrides)
+                if epsilon_sanitize is not None:
+                    overrides["epsilon_sanitize"] = epsilon_sanitize
+                configs.append(
+                    preset.stpt_config(
+                        pattern_overrides=dict(base_pattern), **overrides
+                    )
+                )
+                labels.append(
+                    "default"
+                    if epsilon_sanitize is None
+                    else f"eps{epsilon_sanitize:g}"
+                )
+        return ResolvedScenario(
+            spec=self,
+            preset=preset,
+            configs=tuple(configs),
+            values=values,
+            labels=tuple(labels),
+        )
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of the spec's full content."""
+        return fingerprint(self)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form: JSON/TOML-ready, ``from_dict`` round-trips."""
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "description": self.description,
+            "kind": self.kind,
+            "scale": self.scale,
+            "dataset": {
+                "name": self.dataset.name,
+                "distributions": list(self.dataset.distributions),
+            },
+            "mechanism": {
+                "name": self.mechanism.name,
+                "epsilons": {
+                    "pattern": self.mechanism.epsilons.pattern,
+                    "sanitize": (
+                        None
+                        if self.mechanism.epsilons.sanitize is None
+                        else list(self.mechanism.epsilons.sanitize)
+                    ),
+                },
+                "overrides": dict(self.mechanism.overrides),
+                "pattern_overrides": dict(self.mechanism.pattern_overrides),
+            },
+            "workload": {
+                "kinds": list(self.workload.kinds),
+                "query_count": self.workload.query_count,
+            },
+            "seeds": {
+                "seed": self.seeds.seed,
+                "sweep_mode": self.seeds.sweep_mode,
+            },
+            "tags": list(self.tags),
+        }
+        geometry = {
+            name: value
+            for name, value in dataclasses.asdict(self.geometry).items()
+            if value is not None
+        }
+        if "grid_shape" in geometry:
+            geometry["grid_shape"] = list(geometry["grid_shape"])
+        payload["geometry"] = geometry
+        payload["sweep"] = (
+            None
+            if self.sweep is None
+            else {
+                "parameter": self.sweep.parameter,
+                "values": list(self.sweep.values),
+            }
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`; raises on unknown keys."""
+        data = dict(payload)
+        known = {
+            "name", "description", "kind", "scale", "dataset", "geometry",
+            "mechanism", "workload", "seeds", "sweep", "tags",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"scenario payload has unknown keys: {sorted(unknown)}"
+            )
+        try:
+            dataset_data = dict(data["dataset"])
+        except KeyError:
+            raise ConfigurationError(
+                "scenario payload needs a 'dataset' section"
+            ) from None
+        dataset = DatasetRef(
+            name=dataset_data.get("name", ""),
+            distributions=tuple(
+                dataset_data.get("distributions") or ("uniform",)
+            ),
+        )
+        geometry_data = dict(data.get("geometry") or {})
+        if geometry_data.get("grid_shape") is not None:
+            geometry_data["grid_shape"] = tuple(geometry_data["grid_shape"])
+        geometry = GeometryOverrides(**geometry_data)
+        mechanism_data = dict(data.get("mechanism") or {})
+        epsilons_data = dict(mechanism_data.get("epsilons") or {})
+        sanitize = epsilons_data.get("sanitize")
+        mechanism = MechanismSpec(
+            name=mechanism_data.get("name", "STPT"),
+            epsilons=EpsilonSchedule(
+                pattern=epsilons_data.get("pattern"),
+                sanitize=None if sanitize is None else tuple(sanitize),
+            ),
+            overrides=_pairs(mechanism_data.get("overrides") or {}),
+            pattern_overrides=_pairs(
+                mechanism_data.get("pattern_overrides") or {}
+            ),
+        )
+        workload_data = dict(data.get("workload") or {})
+        workload = WorkloadSpec(
+            kinds=tuple(workload_data.get("kinds") or QUERY_KINDS),
+            query_count=workload_data.get("query_count"),
+        )
+        seeds_data = dict(data.get("seeds") or {})
+        seeds = SeedPolicy(
+            seed=int(seeds_data.get("seed", 0)),
+            sweep_mode=seeds_data.get("sweep_mode", "independent"),
+        )
+        sweep_data = data.get("sweep")
+        sweep = (
+            None
+            if sweep_data is None
+            else Sweep(
+                parameter=sweep_data.get("parameter", ""),
+                values=tuple(sweep_data.get("values") or ()),
+            )
+        )
+        return cls(
+            name=data.get("name", ""),
+            description=data.get("description", ""),
+            dataset=dataset,
+            scale=data.get("scale", "active"),
+            geometry=geometry,
+            mechanism=mechanism,
+            workload=workload,
+            seeds=seeds,
+            sweep=sweep,
+            kind=data.get("kind", "publish"),
+            tags=tuple(data.get("tags") or ()),
+        )
+
+
+def _pairs(mapping: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
+    """Mapping -> sorted tuple of pairs (hashable, order-stable)."""
+    return tuple(sorted(mapping.items()))
+
+
+__all__ = [
+    "QUERY_KINDS",
+    "SCENARIO_KINDS",
+    "SWEEP_MODES",
+    "SWEEP_PARAMETERS",
+    "DatasetRef",
+    "EpsilonSchedule",
+    "GeometryOverrides",
+    "MechanismSpec",
+    "ResolvedScenario",
+    "ScenarioSpec",
+    "SeedPolicy",
+    "Sweep",
+    "WorkloadSpec",
+]

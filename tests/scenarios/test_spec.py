@@ -1,0 +1,93 @@
+"""ScenarioSpec validation, serialization round-trips, fingerprints."""
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    CI,
+    DatasetRef,
+    ScenarioSpec,
+    Sweep,
+    dumps,
+    get_scenario,
+    loads,
+    scenario_names,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+def _spec(**changes) -> ScenarioSpec:
+    base = ScenarioSpec(
+        name="probe-spec",
+        description="validation probe",
+        dataset=DatasetRef(name="CA"),
+    )
+    return dataclasses.replace(base, **changes)
+
+
+class TestValidation:
+    def test_minimal_spec_validates(self):
+        _spec().validate()
+
+    @pytest.mark.parametrize(
+        "name", ["", "Upper-Case", "under_score", "-leading", "trailing-"]
+    )
+    def test_bad_names_rejected(self, name):
+        with pytest.raises(ConfigurationError):
+            _spec(name=name).validate()
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError, match="dataset"):
+            _spec(dataset=DatasetRef(name="NYC")).validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            _spec(kind="party").validate()
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            _spec(scale="galactic").validate()
+
+    def test_unknown_sweep_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="sweep"):
+            _spec(sweep=Sweep(parameter="voltage", values=(1,))).validate()
+
+    def test_empty_sweep_values_only_legal_for_depth(self):
+        with pytest.raises(ConfigurationError, match="values"):
+            _spec(sweep=Sweep(parameter="quantization_levels")).validate()
+        _spec(sweep=Sweep(parameter="depth")).validate()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_registered_spec_round_trips(self, name):
+        spec = get_scenario(name)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+        assert loads(dumps(spec)) == spec
+
+    def test_unknown_payload_key_rejected(self):
+        payload = spec_to_dict(get_scenario("fig6-cer"))
+        payload["surprise"] = 1
+        with pytest.raises(ConfigurationError, match="surprise"):
+            spec_from_dict(payload)
+
+
+class TestFingerprint:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_fingerprint_is_deterministic(self, name):
+        spec = get_scenario(name)
+        assert spec.fingerprint() == spec.fingerprint()
+        first = spec.resolve(preset=CI).fingerprint()
+        second = spec.resolve(preset=CI).fingerprint()
+        assert first == second
+
+    def test_fingerprints_distinguish_scenarios(self):
+        prints = {get_scenario(n).fingerprint() for n in scenario_names()}
+        assert len(prints) == len(scenario_names())
+
+    def test_round_tripped_spec_keeps_its_fingerprint(self):
+        spec = get_scenario("fig8c-quantization")
+        assert loads(dumps(spec)).fingerprint() == spec.fingerprint()
