@@ -1,0 +1,40 @@
+"""Sharded paper-scale publish: 1 worker vs 4, bit-identical.
+
+Delegates to :func:`repro.experiments.bench.bench_sharded_publish` — the
+same implementation behind ``repro bench sharded_publish`` — so the
+number printed here is the number shipped in
+``BENCH_sharded_publish.json``. Bit-identity between the one-worker and
+4-worker sharded releases and float-exact equality of the merged
+epsilon totals are always asserted; the >= 4x speedup floor only on a
+machine with at least 4 cores.
+
+Marked ``slow`` (it runs two full paper-scale sharded publishes); run
+it with ``pytest benchmarks/bench_sharded_publish.py -m slow``.
+"""
+
+import pytest
+
+from repro.experiments.bench import bench_sharded_publish
+
+COLUMNS = [
+    "workers", "cpu_count", "shard_depth", "shards", "serial_seconds",
+    "parallel_seconds", "speedup", "bit_identical", "epsilon_exact",
+    "speedup_asserted",
+]
+
+
+@pytest.mark.slow
+def test_sharded_publish_speedup(print_rows):
+    def run():
+        payload = bench_sharded_publish(workers=4)
+        return [{key: payload[key] for key in COLUMNS}]
+
+    rows = print_rows(
+        "paper-scale sharded publish: 1 worker vs 4", run,
+        columns=COLUMNS,
+    )
+    row = rows[0]
+    assert row["bit_identical"]
+    assert row["epsilon_exact"]
+    if row["speedup_asserted"]:
+        assert row["speedup"] >= 4.0

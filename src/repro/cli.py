@@ -310,7 +310,7 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--flow", dest="flow", action="store_true", default=None,
         help="run the interprocedural flow rules (DP100-DP102, RNG100, "
-        "PURE001)",
+        "RNG101, PURE001)",
     )
     lint.add_argument(
         "--no-flow", dest="flow", action="store_false",
@@ -339,6 +339,7 @@ _PUBLISH_DEFAULTS: dict[str, Any] = {
     "seed": 0,
     "mechanism": "STPT",
     "queries": 300,
+    "shard_depth": 0,
 }
 
 #: The subset of :data:`_PUBLISH_DEFAULTS` the evaluate command uses.
@@ -371,6 +372,7 @@ def _scenario_defaults(name: str) -> dict[str, Any]:
         "seed": spec.seeds.seed,
         "mechanism": spec.mechanism.name,
         "queries": resolved.query_count,
+        "shard_depth": config.shard_depth,
     }
 
 
@@ -436,9 +438,15 @@ def _add_publish_arguments(parser: argparse.ArgumentParser) -> None:
         help="artifact cache directory; deterministic stages replay from it",
     )
     parser.add_argument(
+        "--shard-depth", type=int, default=None, metavar="DEPTH",
+        help="split the publish across 4^DEPTH disjoint quadtree "
+        "subtrees with per-shard budget accountants merged exactly "
+        "(0 = classic unsharded publish)",
+    )
+    parser.add_argument(
         "--workers", type=_workers_argument, default=None,
-        help="worker processes for a multi-epsilon sweep "
-        "(results are bit-identical to serial)",
+        help="worker processes for a multi-epsilon sweep or a sharded "
+        "publish (results are bit-identical to serial)",
     )
 
 
@@ -473,6 +481,7 @@ def _publish_config(
         epsilon_sanitize=epsilon_sanitize,
         t_train=args.t_train,
         quantization_levels=args.quantization,
+        shard_depth=args.shard_depth,
         pattern=PatternConfig(
             window=args.window,
             epochs=args.epochs,
@@ -537,7 +546,9 @@ def _publish_results(args: argparse.Namespace):
     ``--epsilon-sanitize`` value keeps the original one-shot path (same
     bits as before the sweep option existed); several values fan out
     through :func:`publish_stpt_sweep`, optionally across ``--workers``
-    processes. ``--mechanism`` other than STPT routes through
+    processes. ``--shard-depth`` > 0 shards each release across the
+    disjoint quadtree subtrees instead, fanning the *shards* over
+    ``--workers``. ``--mechanism`` other than STPT routes through
     :func:`_baseline_results`.
     """
     if args.mechanism != "STPT":
@@ -545,6 +556,24 @@ def _publish_results(args: argparse.Namespace):
     __, cons, norm, clip = _matrices_for(args)
     epsilons = list(args.epsilon_sanitize)
     store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    if args.shard_depth > 0:
+        # Sharded releases cannot share a pattern generator across an ε
+        # sweep (each shard derives its own stream), so every point is
+        # an independent sharded publish.
+        generator = ensure_rng(args.seed)
+        seeds = (
+            [args.seed]
+            if len(epsilons) == 1
+            else [derive_seed(generator) for __ in epsilons]
+        )
+        results = []
+        for epsilon_sanitize, seed in zip(epsilons, seeds):
+            config = _publish_config(args, epsilon_sanitize)
+            result = STPT(config, rng=seed, store=store).publish(
+                norm, clip_scale=clip, workers=args.workers
+            )
+            results.append((epsilon_sanitize, result))
+        return results, store
     if len(epsilons) == 1:
         config = _publish_config(args, epsilons[0])
         result = STPT(config, rng=args.seed, store=store).publish(

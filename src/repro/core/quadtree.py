@@ -31,6 +31,104 @@ def max_depth_for_grid(grid_shape: tuple[int, int]) -> int:
     return int(np.log2(min(grid_shape)))
 
 
+@dataclass(frozen=True)
+class GridShard:
+    """One disjoint subgrid of the spatial domain (a quadtree subtree).
+
+    Splitting the grid at shard depth ``s`` yields the ``4^s`` subtrees
+    rooted at quadtree level ``s``: shard ``(i, j)`` owns the cell block
+    ``[x_start:x_stop, y_start:y_stop]``. Households live in exactly one
+    cell, so the shards hold *disjoint* household sets — the
+    precondition for parallel composition (Theorem 2) across shards.
+    """
+
+    index: int
+    x_start: int
+    x_stop: int
+    y_start: int
+    y_stop: int
+
+    @property
+    def key(self) -> str:
+        """Stable partition identity (accountant key, span label)."""
+        return (
+            f"shard{self.index}"
+            f"[{self.x_start}:{self.x_stop},{self.y_start}:{self.y_stop}]"
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.x_stop - self.x_start, self.y_stop - self.y_start)
+
+    def extract(self, values: np.ndarray) -> np.ndarray:
+        """This shard's view of a full ``(Cx, Cy, T)`` array."""
+        return values[self.x_start : self.x_stop, self.y_start : self.y_stop, :]
+
+
+def shard_grid(grid_shape: tuple[int, int], shard_depth: int) -> list[GridShard]:
+    """The ``4^shard_depth`` disjoint subtrees of a grid, row-major.
+
+    ``shard_depth`` 0 is the whole grid as one shard. Each shard's side
+    is ``Cx / 2^shard_depth``, so the deepest quadtree level a shard
+    still supports is ``max_depth_for_grid(grid_shape) - shard_depth``.
+    """
+    cx, cy = int(grid_shape[0]), int(grid_shape[1])
+    _check_power_of_two(cx, "Cx")
+    _check_power_of_two(cy, "Cy")
+    if shard_depth < 0:
+        raise ConfigurationError(
+            f"shard_depth must be non-negative, got {shard_depth}"
+        )
+    side = 2**shard_depth
+    if side > min(cx, cy):
+        raise ConfigurationError(
+            f"shard_depth {shard_depth} splits a {cx}x{cy} grid below one "
+            f"cell per shard (max {max_depth_for_grid((cx, cy))})"
+        )
+    step_x, step_y = cx // side, cy // side
+    shards = []
+    for i in range(side):
+        for j in range(side):
+            shards.append(
+                GridShard(
+                    index=i * side + j,
+                    x_start=i * step_x,
+                    x_stop=(i + 1) * step_x,
+                    y_start=j * step_y,
+                    y_stop=(j + 1) * step_y,
+                )
+            )
+    return shards
+
+
+def tile_shards(
+    shards: list[GridShard],
+    arrays: list[np.ndarray],
+    grid_shape: tuple[int, int],
+) -> np.ndarray:
+    """Reassemble per-shard ``(sx, sy, T)`` arrays into one full grid.
+
+    The inverse of mapping :meth:`GridShard.extract` over the shards of
+    one :func:`shard_grid` call; every cell is written exactly once.
+    """
+    if len(shards) != len(arrays):
+        raise ConfigurationError(
+            f"{len(shards)} shard(s) but {len(arrays)} array(s)"
+        )
+    if not shards:
+        raise ConfigurationError("tile_shards needs at least one shard")
+    horizon = int(arrays[0].shape[2])
+    out = np.empty((int(grid_shape[0]), int(grid_shape[1]), horizon))
+    for shard, values in zip(shards, arrays):
+        if values.shape != (*shard.shape, horizon):
+            raise ConfigurationError(
+                f"{shard.key} expects shape {(*shard.shape, horizon)}, "
+                f"got {values.shape}"
+            )
+        out[shard.x_start : shard.x_stop, shard.y_start : shard.y_stop, :] = values
+    return out
+
+
 def _check_power_of_two(value: int, name: str) -> None:
     if value <= 0 or (value & (value - 1)) != 0:
         raise ConfigurationError(f"{name} must be a positive power of two, got {value}")
@@ -184,9 +282,12 @@ def sanitize_levels(
     return sanitized
 
 __all__ = [
+    "GridShard",
     "max_depth_for_grid",
     "QuadtreeLevel",
     "segment_length",
+    "shard_grid",
     "SpatioTemporalQuadtree",
     "sanitize_levels",
+    "tile_shards",
 ]

@@ -20,22 +20,42 @@ and ``quantize`` replay from an :class:`repro.pipeline.ArtifactStore`
 when one is attached. Outputs are bit-identical for a fixed seed with
 or without a store, cold or warm — cached stochastic stages restore the
 generator position they left behind.
+
+With ``shard_depth > 0`` the publish itself shards: the grid splits
+into the ``4^shard_depth`` disjoint quadtree subtrees of
+:func:`repro.core.quadtree.shard_grid`, and each shard runs the full
+four-stage pipeline on its own subgrid as an independent
+:mod:`repro.parallel` task — one pre-spawned seed sequence and one
+child :class:`~repro.dp.budget.BudgetAccountant` per shard, recombined
+exactly through :meth:`BudgetAccountant.merge` (parallel composition:
+households in disjoint subtrees are disjoint data, so the total stays
+``epsilon_total``). A sharded run is bit-identical at any worker count:
+all seeds derive before dispatch, results return in submission order,
+and tiling the shard outputs back together is order-free.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.pattern import PatternConfig, PatternRecognizer, PatternResult
+from repro.core.quadtree import (
+    GridShard,
+    max_depth_for_grid,
+    shard_grid,
+    tile_shards,
+)
 from repro.core.quantization import PartitionSet, k_quantize
 from repro.core.sanitizer import SanitizationResult, sanitize_by_partitions
 from repro.data.matrix import ConsumptionMatrix
 from repro.dp.budget import BudgetAccountant
 from repro.exceptions import ConfigurationError, DataError
 from repro.obs import get_tracer
+from repro.parallel.executor import execute
+from repro.parallel.seeds import spawn_seed_sequences, task_generator
 from repro.pipeline import ArtifactStore, Pipeline, PublicationResult, Stage
 from repro.rng import RngLike, ensure_rng
 
@@ -60,6 +80,10 @@ class STPTConfig:
     rollout: str = "anchored"
     allocation: str = "optimal"
     pattern: PatternConfig = field(default_factory=PatternConfig)
+    #: Split the publish into ``4^shard_depth`` disjoint quadtree
+    #: subtrees, each running the full pipeline on its own subgrid with
+    #: its own child accountant (0 = the classic unsharded publish).
+    shard_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.epsilon_pattern <= 0 or self.epsilon_sanitize <= 0:
@@ -68,6 +92,10 @@ class STPTConfig:
             raise ConfigurationError("t_train must be positive")
         if self.quantization_levels <= 0:
             raise ConfigurationError("quantization_levels must be positive")
+        if self.shard_depth < 0:
+            raise ConfigurationError(
+                f"shard_depth must be non-negative, got {self.shard_depth}"
+            )
         if self.rollout not in ("anchored", "cell"):
             raise ConfigurationError("rollout must be 'anchored' or 'cell'")
         from repro.core.sanitizer import ALLOCATION_STRATEGIES
@@ -254,6 +282,84 @@ def build_stpt_pipeline(
     return Pipeline(build_stpt_stages(config, t_test), store=store, name="stpt")
 
 
+@dataclass
+class ShardedSTPTResult(PublicationResult):
+    """A sharded publish: per-shard STPT runs tiled back together.
+
+    ``accountant`` is the parent ledger recombined through
+    :meth:`BudgetAccountant.merge` — only the worst shard's total is
+    debited (parallel composition across disjoint subtrees), while every
+    per-shard charge survives under its shard's partition key.
+    ``records`` flattens the per-shard stage records in shard order,
+    stamped with the worker that ran each shard.
+    """
+
+    sanitized_kwh: ConsumptionMatrix      # rescaled by the clipping factor
+    pattern_matrix: np.ndarray            # tiled C_pattern over the test horizon
+    accountant: BudgetAccountant          # merged parent ledger
+    t_train: int
+    shard_depth: int
+    shards: list[GridShard]
+    shard_accountants: list[BudgetAccountant]
+
+    @property
+    def epsilon_spent(self) -> float:
+        return self.accountant.spent_epsilon
+
+
+def _shard_config(config: STPTConfig, shard_shape: tuple[int, int]) -> STPTConfig:
+    """The per-shard pipeline config: unsharded, depth capped to the subgrid.
+
+    The quadtree depth must be pinned to a concrete value *before*
+    dispatch so every shard trains the same decomposition regardless of
+    where it runs; ``None`` would resolve against the shard grid inside
+    the worker, which is the same number — pinning just makes it
+    explicit in the stage cache keys.
+    """
+    cap = max_depth_for_grid(shard_shape)
+    depth = cap if config.pattern.depth is None else min(config.pattern.depth, cap)
+    return replace(
+        config, shard_depth=0, pattern=replace(config.pattern, depth=depth)
+    )
+
+
+def _shard_task(payload: tuple) -> dict:
+    """Self-contained single-shard publish body (RNG002-clean).
+
+    The payload carries a :class:`numpy.random.SeedSequence` child —
+    never a live generator — plus the disk ``cache_dir``; the worker
+    rebuilds its own :class:`ArtifactStore` so only the lock-protected
+    disk tier is shared between processes. The shard's whole pipeline
+    runs under one ``stpt.shard`` span, so the merged trace keeps one
+    span subtree (and one ε sub-ledger) per subtree of the grid.
+    """
+    config, shard, seed, norm_train, norm_test, cache_dir = payload
+    store = ArtifactStore(cache_dir=cache_dir) if cache_dir is not None else None
+    rng = task_generator(seed)
+    accountant = BudgetAccountant(config.epsilon_total, partition=shard.key)
+    t_test = int(norm_test.shape[2])
+    pipeline = build_stpt_pipeline(config, t_test, store=store)
+    with get_tracer().span(
+        "stpt.shard",
+        shard=shard.key,
+        epsilon_pattern=config.epsilon_pattern,
+        epsilon_sanitize=config.epsilon_sanitize,
+    ):
+        run = pipeline.run(
+            {"norm_train": norm_train, "norm_test": norm_test},
+            rng=rng,
+            accountant=accountant,
+        )
+    accountant.assert_within_budget()
+    __, pattern_matrix = run.artifact("pattern")
+    return {
+        "sanitized": run.artifact("sanitization").values,
+        "pattern": pattern_matrix,
+        "accountant": accountant,
+        "records": list(run.records),
+    }
+
+
 class STPT:
     """Spatio-Temporal Private Timeseries publisher."""
 
@@ -273,7 +379,8 @@ class STPT:
         clip_scale: float = 1.0,
         store: ArtifactStore | None = None,
         stage_rngs: dict[str, RngLike] | None = None,
-    ) -> STPTResult:
+        workers: int | None = None,
+    ) -> STPTResult | ShardedSTPTResult:
         """Run Algorithm 1 and publish the test horizon.
 
         ``norm_matrix`` is the normalized consumption matrix over the
@@ -285,6 +392,12 @@ class STPT:
         from cache; ``stage_rngs`` pins named stages to dedicated
         generators — the hook ε-sweeps use to share one pattern release
         across points (see ``repro.experiments.harness.run_stpt_sweep``).
+
+        With ``config.shard_depth > 0`` the publish shards across the
+        disjoint quadtree subtrees and ``workers`` fans the shards over
+        a process pool; the output is bit-identical for any ``workers``
+        value (see the module docstring). ``workers`` is ignored for
+        the unsharded publish, which runs in-process.
         """
         config = self.config
         values = norm_matrix.values
@@ -296,6 +409,16 @@ class STPT:
             )
         if clip_scale <= 0:
             raise ConfigurationError("clip_scale must be positive")
+        if config.shard_depth > 0:
+            if stage_rngs is not None:
+                raise ConfigurationError(
+                    "stage_rngs cannot be combined with a sharded publish: "
+                    "each shard derives its own generator from a pre-spawned "
+                    "seed sequence"
+                )
+            return self._publish_sharded(
+                norm_matrix, clip_scale, store=store, workers=workers
+            )
         t_test = total_steps - config.t_train
         started = time.perf_counter()
 
@@ -341,9 +464,110 @@ class STPT:
             records=list(run.records),
         )
 
+    def _publish_sharded(
+        self,
+        norm_matrix: ConsumptionMatrix,
+        clip_scale: float,
+        store: ArtifactStore | None = None,
+        workers: int | None = None,
+    ) -> ShardedSTPTResult:
+        """Fan the publish across disjoint quadtree subtrees (Theorem 2).
+
+        Every shard holds a disjoint household set, so each one runs
+        the *full* four-stage pipeline at full budget with its own
+        child accountant; the parent recombines the ledgers exactly via
+        :meth:`BudgetAccountant.merge`. All per-shard seed sequences
+        derive before dispatch (one ``derive_seed`` from this
+        publisher's generator) and both the serial and the pooled path
+        go through :func:`repro.parallel.executor.execute`, so a
+        ``workers=N`` run is bit-identical to ``workers=1``.
+        """
+        config = self.config
+        values = norm_matrix.values
+        grid_shape = (int(values.shape[0]), int(values.shape[1]))
+        t_test = norm_matrix.n_steps - config.t_train
+        started = time.perf_counter()
+
+        shards = shard_grid(grid_shape, config.shard_depth)
+        seeds = spawn_seed_sequences(self._rng, len(shards))
+        shard_config = _shard_config(config, shards[0].shape)
+        store = store if store is not None else self._store
+        cache_dir = (
+            str(store.cache_dir)
+            if store is not None and store.cache_dir is not None
+            else None
+        )
+        norm_train = values[:, :, : config.t_train]
+        norm_test = values[:, :, config.t_train :]
+        payloads = [
+            (
+                shard_config,
+                shard,
+                seed,
+                shard.extract(norm_train),
+                shard.extract(norm_test),
+                cache_dir,
+            )
+            for shard, seed in zip(shards, seeds)
+        ]
+        with get_tracer().span(
+            "stpt.publish",
+            epsilon_pattern=config.epsilon_pattern,
+            epsilon_sanitize=config.epsilon_sanitize,
+            t_train=config.t_train,
+            t_test=t_test,
+            shard_depth=config.shard_depth,
+            shards=len(shards),
+        ):
+            executed = execute(
+                _shard_task,
+                payloads,
+                workers=workers,
+                labels=[shard.key for shard in shards],
+            )
+        outputs = list(executed.values)
+
+        accountant = BudgetAccountant(config.epsilon_total)
+        shard_accountants = [out["accountant"] for out in outputs]
+        accountant.merge(shard_accountants, label="stpt")
+        accountant.assert_within_budget()
+
+        sanitized_values = tile_shards(
+            shards, [out["sanitized"] for out in outputs], grid_shape
+        )
+        pattern_matrix = tile_shards(
+            shards, [out["pattern"] for out in outputs], grid_shape
+        )
+        records = []
+        for task, out in zip(executed.tasks, outputs):
+            shard_records = [
+                replace(record, worker=task.worker) for record in out["records"]
+            ]
+            if shard_records:
+                shard_records[0] = replace(
+                    shard_records[0], queued_seconds=task.queued_seconds
+                )
+            records.extend(shard_records)
+        elapsed = time.perf_counter() - started
+        return ShardedSTPTResult(
+            sanitized=ConsumptionMatrix(sanitized_values),
+            epsilon=accountant.spent_epsilon,
+            elapsed_seconds=elapsed,
+            sanitized_kwh=ConsumptionMatrix(sanitized_values * clip_scale),
+            pattern_matrix=pattern_matrix,
+            accountant=accountant,
+            t_train=config.t_train,
+            shard_depth=config.shard_depth,
+            shards=shards,
+            shard_accountants=shard_accountants,
+            mechanism="STPT",
+            records=records,
+        )
+
 __all__ = [
     "STPTConfig",
     "STPTResult",
+    "ShardedSTPTResult",
     "STPT",
     "STPT_STAGES",
     "build_stpt_stages",

@@ -13,11 +13,19 @@ partition key are treated as parallel *within* that call group only when
 the caller says so explicitly via :meth:`spend_parallel`; the default is
 the conservative sequential rule. Over-spending raises
 :class:`repro.exceptions.BudgetExceededError` before any noise is drawn.
+
+Sharded publishes give every shard its own *child* accountant (tagged
+with the shard's partition key) and recombine them through
+:meth:`BudgetAccountant.merge`: parallel composition across the
+children — only the worst child's total is debited — while each child's
+ledger is preserved verbatim (sequential within a shard), so the merged
+ledger remains a complete per-charge ε attribution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -71,7 +79,9 @@ class BudgetAccountant:
     not).
     """
 
-    def __init__(self, total_epsilon: float) -> None:
+    def __init__(
+        self, total_epsilon: float, partition: str | None = None
+    ) -> None:
         if not np.isfinite(total_epsilon) or total_epsilon <= 0:
             raise PrivacyError(
                 f"total_epsilon must be positive and finite, got {total_epsilon!r}"
@@ -79,6 +89,12 @@ class BudgetAccountant:
         self._total = float(total_epsilon)
         self._spent = 0.0
         self._ledger: list[tuple[str, float]] = []
+        #: Data-partition identity of this accountant's charges; a child
+        #: accountant must carry one before :meth:`merge` will accept it,
+        #: because disjointness is the whole justification for the
+        #: parallel debit.
+        self.partition = partition
+        self._merged_partitions: set[str] = set()
 
     @property
     def total_epsilon(self) -> float:
@@ -114,16 +130,93 @@ class BudgetAccountant:
         self._ledger.append((label, epsilon))
         return epsilon
 
-    def spend_parallel(self, epsilons: list[float], label: str = "") -> float:
+    def spend_parallel(
+        self,
+        epsilons: list[float],
+        label: str = "",
+        labels: Sequence[str] | None = None,
+    ) -> float:
         """Debit a family of charges over disjoint partitions.
 
         Only ``max(epsilons)`` counts (Theorem 2). Returns the debited
-        amount.
+        amount. Without ``labels`` the group is recorded as one compact
+        ledger row (``label[parallel xN]``, the debited maximum); with
+        per-charge ``labels`` every charge keeps its own row — its
+        sub-label and its *own* ε — so a shard trace can attribute
+        budget to the right subtree. Either way only the maximum is
+        debited, so a parallel group's ledger rows may sum to more than
+        the running total: the ledger is the attribution record, the
+        total is the composition bound.
         """
         if not epsilons:
             raise PrivacyError("spend_parallel requires at least one charge")
-        worst = max(epsilons)
-        return self.spend(worst, label=f"{label}[parallel x{len(epsilons)}]")
+        for epsilon in epsilons:
+            if not np.isfinite(epsilon) or epsilon <= 0:
+                raise PrivacyError(
+                    f"parallel charges must be positive and finite, got {epsilon!r}"
+                )
+        if labels is not None and len(labels) != len(epsilons):
+            raise PrivacyError(
+                f"{len(epsilons)} parallel charge(s) but {len(labels)} label(s)"
+            )
+        worst = self._check_charge(max(epsilons))
+        self._spent = min(self._total, self._spent + worst)
+        if labels is None:
+            self._ledger.append((f"{label}[parallel x{len(epsilons)}]", worst))
+        else:
+            for sub_label, epsilon in zip(labels, epsilons):
+                row = f"{label}/{sub_label}" if label else str(sub_label)
+                self._ledger.append((row, float(epsilon)))
+        return worst
+
+    def merge(
+        self, children: Sequence["BudgetAccountant"], label: str = ""
+    ) -> float:
+        """Recombine per-shard child accountants exactly (Theorem 2).
+
+        The children charged *disjoint* data partitions, so parallel
+        composition applies across them: only the worst child's spent
+        total is debited here. Within each child the charges composed
+        sequentially, and the merge preserves that structure verbatim —
+        every child ledger row is appended under its partition key, in
+        child order, so the merged ledger stays a complete per-charge ε
+        attribution. Returns the debited amount (0.0 for no children or
+        all-empty children).
+
+        Soundness guards: every child must carry a ``partition`` key
+        (the accountant cannot see the data, so the key is the caller's
+        disjointness assertion), and no partition key may be merged
+        twice — two children charging the same partition would be
+        sequential, not parallel, composition. Merging is itself
+        sequential against this accountant's earlier spends, so
+        merge-after-merge composes the two shard groups sequentially.
+        """
+        seen: set[str] = set()
+        for child in children:
+            if child.partition is None:
+                raise PrivacyError(
+                    "merge requires every child accountant to carry a "
+                    "partition key asserting which disjoint data shard "
+                    "it charged"
+                )
+            if child.partition in seen or child.partition in self._merged_partitions:
+                raise PrivacyError(
+                    f"partition {child.partition!r} charged by two children: "
+                    "charges over the same partition compose sequentially, "
+                    "not in parallel"
+                )
+            seen.add(child.partition)
+        worst = max((child.spent_epsilon for child in children), default=0.0)
+        if worst > 0.0:
+            worst = self._check_charge(worst)
+            self._spent = min(self._total, self._spent + worst)
+        for child in children:
+            prefix = f"{label}/{child.partition}" if label else child.partition
+            for row_label, epsilon in child.ledger:
+                row = f"{prefix}/{row_label}" if row_label else prefix
+                self._ledger.append((row, epsilon))
+        self._merged_partitions |= seen
+        return worst
 
     def assert_within_budget(self) -> None:
         if self._spent > self._total * (1 + _EPS_TOLERANCE):

@@ -15,6 +15,13 @@ benchmark is judged by and the floor/ceiling each must respect;
 ``gate`` names a payload key (e.g. ``speedup_asserted``) that, when
 falsy, turns enforcement off — the same hardware-honesty escape hatch
 the benchmark's own assertion uses.
+
+Hardware provenance travels with every entry: ``cpu_count`` is copied
+from the payload into the history row, and gated benchmarks refuse to
+*enforce* on — or treat as a baseline — runs that were recorded
+unasserted or on a single-core box. A 1.07x "speedup" measured on one
+core is a fact worth keeping in the trajectory, but it is not a
+regression floor for anybody.
 """
 
 from __future__ import annotations
@@ -71,6 +78,8 @@ def compact_entry(
         "wall_seconds": payload.get("wall_seconds"),
         "metrics": metrics,
     }
+    if "cpu_count" in payload:
+        entry["cpu_count"] = payload["cpu_count"]
     if threshold is not None and threshold.gate is not None:
         entry["asserted"] = bool(payload.get(threshold.gate))
     return entry
@@ -141,10 +150,47 @@ def trend_rows(history: list[dict[str, Any]]) -> list[dict[str, Any]]:
         metrics = entry.get("metrics") or {}
         for name in names:
             row[name] = metrics.get(name, "")
+        if "cpu_count" in entry:
+            row["cpus"] = entry["cpu_count"]
         if "asserted" in entry:
             row["asserted"] = entry["asserted"]
         rows.append(row)
     return rows
+
+
+#: A gated metric may drift this far below (floor) / above (ceiling)
+#: its history baseline before the ratchet reports a regression; wall
+#: clocks and speedups are noisy enough that an exact ratchet would
+#: flap.
+_RATCHET_SLACK = 0.8
+
+
+def enforceable_entry(entry: Mapping[str, Any], threshold: Threshold) -> bool:
+    """Whether a history entry's metrics mean anything on a gated bench.
+
+    An unasserted run, or one recorded on a single-core box, is kept in
+    the trajectory for provenance but is neither enforced against nor
+    accepted as a regression baseline — its "speedup" measures the
+    scheduler, not the code. Ungated thresholds enforce everywhere.
+    """
+    if threshold.gate is None:
+        return True
+    if not entry.get("asserted", True):
+        return False
+    cpu_count = entry.get("cpu_count")
+    if isinstance(cpu_count, (int, float)) and cpu_count < 2:
+        return False
+    return True
+
+
+def _baseline_entry(
+    history: list[dict[str, Any]], threshold: Threshold
+) -> dict[str, Any] | None:
+    """Most recent prior entry eligible to serve as the ratchet base."""
+    for entry in reversed(history):
+        if enforceable_entry(entry, threshold):
+            return entry
+    return None
 
 
 def check_regression(
@@ -154,17 +200,30 @@ def check_regression(
 ) -> list[str]:
     """Bound violations of the newest entry; empty list means healthy.
 
-    With a gate registered and the newest run not asserted (e.g. too
-    few cores for the parallel floor), enforcement is skipped — the
-    entry still lands in the history, it just cannot fail the build.
+    Two layers of enforcement:
+
+    * the registered absolute floor/ceiling, and
+    * a history ratchet — the newest value may not fall more than
+      ``1 - _RATCHET_SLACK`` below (floor metrics) or rise above
+      (ceiling metrics) the most recent *eligible* prior entry.
+
+    With a gate registered, runs that are unasserted or recorded on a
+    single-core host (see :func:`enforceable_entry`) are exempt from
+    both layers and refused as ratchet baselines — the entry still
+    lands in the history, it just cannot fail the build or lower the
+    bar for future runs.
     """
     if threshold is None or not history:
         return []
     newest = history[-1]
-    if threshold.gate is not None and not newest.get("asserted", True):
+    if not enforceable_entry(newest, threshold):
         return []
     failures = []
     metrics = newest.get("metrics") or {}
+    baseline = _baseline_entry(history[:-1], threshold)
+    baseline_metrics = (
+        (baseline.get("metrics") or {}) if baseline is not None else {}
+    )
     for dotted in threshold.metrics:
         value = metrics.get(dotted)
         if value is None:
@@ -183,6 +242,21 @@ def check_regression(
                 f"{name}: {dotted} = {value:g} exceeds the "
                 f"{threshold.ceiling:g} ceiling"
             )
+        base = baseline_metrics.get(dotted)
+        if not isinstance(base, (int, float)) or base <= 0:
+            continue
+        if threshold.floor is not None and value < base * _RATCHET_SLACK:
+            failures.append(
+                f"{name}: {dotted} = {value:g} fell more than "
+                f"{(1 - _RATCHET_SLACK):.0%} below the previous "
+                f"recorded {base:g}"
+            )
+        if threshold.ceiling is not None and value > base / _RATCHET_SLACK:
+            failures.append(
+                f"{name}: {dotted} = {value:g} rose more than "
+                f"{(1 - _RATCHET_SLACK):.0%} above the previous "
+                f"recorded {base:g}"
+            )
     return failures
 
 
@@ -191,6 +265,7 @@ __all__ = [
     "append_result",
     "check_regression",
     "compact_entry",
+    "enforceable_entry",
     "load_history",
     "metric_value",
     "trend_rows",

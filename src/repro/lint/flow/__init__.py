@@ -15,8 +15,8 @@ The pieces, bottom to top:
   function producing :class:`~repro.lint.flow.summaries.FunctionSummary`;
 * :mod:`~repro.lint.flow.engine` — the whole-project fixpoint and
   findings pass, cached per :class:`~repro.lint.project.Project`;
-* :mod:`~repro.lint.flow.rules` — DP100, DP101, DP102, RNG100 and
-  PURE001, thin rule shims over the shared analysis.
+* :mod:`~repro.lint.flow.rules` — DP100, DP101, DP102, RNG100, RNG101
+  and PURE001, thin rule shims over the shared analysis.
 """
 
 from repro.lint.flow.engine import FlowAnalysis, FlowFinding, analyze_project

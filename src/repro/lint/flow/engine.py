@@ -8,7 +8,7 @@
     -> findings pass (every body re-walked with reporting enabled)
 
 and caches the result on the :class:`~repro.lint.project.Project`
-instance, so the five flow rules in one lint run share a single
+instance, so the six flow rules in one lint run share a single
 analysis. Findings carry their rule id; each rule just filters.
 """
 

@@ -1,6 +1,6 @@
-"""The five flow-backed lint rules (DP100–DP102, RNG100, PURE001).
+"""The six flow-backed lint rules (DP100–DP102, RNG100, RNG101, PURE001).
 
-All five are project-scope rules over one shared
+All six are project-scope rules over one shared
 :func:`~repro.lint.flow.engine.analyze_project` result — the analysis
 runs once per lint invocation regardless of how many flow rules are
 enabled. Each rule just selects its findings by id; the detection
@@ -103,6 +103,24 @@ class GeneratorCrossesExecutorIndirectly(_FlowRule):
 
 
 @register
+class SeedsSpawnedInsideTask(_FlowRule):
+    id = "RNG101"
+    title = "per-task seed sequences derived inside a submitted task body"
+    rationale = (
+        "The sharded-publish determinism contract requires every task's "
+        "seed sequence to be spawned from the parent generator *before* "
+        "dispatch, in submission order. A task function that calls "
+        "spawn_seed_sequences in its own body (directly or through a "
+        "callee) derives streams whose identity depends on how the work "
+        "was sharded and scheduled — two runs with different worker "
+        "counts or shard depths would draw different noise, silently "
+        "breaking bit-identical replay. Spawn at the dispatch site and "
+        "ship one SeedSequence per task instead."
+    )
+    default_allow = ()
+
+
+@register
 class ImpureStageFunction(_FlowRule):
     id = "PURE001"
     title = "stage function is not a pure function of (ctx, inputs)"
@@ -123,4 +141,5 @@ __all__ = [
     "ImpureStageFunction",
     "MechanismNotDominatedByCharge",
     "RawDataReachesSink",
+    "SeedsSpawnedInsideTask",
 ]

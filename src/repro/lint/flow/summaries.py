@@ -104,6 +104,14 @@ class FunctionSummary:
     submit_params: frozenset[str] = frozenset()
     charges_accountant: bool = False
     constructs_accountant: bool = False
+    #: body (or a non-dispatching callee) derives per-task seed
+    #: sequences; safe at the dispatch site, unsafe inside a submitted
+    #: task body (RNG101)
+    spawns_seeds: bool = False
+    #: body contains an executor-submission call — the function IS a
+    #: dispatch site, so its own seed spawning is the blessed pattern
+    #: and does not taint callers
+    submits_tasks: bool = False
     impure: tuple[Impurity, ...] = ()
 
     def sink_kinds_of(self, param: str) -> tuple[str, ...]:
@@ -145,6 +153,8 @@ class FunctionAnalyzer:
         self.submit_params: set[str] = set()
         self.charges = False
         self.constructs = False
+        self.spawns_seeds = False
+        self.submits = False
         self.impure: list[Impurity] = []
         self._param_names: tuple[str, ...] = ()
         self._param_set: frozenset[str] = frozenset()
@@ -216,6 +226,8 @@ class FunctionAnalyzer:
         self.submit_params = set()
         self.charges = False
         self.constructs = False
+        self.spawns_seeds = False
+        self.submits = False
         self.impure = []
         self._pass_index = 0
 
@@ -235,6 +247,8 @@ class FunctionAnalyzer:
             submit_params=frozenset(self.submit_params) & params,
             charges_accountant=self.charges,
             constructs_accountant=self.constructs,
+            spawns_seeds=self.spawns_seeds,
+            submits_tasks=self.submits,
             impure=tuple(self.impure),
         )
 
@@ -432,6 +446,7 @@ class FunctionAnalyzer:
         self._check_stage_binding(call, chain, qualname)
         label = submission_label(call)
         if label is not None:
+            self.submits = True
             self._check_submission(call, label, arg_taints, kw_taints)
 
         sink_kind = self._sink_kind_of(call, chain, qualname)
@@ -742,9 +757,19 @@ class FunctionAnalyzer:
         tail = chain[-1] if chain else None
         if tail == "BudgetAccountant":
             self.constructs = True
+        if tail == "spawn_seed_sequences":
+            self.spawns_seeds = True
         summary = self.summaries.get(qualname) if qualname else None
         if summary is not None and summary.charges_accountant:
             self.charges = True
+        # A dispatcher's own spawning is the blessed before-dispatch
+        # pattern; only spawning in ordinary helpers taints callers.
+        if (
+            summary is not None
+            and summary.spawns_seeds
+            and not summary.submits_tasks
+        ):
+            self.spawns_seeds = True
 
     def _is_generator_maker(
         self, call: ast.Call, chain: tuple[str, ...] | None, qualname: str | None
@@ -769,7 +794,23 @@ class FunctionAnalyzer:
         arg_taints: list[Taint],
         kw_taints: dict[str | None, Taint],
     ) -> None:
-        """RNG100 — generator-valued payloads at a submission site."""
+        """RNG100/RNG101 — payloads and task bodies at a submission site."""
+        task_summary = self._stage_fn_summary(call.args[0])
+        if (
+            task_summary is not None
+            and task_summary.spawns_seeds
+            and not task_summary.submits_tasks
+        ):
+            self._finding(
+                "RNG101",
+                call,
+                f"task function "
+                f"'{task_summary.qualname.rsplit('.', 1)[-1]}' submitted "
+                f"via {label} calls spawn_seed_sequences inside its body; "
+                "per-task seed sequences must be derived at the dispatch "
+                "site, before submission, so the streams a task draws do "
+                "not depend on how the work was sharded or scheduled",
+            )
         payloads = list(zip(call.args[1:], arg_taints[1:])) + [
             (kw.value, kw_taints[kw.arg]) for kw in call.keywords
         ]

@@ -103,6 +103,7 @@ SWEEP_PARAMETERS: dict[
     str, Callable[[ScalePreset, Any], tuple[dict, dict]]
 ] = {
     "quantization_levels": lambda preset, v: ({"quantization_levels": int(v)}, {}),
+    "shard_depth": lambda preset, v: ({"shard_depth": int(v)}, {}),
     "pattern_fraction": _derive_pattern_fraction,
     "epsilon_total": _derive_epsilon_total,
     "budget_per_point": lambda preset, v: (

@@ -10,6 +10,8 @@ from repro.core.quadtree import (
     max_depth_for_grid,
     sanitize_levels,
     segment_length,
+    shard_grid,
+    tile_shards,
 )
 from repro.dp.budget import BudgetAccountant
 from repro.exceptions import ConfigurationError, DataError
@@ -184,3 +186,83 @@ class TestSanitizeLevels:
         levels = SpatioTemporalQuadtree(np.ones((4, 4, 6)), 1).build_levels()
         with pytest.raises(ConfigurationError):
             sanitize_levels(levels, 0.0, t_train=6)
+
+
+class TestGridShards:
+    def test_depth_zero_is_the_whole_grid(self):
+        shards = shard_grid((8, 8), 0)
+        assert len(shards) == 1
+        assert shards[0].shape == (8, 8)
+        assert shards[0].key == "shard0[0:8,0:8]"
+
+    def test_depth_one_quarters_row_major(self):
+        shards = shard_grid((8, 8), 1)
+        assert [s.key for s in shards] == [
+            "shard0[0:4,0:4]",
+            "shard1[0:4,4:8]",
+            "shard2[4:8,0:4]",
+            "shard3[4:8,4:8]",
+        ]
+
+    def test_shards_partition_every_cell_once(self):
+        shards = shard_grid((16, 8), 2)
+        assert len(shards) == 16
+        coverage = np.zeros((16, 8), dtype=int)
+        for shard in shards:
+            coverage[shard.x_start : shard.x_stop, shard.y_start : shard.y_stop] += 1
+        np.testing.assert_array_equal(coverage, np.ones((16, 8), dtype=int))
+
+    def test_extract_is_a_view_of_the_block(self):
+        values = np.arange(8 * 8 * 3, dtype=float).reshape(8, 8, 3)
+        shard = shard_grid((8, 8), 1)[3]
+        np.testing.assert_array_equal(
+            shard.extract(values), values[4:8, 4:8, :]
+        )
+
+    def test_depth_below_one_cell_rejected(self):
+        with pytest.raises(ConfigurationError, match="max 2"):
+            shard_grid((4, 4), 3)
+
+    def test_non_power_of_two_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_grid((6, 8), 1)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_grid((8, 8), -1)
+
+    def test_tile_inverts_extract(self):
+        rng = np.random.default_rng(3)
+        values = rng.random((8, 8, 5))
+        shards = shard_grid((8, 8), 1)
+        tiled = tile_shards(
+            shards, [s.extract(values) for s in shards], (8, 8)
+        )
+        np.testing.assert_array_equal(tiled, values)
+
+    def test_tile_rejects_count_mismatch(self):
+        shards = shard_grid((8, 8), 1)
+        with pytest.raises(ConfigurationError):
+            tile_shards(shards, [np.zeros((4, 4, 2))], (8, 8))
+
+    def test_tile_rejects_wrong_block_shape(self):
+        shards = shard_grid((8, 8), 1)
+        arrays = [np.zeros((4, 4, 2))] * 3 + [np.zeros((2, 2, 2))]
+        with pytest.raises(ConfigurationError, match="shard3"):
+            tile_shards(shards, arrays, (8, 8))
+
+    @given(
+        exp_x=st.integers(2, 5),
+        exp_y=st.integers(2, 5),
+        depth=st.integers(0, 2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_any_power_of_two_grid(self, exp_x, exp_y, depth):
+        grid = (2**exp_x, 2**exp_y)
+        values = np.random.default_rng(0).random((*grid, 4))
+        shards = shard_grid(grid, depth)
+        assert len(shards) == 4**depth
+        tiled = tile_shards(
+            shards, [s.extract(values) for s in shards], grid
+        )
+        np.testing.assert_array_equal(tiled, values)

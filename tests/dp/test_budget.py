@@ -91,6 +91,130 @@ class TestBudgetAccountant:
         assert acc.spent_epsilon <= acc.total_epsilon * (1 + 1e-9)
 
 
+class TestSpendParallelLabels:
+    def test_per_charge_sub_labels_keep_own_epsilon(self):
+        acc = BudgetAccountant(5.0)
+        acc.spend_parallel(
+            [1.0, 3.0, 2.0], label="cells", labels=["a", "b", "c"]
+        )
+        assert acc.spent_epsilon == pytest.approx(3.0)
+        assert acc.ledger == [
+            ("cells/a", 1.0),
+            ("cells/b", 3.0),
+            ("cells/c", 2.0),
+        ]
+
+    def test_sub_labels_without_group_label(self):
+        acc = BudgetAccountant(5.0)
+        acc.spend_parallel([1.0, 2.0], labels=["x", "y"])
+        assert [row[0] for row in acc.ledger] == ["x", "y"]
+
+    def test_label_count_mismatch_rejected(self):
+        acc = BudgetAccountant(5.0)
+        with pytest.raises(PrivacyError):
+            acc.spend_parallel([1.0, 2.0], labels=["only-one"])
+
+    def test_every_parallel_charge_validated(self):
+        acc = BudgetAccountant(5.0)
+        with pytest.raises(PrivacyError):
+            acc.spend_parallel([1.0, -0.5, 2.0])
+        assert acc.spent_epsilon == 0.0
+
+
+class TestMerge:
+    def _child(self, partition, spends=(), total=10.0):
+        child = BudgetAccountant(total, partition=partition)
+        for label, epsilon in spends:
+            child.spend(epsilon, label=label)
+        return child
+
+    def test_merge_debits_only_the_worst_child(self):
+        parent = BudgetAccountant(10.0)
+        children = [
+            self._child("s0", [("a", 2.0), ("b", 1.0)]),
+            self._child("s1", [("a", 4.0)]),
+            self._child("s2", [("a", 0.5)]),
+        ]
+        debited = parent.merge(children, label="stpt")
+        assert debited == 4.0
+        assert parent.spent_epsilon == 4.0
+
+    def test_merge_total_is_float_equal_to_worst_child(self):
+        parent = BudgetAccountant(10.0)
+        odd = 10.0 / 3.0
+        children = [
+            self._child("s0", [("a", odd)]),
+            self._child("s1", [("a", odd / 2.0)]),
+        ]
+        parent.merge(children)
+        assert parent.spent_epsilon == odd  # ==, not approx
+
+    def test_merge_preserves_child_ledgers_verbatim(self):
+        parent = BudgetAccountant(10.0)
+        children = [
+            self._child("s0", [("pattern", 1.0), ("sanitize", 2.0)]),
+            self._child("s1", [("pattern", 3.0)]),
+        ]
+        parent.merge(children, label="stpt")
+        assert parent.ledger == [
+            ("stpt/s0/pattern", 1.0),
+            ("stpt/s0/sanitize", 2.0),
+            ("stpt/s1/pattern", 3.0),
+        ]
+
+    def test_merge_empty_children_is_a_noop(self):
+        parent = BudgetAccountant(10.0)
+        assert parent.merge([]) == 0.0
+        assert parent.spent_epsilon == 0.0
+        assert parent.ledger == []
+
+    def test_merge_child_with_no_spends(self):
+        parent = BudgetAccountant(10.0)
+        assert parent.merge([self._child("s0")]) == 0.0
+        assert parent.spent_epsilon == 0.0
+
+    def test_merge_single_child(self):
+        parent = BudgetAccountant(10.0)
+        debited = parent.merge([self._child("s0", [("a", 2.5)])])
+        assert debited == 2.5
+        assert parent.spent_epsilon == 2.5
+
+    def test_merge_rejects_partitionless_child(self):
+        parent = BudgetAccountant(10.0)
+        with pytest.raises(PrivacyError):
+            parent.merge([BudgetAccountant(10.0)])
+
+    def test_merge_rejects_duplicate_partition_in_one_call(self):
+        parent = BudgetAccountant(10.0)
+        children = [
+            self._child("same", [("a", 1.0)]),
+            self._child("same", [("a", 1.0)]),
+        ]
+        with pytest.raises(PrivacyError, match="compose sequentially"):
+            parent.merge(children)
+        assert parent.spent_epsilon == 0.0
+
+    def test_merge_after_merge_composes_sequentially(self):
+        parent = BudgetAccountant(10.0)
+        parent.merge([self._child("s0", [("a", 3.0)])])
+        parent.merge([self._child("s1", [("a", 4.0)])])
+        # Two merge calls are two sequential groups: 3 + 4, not max.
+        assert parent.spent_epsilon == pytest.approx(7.0)
+
+    def test_merge_after_merge_rejects_reused_partition(self):
+        parent = BudgetAccountant(10.0)
+        parent.merge([self._child("s0", [("a", 1.0)])])
+        with pytest.raises(PrivacyError, match="s0"):
+            parent.merge([self._child("s0", [("a", 1.0)])])
+
+    def test_merge_overspend_raises_before_mutation(self):
+        parent = BudgetAccountant(5.0)
+        parent.spend(3.0)
+        with pytest.raises(BudgetExceededError):
+            parent.merge([self._child("s0", [("a", 4.0)])])
+        assert parent.spent_epsilon == pytest.approx(3.0)
+
+
 class TestBudgetSplit:
     def test_proportional_shares(self):
         split = BudgetSplit.proportional(30.0, {"pattern": 1.0, "sanitize": 2.0})

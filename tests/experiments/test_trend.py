@@ -12,12 +12,14 @@ from repro.experiments.trend import (
     append_result,
     check_regression,
     compact_entry,
+    enforceable_entry,
     load_history,
     metric_value,
     trend_rows,
 )
 
 SPEEDUP = Threshold(metrics=("speedup",), floor=2.0)
+GATED = Threshold(metrics=("speedup",), floor=2.0, gate="speedup_asserted")
 
 
 class TestThreshold:
@@ -106,13 +108,116 @@ class TestCheckRegression:
         assert "missing" in check_regression("x", history, SPEEDUP)[0]
 
     def test_unasserted_gate_skips_enforcement(self):
-        gated = Threshold(
-            metrics=("speedup",), floor=2.0, gate="speedup_asserted"
-        )
         history = [compact_entry(
-            {"speedup": 1.0, "speedup_asserted": False}, gated
+            {"speedup": 1.0, "speedup_asserted": False}, GATED
         )]
-        assert check_regression("x", history, gated) == []
+        assert check_regression("x", history, GATED) == []
+
+    def test_ratchet_catches_a_drop_above_the_absolute_floor(self):
+        history = [
+            compact_entry({"speedup": 8.0}, SPEEDUP),
+            compact_entry({"speedup": 4.0}, SPEEDUP),
+        ]
+        failures = check_regression("x", history, SPEEDUP)
+        assert len(failures) == 1
+        assert "fell more than 20%" in failures[0]
+
+    def test_ratchet_tolerates_drift_within_slack(self):
+        history = [
+            compact_entry({"speedup": 5.0}, SPEEDUP),
+            compact_entry({"speedup": 4.2}, SPEEDUP),
+        ]
+        assert check_regression("x", history, SPEEDUP) == []
+
+    def test_ratchet_ceiling_catches_a_rise(self):
+        ceiling = Threshold(metrics=("overhead_percent",), ceiling=10.0)
+        history = [
+            compact_entry({"overhead_percent": 2.0}, ceiling),
+            compact_entry({"overhead_percent": 4.0}, ceiling),
+        ]
+        failures = check_regression("x", history, ceiling)
+        assert "rose more than 20%" in failures[0]
+
+
+class TestHardwareProvenance:
+    def test_cpu_count_travels_into_entry_and_rows(self):
+        entry = compact_entry(
+            {"speedup": 4.0, "cpu_count": 8, "speedup_asserted": True},
+            GATED,
+        )
+        assert entry["cpu_count"] == 8
+        assert trend_rows([entry])[0]["cpus"] == 8
+
+    def test_single_core_entry_is_not_enforceable_when_gated(self):
+        single = compact_entry(
+            {"speedup": 1.07, "cpu_count": 1, "speedup_asserted": True},
+            GATED,
+        )
+        multi = compact_entry(
+            {"speedup": 4.0, "cpu_count": 8, "speedup_asserted": True},
+            GATED,
+        )
+        assert not enforceable_entry(single, GATED)
+        assert enforceable_entry(multi, GATED)
+        # Ungated thresholds enforce everywhere, cores or not.
+        assert enforceable_entry(single, SPEEDUP)
+
+    def test_unasserted_entry_is_not_enforceable(self):
+        entry = compact_entry(
+            {"speedup": 1.0, "cpu_count": 8, "speedup_asserted": False},
+            GATED,
+        )
+        assert not enforceable_entry(entry, GATED)
+
+    def test_single_core_run_never_fails_the_gate(self):
+        # 1.07x on one core is a fact, not a regression: below both the
+        # absolute floor and the would-be ratchet, yet exempt.
+        history = [
+            compact_entry(
+                {"speedup": 4.0, "cpu_count": 8, "speedup_asserted": True},
+                GATED,
+            ),
+            compact_entry(
+                {"speedup": 1.07, "cpu_count": 1, "speedup_asserted": True},
+                GATED,
+            ),
+        ]
+        assert check_regression("x", history, GATED) == []
+
+    def test_ineligible_entries_refused_as_ratchet_baseline(self):
+        # The unasserted single-core 1.07x must not become the bar a
+        # real 8-core run is ratcheted against — the baseline skips
+        # back to the last eligible entry (8.0), which 4.0 violates.
+        history = [
+            compact_entry(
+                {"speedup": 8.0, "cpu_count": 8, "speedup_asserted": True},
+                GATED,
+            ),
+            compact_entry(
+                {"speedup": 1.07, "cpu_count": 1, "speedup_asserted": False},
+                GATED,
+            ),
+            compact_entry(
+                {"speedup": 4.0, "cpu_count": 8, "speedup_asserted": True},
+                GATED,
+            ),
+        ]
+        failures = check_regression("x", history, GATED)
+        assert len(failures) == 1
+        assert "8" in failures[0]
+
+    def test_no_eligible_baseline_means_absolute_floor_only(self):
+        history = [
+            compact_entry(
+                {"speedup": 1.0, "cpu_count": 1, "speedup_asserted": True},
+                GATED,
+            ),
+            compact_entry(
+                {"speedup": 4.0, "cpu_count": 8, "speedup_asserted": True},
+                GATED,
+            ),
+        ]
+        assert check_regression("x", history, GATED) == []
 
 
 @pytest.fixture()

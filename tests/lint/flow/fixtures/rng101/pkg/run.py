@@ -1,0 +1,27 @@
+"""Seeded RNG101 violations: seed sequences spawned inside a submitted
+task body instead of at the dispatch site.
+
+``run_bad`` submits a task that spawns directly; ``run_indirect``
+submits one that spawns through a helper. ``run_good`` spawns at the
+dispatch site — the blessed pattern — and ships one seed per task.
+"""
+
+import numpy as np
+
+from pkg.seeds import execute, spawn_seed_sequences
+from pkg.tasks import bad_task, good_task, indirect_task
+
+
+def run_bad(payloads):
+    return execute(bad_task, payloads)  # seeded: task spawns in its body
+
+
+def run_indirect(executor, payloads):
+    # seeded: the spawn hides one call deeper inside indirect_task
+    return executor.submit(indirect_task, payloads)
+
+
+def run_good(payloads):
+    rng = np.random.default_rng(11)
+    seeds = spawn_seed_sequences(rng, len(payloads))
+    return execute(good_task, seeds)

@@ -1,0 +1,17 @@
+"""Seed plumbing for the RNG101 fixture."""
+
+import numpy as np
+
+
+def spawn_seed_sequences(rng, count):
+    root = np.random.SeedSequence(int(rng.integers(0, 2**32)))
+    return list(root.spawn(count))
+
+
+def prepare_seeds(rng, count):
+    # Helper indirection: callers inherit spawns_seeds from here.
+    return spawn_seed_sequences(rng, count)
+
+
+def execute(fn, payloads, workers=None):
+    return [fn(p) for p in payloads]

@@ -1,0 +1,23 @@
+"""Task bodies for the RNG101 fixture: two spawn seeds, one does not."""
+
+import numpy as np
+
+from pkg.seeds import prepare_seeds, spawn_seed_sequences
+
+
+def bad_task(payload):
+    rng = np.random.default_rng(payload)
+    # Spawning inside the task: stream identity now depends on sharding.
+    seeds = spawn_seed_sequences(rng, 4)
+    return [s.generate_state(1) for s in seeds]
+
+
+def indirect_task(payload):
+    rng = np.random.default_rng(payload)
+    # Same violation one call deeper, via the prepare_seeds helper.
+    return prepare_seeds(rng, 2)
+
+
+def good_task(payload):
+    rng = np.random.default_rng(payload)
+    return rng.normal(size=3)

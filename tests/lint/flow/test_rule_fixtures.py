@@ -50,6 +50,15 @@ def test_rng100_generator_through_indirection(lint_fixture):
     assert len(result.findings) == 2
 
 
+def test_rng101_seeds_spawned_inside_task(lint_fixture):
+    result = lint_fixture("rng101", ["RNG101"])
+    assert _locations(result, "RNG101") == [
+        ("pkg/run.py", 16),  # submitted task spawns seeds directly
+        ("pkg/run.py", 21),  # spawn hidden behind the prepare_seeds helper
+    ]
+    assert len(result.findings) == 2
+
+
 def test_pure001_impure_stage_functions(lint_fixture):
     result = lint_fixture("pure001", ["PURE001"])
     assert _locations(result, "PURE001") == [
@@ -62,5 +71,14 @@ def test_pure001_impure_stage_functions(lint_fixture):
 def test_fixtures_clean_under_other_rules(lint_fixture):
     # Cross-check: the dp100 fixture seeds *only* DP100 violations —
     # running the other flow rules over it must stay quiet.
-    result = lint_fixture("dp100", ["DP101", "DP102", "RNG100", "PURE001"])
+    result = lint_fixture(
+        "dp100", ["DP101", "DP102", "RNG100", "RNG101", "PURE001"]
+    )
+    assert result.findings == ()
+
+
+def test_rng101_fixture_clean_under_rng100(lint_fixture):
+    # The seeded RNG101 package never ships a live generator across the
+    # boundary — only its spawn placement is wrong.
+    result = lint_fixture("rng101", ["RNG100"])
     assert result.findings == ()

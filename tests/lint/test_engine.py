@@ -182,5 +182,5 @@ class TestRegistry:
             "DP001", "DP002", "DP003", "NUM001", "OBS001", "PY001", "PY002",
             "RNG001", "RNG002", "SCN001",
             # interprocedural flow rules (requires_flow)
-            "DP100", "DP101", "DP102", "RNG100", "PURE001",
+            "DP100", "DP101", "DP102", "RNG100", "RNG101", "PURE001",
         }

@@ -102,6 +102,21 @@ class TestPublishSweep:
                 load_matrix(tmp_path / f"parallel-eps{eps}.npz").values,
             )
 
+    def test_sharded_publish_bit_identical_across_workers(
+        self, dataset_file, tmp_path
+    ):
+        serial_out = tmp_path / "serial.npz"
+        parallel_out = tmp_path / "parallel.npz"
+        sharded = ["--shard-depth", "1", *PUBLISH_ARGS]
+        main(["publish", "--data", str(dataset_file),
+              "--out", str(serial_out), *sharded])
+        main(["publish", "--data", str(dataset_file),
+              "--out", str(parallel_out), "--workers", "2", *sharded])
+        np.testing.assert_array_equal(
+            load_matrix(serial_out).values,
+            load_matrix(parallel_out).values,
+        )
+
     def test_pipeline_run_prints_per_epsilon_tables(
         self, dataset_file, tmp_path, capsys
     ):
