@@ -1,0 +1,41 @@
+"""Warm micro-batched query serving vs cold per-request engines.
+
+Delegates to :func:`repro.experiments.bench.bench_serving` — the same
+implementation behind ``repro bench serving`` — so the number printed
+here is the number shipped in ``BENCH_serving.json``. The warm side
+runs the real asyncio server (HTTP framing, JSON, micro-batching loop)
+against the load harness over localhost; answers are checked
+bit-identical to single-request ``evaluate_many`` bits before any
+timing counts, and the warm requests/sec must clear 5x the cold
+per-request engine-construction rate.
+
+Marked ``slow`` to keep the default suite fast, matching the other
+benchmark wrappers; run it with
+``pytest benchmarks/bench_serving.py -m slow``.
+"""
+
+import pytest
+
+from repro.experiments.bench import bench_serving
+
+COLUMNS = [
+    "matrix_shape", "requests", "connections", "cold_requests_per_second",
+    "requests_per_second", "p50_ms", "p99_ms", "mean_batch_size", "speedup",
+]
+
+
+@pytest.mark.slow
+def test_serving_speedup(print_rows):
+    def run():
+        payload = bench_serving()
+        assert payload["bit_identical"] is True
+        return [{key: payload[key] for key in COLUMNS}]
+
+    rows = print_rows(
+        "mixed-workload serving: warm batched server vs cold engines",
+        run,
+        columns=COLUMNS,
+    )
+    row = rows[0]
+    assert row["speedup"] >= 5.0
+    assert row["p99_ms"] > 0

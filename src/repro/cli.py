@@ -23,6 +23,9 @@ Examples::
     python -m repro publish --data ca.npz --grid 16 --t-train 40 \
         --out release.npz --trace --trace-out release-trace.jsonl
     python -m repro trace release-trace.jsonl --top 5
+    python -m repro serve run --release cer=release.npz --port 8080
+    python -m repro serve loadgen --port 8080 --release cer \
+        --requests 100000 --connections 16
 """
 
 from __future__ import annotations
@@ -70,8 +73,10 @@ from repro.obs import (
     write_trace,
 )
 from repro.pipeline import ArtifactStore
-from repro.queries.metrics import workload_mre
+from repro.queries.engine import QueryEngine
+from repro.queries.metrics import workload_metrics
 from repro.queries.range_query import make_workload
+from repro.serve import ReleaseCache, ServeConfig, run_load, run_server
 from repro.rng import derive_seed, ensure_rng
 from repro.scenarios import (
     SCENARIO_KINDS,
@@ -273,6 +278,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "newest run regresses past the registered threshold",
     )
     _add_trace_arguments(ben)
+
+    srv = sub.add_parser(
+        "serve", help="serve range/derived queries over published releases"
+    )
+    srv_sub = srv.add_subparsers(dest="serve_command", required=True)
+    srun = srv_sub.add_parser(
+        "run", help="start the asyncio query server (Ctrl-C to stop)"
+    )
+    srun.add_argument(
+        "--release", action="append", required=True, metavar="NAME=PATH",
+        help="a servable release (repeatable)",
+    )
+    srun.add_argument("--host", default="127.0.0.1")
+    srun.add_argument("--port", type=int, default=8080)
+    srun.add_argument(
+        "--cache-size", type=int, default=8,
+        help="how many release engines stay hot (LRU beyond that)",
+    )
+    srun.add_argument(
+        "--batch-window", type=float, default=0.001,
+        help="seconds concurrent /query requests wait to share one "
+        "evaluate_many gather (0 disables coalescing)",
+    )
+    srun.add_argument("--max-batch", type=int, default=256)
+    srun.add_argument(
+        "--max-requests", type=int, default=None,
+        help="stop after serving this many requests (default: forever)",
+    )
+    sload = srv_sub.add_parser(
+        "loadgen", help="replay a mixed range-query load against a server"
+    )
+    sload.add_argument("--host", default="127.0.0.1")
+    sload.add_argument("--port", type=int, required=True)
+    sload.add_argument("--release", required=True, help="release name to query")
+    sload.add_argument("--requests", type=int, default=10_000)
+    sload.add_argument("--connections", type=int, default=8)
+    sload.add_argument(
+        "--queries", type=int, default=300,
+        help="workload-pool queries per class (small/large/random)",
+    )
+    sload.add_argument("--seed", type=int, default=0)
 
     tra = sub.add_parser(
         "trace", help="render a trace recorded with --trace"
@@ -657,7 +703,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     _finalize_args(args, keys=_EVALUATE_KEYS)
     __, cons, __, __ = _matrices_for(args)
-    release = load_matrix(args.release)
+    # One engine per matrix for the whole evaluation: the release comes
+    # out of the same ReleaseCache the server uses, the truth engine is
+    # built once and reused as both workload reference and answer table.
+    cache = ReleaseCache(capacity=2)
+    cache.add("release", args.release)
+    release = cache.get("release")
     test_cons = cons.time_slice(args.t_train)
     if release.shape != test_cons.shape:
         print(  # lint: disable=DP100 -- error message carries shape metadata only, no household values
@@ -666,17 +717,71 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    true_engine = QueryEngine(test_cons)
     rows = []
     for kind in ("random", "small", "large"):
         queries = make_workload(
             kind, test_cons.shape, count=args.queries,
-            rng=args.seed, reference=test_cons,
+            rng=args.seed, reference=true_engine,
         )
         rows.append(
             {"workload": kind,
-             "mre_percent": workload_mre(queries, test_cons, release)}
+             **workload_metrics(queries, true_engine, release.engine)}
         )
     print(format_table(rows))
+    return 0
+
+
+def _parse_release_specs(specs: list[str]) -> dict[str, str]:
+    releases: dict[str, str] = {}
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(
+                f"--release expects NAME=PATH, got {spec!r}"
+            )
+        if not Path(path).exists():
+            raise ReproError(f"release file not found: {path}")
+        releases[name] = path
+    return releases
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.serve_command == "loadgen":
+        report = run_load(
+            args.host,
+            args.port,
+            args.release,
+            requests=args.requests,
+            connections=args.connections,
+            queries_per_class=args.queries,
+            seed=args.seed,
+        )
+        print(format_table([report.as_dict()]))
+        return 1 if report.errors else 0
+    releases = _parse_release_specs(args.release)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_capacity=args.cache_size,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        max_requests=args.max_requests,
+    )
+
+    def ready(port: int) -> None:
+        print(
+            f"serving {len(releases)} release(s) on "
+            f"http://{args.host}:{port}",
+            flush=True,
+        )
+
+    try:
+        served = run_server(releases, config, ready=ready)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print("stopped", file=sys.stderr)
+        return 0
+    print(f"served {served} request(s)")
     return 0
 
 
@@ -817,6 +922,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "pipeline": _cmd_pipeline,
         "bench": _cmd_bench,
         "scenarios": _cmd_scenarios,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
     }
     try:

@@ -44,6 +44,10 @@ class TrainingError(ReproError):
 class TraceError(ReproError):
     """A trace file is missing, unreadable or malformed (repro.obs)."""
 
+
+class ServeError(ReproError):
+    """The query-serving layer was misconfigured or fed a bad release."""
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -54,4 +58,5 @@ __all__ = [
     "QueryError",
     "TrainingError",
     "TraceError",
+    "ServeError",
 ]

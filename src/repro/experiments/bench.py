@@ -63,6 +63,8 @@ _KERNEL_SPEEDUP_FLOOR = 3.0
 _TRAINING_SPEEDUP_FLOOR = 2.0
 #: Query-engine floor over per-query slice sums on the mixed workload.
 _QUERY_SPEEDUP_FLOOR = 10.0
+#: Warm batched serving floor over cold per-request engine builds.
+_SERVING_SPEEDUP_FLOOR = 5.0
 #: Ceiling on the instrumentation share of sweep wall time (NullTracer).
 _TRACE_OVERHEAD_CEILING = 0.02
 #: Whole-tree interprocedural lint pass must stay CI-friendly.
@@ -494,6 +496,129 @@ def bench_query_engine(workers: int | None = None) -> dict:
     }
 
 
+@register(
+    "serving",
+    threshold=f">= {_SERVING_SPEEDUP_FLOOR}x requests/sec: warm "
+    "micro-batched serving vs cold per-request engine construction on "
+    "the same mixed workload; batched answers bit-identical",
+    metrics=("speedup",),
+    floor=_SERVING_SPEEDUP_FLOOR,
+)
+def bench_serving(workers: int | None = None) -> dict:
+    """Warm batched HTTP serving vs cold per-request engine builds.
+
+    The scenario (``bench-serving``) fixes the paper geometry: one
+    released 32x32x120 matrix and the 3x300-query mixed workload. The
+    cold side models the pre-``repro.serve`` world — every request
+    constructs a fresh :class:`QueryEngine` (the O(volume) cumsum
+    table) and answers one query. The warm side runs the real server:
+    one hot engine in the :class:`ReleaseCache`, N keep-alive
+    connections, and the micro-batching loop coalescing concurrent
+    requests into single ``evaluate_many`` gathers — full HTTP framing
+    and JSON round-trips included in its timing. Answers from both
+    sides are checked bit-identical against a direct
+    ``evaluate_many`` over the same bounds before any timing counts.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.serve import (
+        ReleaseServer,
+        ServeConfig,
+        mixed_workload_bounds,
+        run_load_async,
+    )
+
+    del workers  # single-process benchmark; kept for a uniform signature
+    resolved = resolve_scenario("bench-serving")
+    shape = (*resolved.preset.grid_shape, resolved.preset.t_test)
+    seed = resolved.spec.seeds.seed
+    values = np.random.default_rng(seed).random(shape)
+    bounds = mixed_workload_bounds(
+        shape, count=resolved.query_count, rng=seed
+    )
+    reference = QueryEngine(values).evaluate_many(bounds)
+
+    # Cold side: per-request engine construction, timed over one pass
+    # of the workload pool (each "request" answers one query).
+    def cold_pass() -> np.ndarray:
+        return np.array(
+            [
+                QueryEngine(values).evaluate_many(row[None, :])[0]
+                for row in bounds
+            ]
+        )
+
+    cold_answers = cold_pass()
+    if not np.array_equal(cold_answers, reference):
+        raise AssertionError("cold per-request answers drifted from reference")
+    cold_seconds = _best_of(cold_pass, repeats=2)
+    cold_rps = len(bounds) / cold_seconds
+
+    # Warm side: the actual server + load harness over localhost.
+    requests = 4 * len(bounds)
+    connections = 16
+    config = ServeConfig(batch_window=0.001, max_batch=256)
+
+    async def warm_run() -> "tuple[object, object]":
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "release.npz"
+            np.savez(path, values=values)
+            metrics = Metrics()
+            with use_metrics(metrics):
+                server = ReleaseServer({"bench": str(path)}, config)
+                async with server:
+                    # Warm the cache outside the timed load.
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, server.cache.get, "bench"
+                    )
+                    report = await run_load_async(
+                        "127.0.0.1",
+                        server.port,
+                        "bench",
+                        bounds,
+                        requests=requests,
+                        connections=connections,
+                        collect_answers=True,
+                    )
+            return report, metrics
+
+    report, metrics = asyncio.run(warm_run())
+    if report.errors:
+        raise AssertionError(f"{report.errors} serving error(s) under load")
+    got = np.array([row[0] for row in report.answers])
+    expected = np.array(
+        [reference[i % len(bounds)] for i in range(requests)]
+    )
+    if not np.array_equal(got, expected):
+        raise AssertionError("batched answers drifted from single-request bits")
+
+    batch_histogram = metrics.histogram_value("serve.batch.size")
+    mean_batch = batch_histogram.mean if batch_histogram else 1.0
+    speedup = report.requests_per_second / cold_rps
+    if speedup < _SERVING_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"warm serving speedup {speedup:.2f}x is below the "
+            f"{_SERVING_SPEEDUP_FLOOR}x floor"
+        )
+    return {
+        "benchmark": "serving",
+        "cpu_count": os.cpu_count() or 1,
+        "matrix_shape": list(shape),
+        "workload_queries": len(bounds),
+        "requests": requests,
+        "connections": connections,
+        "batch_window_seconds": config.batch_window,
+        "cold_requests_per_second": round(cold_rps, 1),
+        "requests_per_second": round(report.requests_per_second, 1),
+        "p50_ms": round(report.p50_ms, 3),
+        "p99_ms": round(report.p99_ms, 3),
+        "mean_batch_size": round(mean_batch, 2),
+        "speedup": round(speedup, 2),
+        "bit_identical": True,
+    }
+
+
 def _trace_bench_matrix() -> ConsumptionMatrix:
     """Deterministic 8x8x24 matrix (the golden-test geometry)."""
     x = np.arange(8, dtype=float)[:, None, None]
@@ -703,6 +828,7 @@ __all__: Sequence[str] = [
     "bench_nn_kernels",
     "bench_parallel_sweep",
     "bench_query_engine",
+    "bench_serving",
     "bench_sharded_publish",
     "bench_trace_overhead",
     "bench_training_step",

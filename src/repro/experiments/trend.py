@@ -171,11 +171,15 @@ def enforceable_entry(entry: Mapping[str, Any], threshold: Threshold) -> bool:
     An unasserted run, or one recorded on a single-core box, is kept in
     the trajectory for provenance but is neither enforced against nor
     accepted as a regression baseline — its "speedup" measures the
-    scheduler, not the code. Ungated thresholds enforce everywhere.
+    scheduler, not the code. An entry with no recorded verdict at all
+    (written before the gate existed, or by hand) is treated the same
+    way: on a gated benchmark, only an explicit ``asserted: true`` may
+    set the floor a later run is ratcheted against. Ungated thresholds
+    enforce everywhere.
     """
     if threshold.gate is None:
         return True
-    if not entry.get("asserted", True):
+    if not entry.get("asserted", False):
         return False
     cpu_count = entry.get("cpu_count")
     if isinstance(cpu_count, (int, float)) and cpu_count < 2:

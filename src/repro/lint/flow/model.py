@@ -45,6 +45,7 @@ SINK_KINDS = (
     "file",
     "stdout",
     "stage-output",
+    "http-response",
 )
 
 #: Method names that are sinks when the receiver looks the part.

@@ -6,17 +6,39 @@ answering them directly under DP has pathological sensitivity. These
 helpers implement exactly that pattern on top of a (sanitized) matrix;
 they are pure post-processing, so they inherit the release's privacy
 guarantee (Theorem 3).
+
+Every helper accepts either a raw :class:`ConsumptionMatrix` (exact
+slice summation, as before) or a prebuilt
+:class:`~repro.queries.engine.QueryEngine` — the serving layer and
+``repro evaluate`` pass the latter so the O(volume) cumsum table is
+built once per release, not once per metric. On the engine path the
+per-slice loops collapse into one vectorized ``evaluate_many`` gather.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 from repro.data.matrix import ConsumptionMatrix
 from repro.exceptions import QueryError
+from repro.queries.engine import QueryEngine
 from repro.queries.range_query import RangeQuery
+
+#: What the derived metrics evaluate against: raw matrix or hot engine.
+QuerySource = Union[ConsumptionMatrix, QueryEngine]
+
+
+def _n_steps(source: QuerySource) -> int:
+    return source.shape[2] if isinstance(source, QueryEngine) else source.n_steps
+
+
+def _grid_shape(source: QuerySource) -> tuple[int, int]:
+    if isinstance(source, QueryEngine):
+        return source.shape[0], source.shape[1]
+    return source.grid_shape
 
 
 @dataclass(frozen=True)
@@ -43,29 +65,46 @@ class SpatialRegion:
 
 
 def average_consumption(
-    matrix: ConsumptionMatrix, query: RangeQuery
+    source: QuerySource, query: RangeQuery
 ) -> float:
     """Average per-cell consumption in a 3-orthotope: sum / volume."""
-    return query.evaluate(matrix) / query.volume
+    if isinstance(source, QueryEngine):
+        return source.evaluate(query) / query.volume
+    return query.evaluate(source) / query.volume
 
 
 def consumption_profile(
-    matrix: ConsumptionMatrix,
+    source: QuerySource,
     region: SpatialRegion,
     t0: int = 0,
     t1: int | None = None,
 ) -> np.ndarray:
-    """Per-slice consumption series of a region (one query per slice)."""
-    t1 = matrix.n_steps if t1 is None else t1
-    if not (0 <= t0 < t1 <= matrix.n_steps):
+    """Per-slice consumption series of a region (one query per slice).
+
+    On the engine path the whole series is one ``evaluate_many`` gather
+    over ``t1 - t0`` single-slice bounds rows.
+    """
+    n_steps = _n_steps(source)
+    t1 = n_steps if t1 is None else t1
+    if not (0 <= t0 < t1 <= n_steps):
         raise QueryError(f"time range [{t0}, {t1}) invalid")
+    if isinstance(source, QueryEngine):
+        steps = np.arange(t0, t1, dtype=np.intp)
+        bounds = np.empty((len(steps), 6), dtype=np.intp)
+        bounds[:, 0] = region.x0
+        bounds[:, 1] = region.x1
+        bounds[:, 2] = region.y0
+        bounds[:, 3] = region.y1
+        bounds[:, 4] = steps
+        bounds[:, 5] = steps + 1
+        return source.evaluate_many(bounds)
     return np.array(
-        [region.at_time(t, t + 1).evaluate(matrix) for t in range(t0, t1)]
+        [region.at_time(t, t + 1).evaluate(source) for t in range(t0, t1)]
     )
 
 
 def peak_demand(
-    matrix: ConsumptionMatrix,
+    source: QuerySource,
     region: SpatialRegion,
     t0: int = 0,
     t1: int | None = None,
@@ -76,31 +115,31 @@ def peak_demand(
     range queries at the narrowest time granularity followed by a max,
     rather than a direct (high-sensitivity) MAX query.
     """
-    profile = consumption_profile(matrix, region, t0, t1)
+    profile = consumption_profile(source, region, t0, t1)
     index = int(np.argmax(profile))
     return float(profile[index]), t0 + index
 
 
 def base_load(
-    matrix: ConsumptionMatrix,
+    source: QuerySource,
     region: SpatialRegion,
     t0: int = 0,
     t1: int | None = None,
 ) -> tuple[float, int]:
     """Indirect MIN: the smallest per-slice region total and its slice."""
-    profile = consumption_profile(matrix, region, t0, t1)
+    profile = consumption_profile(source, region, t0, t1)
     index = int(np.argmin(profile))
     return float(profile[index]), t0 + index
 
 
 def peak_to_average_ratio(
-    matrix: ConsumptionMatrix,
+    source: QuerySource,
     region: SpatialRegion,
     t0: int = 0,
     t1: int | None = None,
 ) -> float:
     """PAR of a region — a standard grid-planning load metric."""
-    profile = consumption_profile(matrix, region, t0, t1)
+    profile = consumption_profile(source, region, t0, t1)
     mean = float(profile.mean())
     if abs(mean) < 1e-12:
         raise QueryError("region has (near-)zero average consumption")
@@ -108,7 +147,7 @@ def peak_to_average_ratio(
 
 
 def top_k_regions(
-    matrix: ConsumptionMatrix,
+    source: QuerySource,
     block_side: int,
     k: int,
     t0: int = 0,
@@ -118,24 +157,38 @@ def top_k_regions(
 
     Tiles the grid, evaluates each tile's total over the time range and
     returns the top k — the "where do we put the battery" primitive of
-    the Figure 3 scenario.
+    the Figure 3 scenario. With an engine, all tiles are scored in one
+    ``evaluate_many`` gather.
     """
     if k <= 0:
         raise QueryError("k must be positive")
-    cx, cy = matrix.grid_shape
+    cx, cy = _grid_shape(source)
     if block_side <= 0 or block_side > min(cx, cy):
         raise QueryError(f"block_side must be in [1, {min(cx, cy)}]")
-    t1 = matrix.n_steps if t1 is None else t1
-    scored: list[tuple[SpatialRegion, float]] = []
-    for x0 in range(0, cx - block_side + 1, block_side):
-        for y0 in range(0, cy - block_side + 1, block_side):
-            region = SpatialRegion(x0, x0 + block_side, y0, y0 + block_side)
-            total = region.at_time(t0, t1).evaluate(matrix)
-            scored.append((region, float(total)))
+    t1 = _n_steps(source) if t1 is None else t1
+    regions = [
+        SpatialRegion(x0, x0 + block_side, y0, y0 + block_side)
+        for x0 in range(0, cx - block_side + 1, block_side)
+        for y0 in range(0, cy - block_side + 1, block_side)
+    ]
+    if isinstance(source, QueryEngine):
+        bounds = np.array(
+            [[r.x0, r.x1, r.y0, r.y1, t0, t1] for r in regions],
+            dtype=np.intp,
+        )
+        totals = source.evaluate_many(bounds)
+    else:
+        totals = [
+            region.at_time(t0, t1).evaluate(source) for region in regions
+        ]
+    scored = [
+        (region, float(total)) for region, total in zip(regions, totals)
+    ]
     scored.sort(key=lambda pair: pair[1], reverse=True)
     return scored[:k]
 
 __all__ = [
+    "QuerySource",
     "SpatialRegion",
     "average_consumption",
     "consumption_profile",

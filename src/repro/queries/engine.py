@@ -66,6 +66,11 @@ class QueryEngine:
         table[1:, 1:, 1:] = values.cumsum(axis=0).cumsum(axis=1).cumsum(axis=2)
         self._table = table
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the cumsum table (the cache-occupancy cost)."""
+        return int(self._table.nbytes)
+
     def evaluate(self, query) -> float:
         """Answer of one :class:`RangeQuery` by inclusion–exclusion."""
         if not query.fits(self.shape):

@@ -90,6 +90,30 @@ def workload_mre(
     noisy_answers = evaluate_queries(queries, noisy_matrix)
     return mean_relative_error(true_answers, noisy_answers, sanity_bound=sanity_bound)
 
+
+def workload_metrics(
+    queries: "list[RangeQuery] | np.ndarray",
+    true_matrix: "ConsumptionMatrix | np.ndarray | QueryEngine",
+    noisy_matrix: "ConsumptionMatrix | np.ndarray | QueryEngine",
+    sanity_bound: float | None = None,
+) -> dict[str, float]:
+    """MRE / MAE / RMSE of one workload from a single evaluation pass.
+
+    ``repro evaluate`` reports all three; evaluating each side once and
+    deriving every metric from the same answer vectors (instead of one
+    evaluation per metric) is what makes the engine hoist pay off —
+    pass prebuilt :class:`QueryEngine` instances for both sides.
+    """
+    true_answers = evaluate_queries(queries, true_matrix)
+    noisy_answers = evaluate_queries(queries, noisy_matrix)
+    return {
+        "mre_percent": mean_relative_error(
+            true_answers, noisy_answers, sanity_bound=sanity_bound
+        ),
+        "mae": mean_absolute_error(true_answers, noisy_answers),
+        "rmse": root_mean_squared_error(true_answers, noisy_answers),
+    }
+
 __all__ = [
     "SANITY_BOUND_FRACTION",
     "relative_errors",
@@ -97,4 +121,5 @@ __all__ = [
     "mean_absolute_error",
     "root_mean_squared_error",
     "workload_mre",
+    "workload_metrics",
 ]

@@ -260,6 +260,23 @@ BENCH_SHARDED_PUBLISH = register_scenario(
     )
 )
 
+#: ``bench serving``: warm micro-batched query serving over one
+#: published release at paper geometry (32x32 grid, 120-step test
+#: horizon, the 3x300-query mixed workload) vs cold per-request engine
+#: construction on the same traffic.
+BENCH_SERVING = register_scenario(
+    ScenarioSpec(
+        name="bench-serving",
+        description="paper scale: warm batched query serving over one "
+        "published release vs cold per-request engines",
+        kind="serve",
+        dataset=DatasetRef("CER"),
+        scale="paper",
+        seeds=SeedPolicy(seed=7),
+        tags=("serving",),
+    )
+)
+
 __all__ = [
     "ABLATION_ALLOCATION",
     "ABLATION_ATTENTION",
@@ -269,6 +286,7 @@ __all__ = [
     "ABLATION_ROLLOUT",
     "ABLATION_SEEDS",
     "BENCH_DEFAULT",
+    "BENCH_SERVING",
     "BENCH_SHARDED_PUBLISH",
     "BENCH_TRACE_OVERHEAD",
     "FIG7_WPO",

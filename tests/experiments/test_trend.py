@@ -169,6 +169,46 @@ class TestHardwareProvenance:
         )
         assert not enforceable_entry(entry, GATED)
 
+    def test_entry_missing_the_gate_verdict_is_not_enforceable(self):
+        # A hand-written or pre-gate entry carries no "asserted" key at
+        # all. On a gated benchmark it must be treated as unasserted —
+        # only an explicit asserted: true can anchor the ratchet.
+        legacy = {"commit": "abc", "metrics": {"speedup": 20.0}}
+        assert not enforceable_entry(legacy, GATED)
+        assert enforceable_entry(legacy, SPEEDUP)
+
+    def test_unasserted_high_run_never_sets_the_ratchet_floor(self):
+        # The BENCH_sharded_publish failure mode: a wild unasserted
+        # number (here 20x; 0.814x on the real 1-core box) must not
+        # become the bar a later asserted run is ratcheted against.
+        history = [
+            compact_entry(
+                {"speedup": 5.0, "cpu_count": 8, "speedup_asserted": True},
+                GATED,
+            ),
+            compact_entry(
+                {"speedup": 20.0, "cpu_count": 8, "speedup_asserted": False},
+                GATED,
+            ),
+            compact_entry(
+                {"speedup": 4.2, "cpu_count": 8, "speedup_asserted": True},
+                GATED,
+            ),
+        ]
+        # 4.2 vs the asserted 5.0 baseline is within ratchet slack;
+        # vs the bogus 20.0 it would be a hard failure.
+        assert check_regression("x", history, GATED) == []
+
+    def test_verdictless_entry_refused_as_ratchet_baseline(self):
+        history = [
+            {"commit": "old", "metrics": {"speedup": 20.0}},
+            compact_entry(
+                {"speedup": 4.0, "cpu_count": 8, "speedup_asserted": True},
+                GATED,
+            ),
+        ]
+        assert check_regression("x", history, GATED) == []
+
     def test_single_core_run_never_fails_the_gate(self):
         # 1.07x on one core is a fact, not a regression: below both the
         # absolute floor and the would-be ratchet, yet exempt.

@@ -1,0 +1,13 @@
+"""One seeded leak into the response writer, one clean serving path."""
+
+from pkg.loaders import load_raw_dataset, load_release
+from pkg.responder import write_response
+
+
+def serve_raw(writer):
+    write_response(writer, load_raw_dataset())  # seeded: raw data served
+
+
+def serve_release(writer, path):
+    release = load_release(path)
+    write_response(writer, release["values"])  # post-processing: clean

@@ -1,0 +1,16 @@
+"""Data boundaries for the serve fixture.
+
+``load_raw_dataset`` is the declared raw-data source; ``load_release``
+deliberately is NOT one — it reads an already-sanitized published file,
+so its output is pure post-processing and may reach any sink.
+"""
+
+__flow_sources__ = ("load_raw_dataset",)
+
+
+def load_raw_dataset():
+    return [[1.2, 0.4], [0.9, 1.1]]
+
+
+def load_release(path):
+    return {"values": [[0.7, 0.3]], "path": path}

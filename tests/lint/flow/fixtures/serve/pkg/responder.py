@@ -1,0 +1,7 @@
+"""The serving layer's publication sink: the HTTP response writer."""
+
+__flow_sinks__ = ("write_response:http-response",)
+
+
+def write_response(writer, payload):
+    return writer, payload

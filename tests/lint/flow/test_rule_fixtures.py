@@ -24,6 +24,26 @@ def test_dp100_raw_to_sink(lint_fixture):
     assert len(result.findings) == 2
 
 
+def test_dp100_serve_response_writer_is_a_publication_sink(lint_fixture):
+    """The serving model: raw data into an http-response sink is a
+    leak; data loaded from an already-published release is clean."""
+    result = lint_fixture("serve", ["DP100"])
+    assert _locations(result, "DP100") == [
+        ("pkg/app.py", 8),  # raw dataset straight into write_response
+    ]
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert "http-response" in finding.message
+    assert "load_raw_dataset" in finding.message
+
+
+def test_serve_fixture_clean_under_the_other_flow_rules(lint_fixture):
+    result = lint_fixture(
+        "serve", ["DP101", "DP102", "RNG100", "RNG101", "PURE001"]
+    )
+    assert not result.findings
+
+
 def test_dp101_uncharged_mechanism(lint_fixture):
     result = lint_fixture("dp101", ["DP101"])
     assert _locations(result, "DP101") == [

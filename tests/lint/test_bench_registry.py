@@ -9,7 +9,7 @@ seeded result behind that looks current.
 import json
 from pathlib import Path
 
-from repro.experiments.bench import BENCHMARKS, THRESHOLDS
+from repro.experiments.bench import BENCHMARKS, THRESHOLDS, TREND_THRESHOLDS
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -46,3 +46,34 @@ def test_every_benchmark_declares_a_threshold_string():
     # --list prints these; an empty entry would render as a blank line.
     for name in BENCHMARKS:
         assert THRESHOLDS.get(name), f"benchmark {name!r} has no threshold"
+
+
+def test_trend_thresholds_name_registered_benchmarks():
+    orphans = set(TREND_THRESHOLDS) - set(BENCHMARKS)
+    assert not orphans, (
+        f"trend thresholds without a benchmark: {sorted(orphans)}"
+    )
+
+
+def test_trend_histories_match_their_registered_threshold():
+    """A seeded history's newest entry must carry every metric the
+    registered threshold enforces, and — when the threshold is gated —
+    an explicit asserted verdict, so ``--trend`` can always adjudicate
+    the next run against what is checked in."""
+    for path in _bench_files():
+        name = path.stem.removeprefix("BENCH_")
+        threshold = TREND_THRESHOLDS.get(name)
+        payload = json.loads(path.read_text())
+        history = payload.get("history")
+        if threshold is None or not history:
+            continue
+        newest = history[-1]
+        for metric in threshold.metrics:
+            assert metric in newest.get("metrics", {}), (
+                f"{path.name} newest entry lacks trend metric {metric!r}"
+            )
+        if threshold.gate is not None:
+            assert "asserted" in newest, (
+                f"{path.name} is gated on {threshold.gate!r} but its "
+                f"newest entry records no asserted verdict"
+            )
