@@ -1,0 +1,41 @@
+"""The adversarial audit suite as a pytest-visible benchmark.
+
+Delegates to :func:`repro.experiments.bench.bench_audit_suite` — the
+same implementation behind ``repro bench audit_suite`` — so the verdict
+printed here is the verdict shipped in ``BENCH_audit_suite.json``: the
+honest composed and sharded publishes never contradict their claimed ε,
+the membership attack stays under the DP advantage ceiling, all three
+deliberately broken pipeline variants (forgotten noise, half-scale
+noise, double-spend) are flagged, results are bit-identical across
+worker counts, and the frontier's utility column stays under its
+ceiling.
+
+Marked ``slow`` (the double-spend detection alone needs over a thousand
+mechanism trials); run it with
+``pytest benchmarks/bench_audit_suite.py -m slow``.
+"""
+
+import pytest
+
+from repro.experiments.bench import _AUDIT_GATES, bench_audit_suite
+
+COLUMNS = [
+    "gates_passed", "trials", "audit_seconds", "trials_per_second",
+]
+
+
+@pytest.mark.slow
+def test_audit_suite_gates(print_rows):
+    def run():
+        payload = bench_audit_suite()
+        assert all(payload["gates"].values()), payload["gates"]
+        return [{key: payload[key] for key in COLUMNS}]
+
+    rows = print_rows(
+        "adversarial audit suite: eps bounds, attacks, broken variants",
+        run,
+        columns=COLUMNS,
+    )
+    row = rows[0]
+    assert row["gates_passed"] == _AUDIT_GATES
+    assert row["trials_per_second"] > 0

@@ -1,0 +1,326 @@
+"""Membership- and pattern-inference attacks on published releases.
+
+The estimator in :mod:`repro.audit.estimator` bounds ε directly; the
+attacks here measure what an *adversary* actually achieves against a
+release, in the units the DP guarantee caps. A shadow-release attack
+runs the mechanism on two candidate worlds, calibrates a decision
+threshold on those shadow scores, then evaluates the frozen classifier
+on fresh challenge releases. The headline number is the attack
+**advantage** (TPR − FPR), which any ε-DP mechanism provably limits to
+``(e^ε − 1)/(e^ε + 1)`` for worlds one adjacency step apart — so a
+statistically sound lower confidence bound on the advantage above that
+ceiling falsifies the claim, exactly like the estimator's ε bound.
+
+Two attack flavours ship:
+
+membership inference
+    The worlds are a neighbouring pair (distinguished heavy household
+    present vs absent — :func:`repro.audit.targets.neighbouring_readings`).
+    One adjacency step; the guessing game of the DP definition itself.
+
+pattern inference
+    Both worlds contain the household; what differs is *when* it
+    consumes (two temporal profiles with identical totals, so sum-based
+    statistics are blind). Replacing one record is two adjacency steps
+    (remove + add), so the ceiling uses ``2ε``. This probes whether the
+    pattern-recognition stage leaks the household's temporal shape.
+
+Scoring fans out over :func:`repro.audit.estimator.collect_scores`, so
+attacks inherit the estimator's determinism contract: bit-identical
+results at any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.audit.composed import ComposedSTPTTarget
+from repro.audit.estimator import (
+    DEFAULT_BATCH_SIZE,
+    AuditTarget,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+    collect_scores,
+)
+from repro.audit.targets import audit_cells
+from repro.core.stpt import STPTConfig
+from repro.exceptions import ConfigurationError
+from repro.rng import RngLike, ensure_rng
+
+
+def dp_advantage_bound(epsilon: float, adjacency_steps: int = 1) -> float:
+    """The largest advantage any ε-DP mechanism permits.
+
+    For worlds ``k`` adjacency steps apart, group privacy gives ``kε``
+    and the membership advantage of *any* classifier is at most
+    ``(e^{kε} − 1)/(e^{kε} + 1)`` (the total-variation bound).
+    """
+    scaled = epsilon * adjacency_steps
+    return float(math.tanh(scaled / 2.0))
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one shadow-calibrated threshold attack."""
+
+    auc: float                  # Mann-Whitney AUC on challenge scores
+    accuracy: float             # balanced accuracy of the frozen rule
+    advantage: float            # TPR − FPR point estimate
+    advantage_lower: float      # sound lower confidence bound
+    advantage_upper: float      # sound upper confidence bound
+    tpr: float
+    fpr: float
+    threshold: float
+    shadows: int                # calibration trials per world
+    challenges: int             # evaluation trials per world
+    confidence: float
+    claimed_epsilon: float | None = None
+    adjacency_steps: int = 1
+
+    @property
+    def dp_bound(self) -> float | None:
+        """The advantage ceiling the claimed ε implies (None if no claim)."""
+        if self.claimed_epsilon is None:
+            return None
+        return dp_advantage_bound(self.claimed_epsilon, self.adjacency_steps)
+
+    @property
+    def violates_claim(self) -> bool:
+        """True when even the advantage *lower* bound beats the ceiling."""
+        bound = self.dp_bound
+        if bound is None:
+            return False
+        return self.advantage_lower > bound
+
+
+def mann_whitney_auc(positives: np.ndarray, negatives: np.ndarray) -> float:
+    """Probability a positive score ranks above a negative one.
+
+    The threshold-free attack summary: 0.5 is chance, 1.0 is a perfect
+    distinguisher. Ties count half, per the Mann-Whitney convention.
+    """
+    if len(positives) == 0 or len(negatives) == 0:
+        raise ConfigurationError("AUC needs scores from both worlds")
+    wins = (positives[:, None] > negatives[None, :]).sum()
+    ties = (positives[:, None] == negatives[None, :]).sum()
+    return float((wins + 0.5 * ties) / (len(positives) * len(negatives)))
+
+
+def _calibrate_threshold(
+    shadow_in: np.ndarray, shadow_out: np.ndarray
+) -> float:
+    """The score cut maximizing balanced accuracy on the shadow sets.
+
+    Scores are assumed oriented so the in-world ranks higher (the
+    caller flips the sign when it does not); candidates are the
+    observed shadow scores themselves, so the chosen cut always sits on
+    an achievable decision boundary.
+    """
+    candidates = np.unique(np.concatenate([shadow_in, shadow_out]))
+    best_threshold = float(candidates[0])
+    best_accuracy = -1.0
+    for threshold in candidates:
+        tpr = float((shadow_in > threshold).mean())
+        fpr = float((shadow_out > threshold).mean())
+        accuracy = (tpr + (1.0 - fpr)) / 2.0
+        if accuracy > best_accuracy:
+            best_accuracy = accuracy
+            best_threshold = float(threshold)
+    return best_threshold
+
+
+def threshold_attack(
+    target: AuditTarget,
+    world_in: np.ndarray,
+    world_out: np.ndarray,
+    shadows: int = 100,
+    challenges: int = 200,
+    confidence: float = 0.95,
+    claimed_epsilon: float | None = None,
+    adjacency_steps: int = 1,
+    rng: RngLike = None,
+    workers: int | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> AttackResult:
+    """Run the generic shadow-calibrated threshold attack.
+
+    ``target`` scores one release; the attack runs it
+    ``shadows + challenges`` times on each world in a single
+    deterministic fan-out, calibrates on the first ``shadows`` scores
+    per world, and evaluates the frozen rule on the rest. The
+    advantage interval combines one-sided Clopper-Pearson bounds on TPR
+    and FPR (union bound), so it holds at the stated confidence.
+    """
+    if shadows < 10 or challenges < 10:
+        raise ConfigurationError(
+            "attacks need at least 10 shadow and 10 challenge trials"
+        )
+    if not 0.5 < confidence < 1.0:
+        raise ConfigurationError("confidence must lie in (0.5, 1)")
+    total = shadows + challenges
+    scores_in, scores_out = collect_scores(
+        target,
+        (world_in, world_out),
+        (total, total),
+        rng=rng,
+        workers=workers,
+        batch_size=batch_size,
+        label="attack",
+    )
+    # orient scores so the in-world ranks higher, using shadow data only
+    # (the challenge set must stay untouched until the rule is frozen)
+    if scores_in[:shadows].mean() < scores_out[:shadows].mean():
+        scores_in, scores_out = -scores_in, -scores_out
+    threshold = _calibrate_threshold(scores_in[:shadows], scores_out[:shadows])
+    challenge_in = scores_in[shadows:]
+    challenge_out = scores_out[shadows:]
+
+    true_positives = int((challenge_in > threshold).sum())
+    false_positives = int((challenge_out > threshold).sum())
+    tpr = true_positives / challenges
+    fpr = false_positives / challenges
+    # each side spends half the error budget; the union bound makes the
+    # combined advantage interval hold at the stated confidence
+    alpha = (1.0 - confidence) / 2.0
+    advantage_lower = clopper_pearson_lower(
+        true_positives, challenges, alpha
+    ) - clopper_pearson_upper(false_positives, challenges, alpha)
+    advantage_upper = clopper_pearson_upper(
+        true_positives, challenges, alpha
+    ) - clopper_pearson_lower(false_positives, challenges, alpha)
+    return AttackResult(
+        auc=mann_whitney_auc(challenge_in, challenge_out),
+        accuracy=(tpr + (1.0 - fpr)) / 2.0,
+        advantage=tpr - fpr,
+        advantage_lower=advantage_lower,
+        advantage_upper=advantage_upper,
+        tpr=tpr,
+        fpr=fpr,
+        threshold=threshold,
+        shadows=shadows,
+        challenges=challenges,
+        confidence=confidence,
+        claimed_epsilon=claimed_epsilon,
+        adjacency_steps=adjacency_steps,
+    )
+
+
+def membership_inference_attack(
+    target: AuditTarget,
+    dataset: np.ndarray,
+    neighbour: np.ndarray,
+    shadows: int = 100,
+    challenges: int = 200,
+    confidence: float = 0.95,
+    claimed_epsilon: float | None = None,
+    rng: RngLike = None,
+    workers: int | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> AttackResult:
+    """Membership inference against a neighbouring pair (one step)."""
+    return threshold_attack(
+        target,
+        dataset,
+        neighbour,
+        shadows=shadows,
+        challenges=challenges,
+        confidence=confidence,
+        claimed_epsilon=claimed_epsilon,
+        adjacency_steps=1,
+        rng=rng,
+        workers=workers,
+        batch_size=batch_size,
+    )
+
+
+def pattern_worlds(
+    n_households: int,
+    n_steps: int,
+    t_train: int,
+    rng: RngLike = None,
+    heavy_value: float = 1.0,
+    background_scale: float = 0.05,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Two worlds differing only in *when* household 0 consumes.
+
+    World A puts the distinguished household's full consumption on the
+    even steps, world B on the odd steps; totals are identical, so any
+    sum-based statistic is blind and only the temporal *pattern*
+    distinguishes the worlds. Returns ``(world_a, world_b, contrast)``
+    where ``contrast`` (length = test horizon, ±1 entries) is the
+    matched-filter statistic: positive inner product favours world A.
+    """
+    if n_households < 2:
+        raise ConfigurationError("need at least two households")
+    if not 0 < t_train < n_steps:
+        raise ConfigurationError("t_train must leave room for a test horizon")
+    generator = ensure_rng(rng)
+    background = generator.random((n_households, n_steps)) * background_scale
+    steps = np.arange(n_steps)
+    world_a = background.copy()
+    world_a[0, :] = np.where(steps % 2 == 0, heavy_value, 0.0)
+    world_b = background.copy()
+    world_b[0, :] = np.where(steps % 2 == 1, heavy_value, 0.0)
+    test_steps = steps[t_train:]
+    contrast = np.where(test_steps % 2 == 0, 1.0, -1.0)
+    return world_a, world_b, contrast
+
+
+def pattern_inference_attack(
+    config: STPTConfig,
+    grid_shape: tuple[int, int],
+    n_households: int = 2,
+    n_steps: int | None = None,
+    shadows: int = 100,
+    challenges: int = 200,
+    confidence: float = 0.95,
+    rng: RngLike = None,
+    workers: int | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> AttackResult:
+    """Can an adversary tell *when* the distinguished household consumes?
+
+    Builds the equal-total pattern worlds, scores releases of the
+    composed pipeline with the matched-filter contrast over the
+    distinguished pillar, and runs the threshold attack. Replacing one
+    record is two adjacency steps, so the DP ceiling uses ``2ε_total``.
+    """
+    generator = ensure_rng(rng)
+    if n_steps is None:
+        n_steps = config.t_train + max(4, config.t_train // 2)
+    world_a, world_b, contrast = pattern_worlds(
+        n_households, n_steps, config.t_train, rng=generator
+    )
+    target = ComposedSTPTTarget(
+        config,
+        cells=audit_cells(n_households, grid_shape),
+        grid_shape=grid_shape,
+        contrast=contrast,
+    )
+    return threshold_attack(
+        target,
+        world_a,
+        world_b,
+        shadows=shadows,
+        challenges=challenges,
+        confidence=confidence,
+        claimed_epsilon=config.epsilon_total,
+        adjacency_steps=2,
+        rng=generator,
+        workers=workers,
+        batch_size=batch_size,
+    )
+
+
+__all__ = [
+    "AttackResult",
+    "dp_advantage_bound",
+    "mann_whitney_auc",
+    "membership_inference_attack",
+    "pattern_inference_attack",
+    "pattern_worlds",
+    "threshold_attack",
+]

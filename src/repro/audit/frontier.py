@@ -1,0 +1,196 @@
+"""The privacy-utility frontier: audited ε sweep with utility per point.
+
+A DP parameter choice is a trade: more budget buys lower query error
+and pays with higher distinguishability. This module measures *both
+sides of the trade at once* for every point of an ``kind="audit"``
+scenario's ε sweep:
+
+- **privacy, adversarially measured** — the empirical ε lower bound of
+  :func:`repro.audit.estimator.audit_epsilon` plus the membership
+  advantage of :func:`repro.audit.attacks.membership_inference_attack`
+  against the composed pipeline at that budget;
+- **utility, workload-measured** — MRE / MAE / RMSE of the published
+  release against the scenario's query workloads, via the same
+  :func:`repro.queries.metrics.workload_metrics` the figures use.
+
+One frontier row therefore answers "what does claiming ε actually buy
+and actually risk", and a row where the measured privacy *contradicts*
+the claimed ε (bound above claim, or advantage above the DP ceiling)
+turns the table into a CI gate: ``repro audit frontier`` exits
+non-zero, and ``bench audit_suite`` trend-gates on the same predicate.
+
+Utility runs on the scenario's declared corpus; the privacy probes run
+on the worst-case audit pair (heavy household, isolated pillar) at the
+same geometry and configuration, because the guarantee being audited
+is worst-case over neighbouring datasets, not average-case over the
+corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audit.attacks import AttackResult, membership_inference_attack
+from repro.audit.composed import ComposedSTPTTarget
+from repro.audit.estimator import AuditResult, audit_epsilon
+from repro.audit.suite import audit_pair
+from repro.exceptions import ConfigurationError
+from repro.queries.engine import QueryEngine
+from repro.queries.metrics import workload_metrics
+from repro.rng import RngLike, derive_seed, ensure_rng
+from repro.scenarios import ResolvedScenario, resolve_scenario
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One ε point: claimed budget, measured privacy, measured utility."""
+
+    label: str
+    claimed_epsilon: float
+    audit: AuditResult
+    attack: AttackResult
+    mre_percent: float
+    mae: float
+    rmse: float
+
+    @property
+    def violates_claim(self) -> bool:
+        """True when either privacy measurement contradicts the claim."""
+        return self.audit.violates_claim or self.attack.violates_claim
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """The frontier table of one audit scenario."""
+
+    scenario: str
+    trials: int
+    shadows: int
+    challenges: int
+    confidence: float
+    points: tuple[FrontierPoint, ...]
+
+    @property
+    def violations(self) -> tuple[FrontierPoint, ...]:
+        return tuple(p for p in self.points if p.violates_claim)
+
+    def rows(self) -> list[dict[str, float | str | bool]]:
+        """Flat rows for table rendering and JSON artifacts."""
+        return [
+            {
+                "label": point.label,
+                "claimed_epsilon": point.claimed_epsilon,
+                "epsilon_lower_bound": point.audit.epsilon_lower_bound,
+                "attack_advantage": point.attack.advantage,
+                "attack_advantage_lower": point.attack.advantage_lower,
+                "attack_auc": point.attack.auc,
+                "dp_advantage_bound": point.attack.dp_bound,
+                "mre_percent": point.mre_percent,
+                "mae": point.mae,
+                "rmse": point.rmse,
+                "violates_claim": point.violates_claim,
+            }
+            for point in self.points
+        ]
+
+
+def run_frontier(
+    scenario: str | ResolvedScenario,
+    trials: int = 200,
+    shadows: int = 60,
+    challenges: int = 120,
+    confidence: float = 0.95,
+    rng: RngLike = None,
+    workers: int | None = None,
+) -> FrontierResult:
+    """Walk an audit scenario's ε sweep, measuring both sides per point.
+
+    Per-point sub-seeds (publish, audit, attack) are all derived from
+    ``rng`` before any point runs, and each probe fans out through the
+    deterministic batch engine — so the whole frontier is bit-identical
+    at any ``workers`` value.
+    """
+    # imported here so ``import repro.audit`` stays light: the harness
+    # pulls in the dataset/query stack, which only frontier runs need
+    from repro.experiments.harness import build_scenario_context, run_stpt
+
+    resolved = (
+        resolve_scenario(scenario) if isinstance(scenario, str) else scenario
+    )
+    if resolved.spec.kind != "audit":
+        raise ConfigurationError(
+            f"scenario {resolved.name!r} has kind {resolved.spec.kind!r}; "
+            "the frontier runs kind='audit' scenarios"
+        )
+    generator = ensure_rng(rng if rng is not None else resolved.spec.seeds.seed)
+    context_seed = derive_seed(generator)
+    point_seeds = [
+        (derive_seed(generator), derive_seed(generator), derive_seed(generator))
+        for __ in resolved.configs
+    ]
+    context = build_scenario_context(resolved, rng=context_seed)
+
+    grid_shape = resolved.preset.grid_shape
+    cells, dataset, neighbour = audit_pair(resolved.preset, rng=context_seed)
+
+    queries = [
+        query
+        for kind in sorted(context.workloads)
+        for query in context.workloads[kind]
+    ]
+    points = []
+    for config, label, (publish_seed, audit_seed, attack_seed) in zip(
+        resolved.configs, resolved.labels, point_seeds
+    ):
+        result, __ = run_stpt(context, config, rng=publish_seed)
+        metrics = workload_metrics(
+            queries, context.true_engine, QueryEngine(result.sanitized_kwh)
+        )
+        target = ComposedSTPTTarget(config, cells, grid_shape)
+        audit = audit_epsilon(
+            target,
+            dataset,
+            neighbour,
+            trials=trials,
+            confidence=confidence,
+            claimed_epsilon=config.epsilon_total,
+            rng=audit_seed,
+            workers=workers,
+        )
+        attack = membership_inference_attack(
+            target,
+            dataset,
+            neighbour,
+            shadows=shadows,
+            challenges=challenges,
+            confidence=confidence,
+            claimed_epsilon=config.epsilon_total,
+            rng=attack_seed,
+            workers=workers,
+        )
+        points.append(
+            FrontierPoint(
+                label=label,
+                claimed_epsilon=config.epsilon_total,
+                audit=audit,
+                attack=attack,
+                mre_percent=metrics["mre_percent"],
+                mae=metrics["mae"],
+                rmse=metrics["rmse"],
+            )
+        )
+    return FrontierResult(
+        scenario=resolved.name,
+        trials=trials,
+        shadows=shadows,
+        challenges=challenges,
+        confidence=confidence,
+        points=tuple(points),
+    )
+
+
+__all__ = [
+    "FrontierPoint",
+    "FrontierResult",
+    "run_frontier",
+]

@@ -1,0 +1,216 @@
+"""Scenario-driven audit runs: the engine under ``repro audit`` and bench.
+
+A ``kind="audit"`` scenario fixes everything an audit needs — geometry,
+ε schedule, seeds — so one function can run the composed-pipeline audit
+for any of its sweep points, honest or deliberately broken, and return
+a report whose verdict is directly scriptable:
+
+- honest run: **ok** means no point's measured privacy contradicts its
+  claimed ε (neither the ε lower bound nor the attack advantage);
+- broken run (``break_mode`` set): **ok** means every point *was*
+  flagged — the audit's false-negative guard. A broken variant that
+  sails through means the trial count is too low for that bug class
+  (the subtler the bug, the more trials: forgotten noise shows in
+  hundreds, a half-scale mis-calibration needs high hundreds, a
+  double-spend needs over a thousand).
+
+The audit pair is the worst case the guarantee quantifies over: a
+distinguished household consuming the clipping bound everywhere,
+isolated on its own grid cell, against the neighbour without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.audit.attacks import AttackResult, membership_inference_attack
+from repro.audit.composed import BREAK_MODES, ComposedSTPTTarget
+from repro.audit.estimator import AuditResult, audit_epsilon
+from repro.audit.targets import audit_cells, neighbouring_readings
+from repro.exceptions import ConfigurationError
+from repro.rng import RngLike, derive_seed, ensure_rng
+from repro.scenarios import ResolvedScenario, resolve_scenario
+from repro.scenarios.presets import ScalePreset
+
+#: Households in the audit pair (distinguished + one background).
+AUDIT_HOUSEHOLDS = 2
+
+#: Background consumption cap — small, so clipping of shared cells
+#: cannot mask the distinguished household's signal.
+AUDIT_BACKGROUND_SCALE = 0.05
+
+
+def audit_pair(
+    preset: ScalePreset, rng: RngLike = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(cells, dataset, neighbour)`` for one preset's geometry."""
+    cells = audit_cells(AUDIT_HOUSEHOLDS, preset.grid_shape)
+    dataset, neighbour = neighbouring_readings(
+        AUDIT_HOUSEHOLDS,
+        preset.n_days,
+        rng=rng,
+        background_scale=AUDIT_BACKGROUND_SCALE,
+    )
+    return cells, dataset, neighbour
+
+
+@dataclass(frozen=True)
+class ComposedAuditPoint:
+    """One sweep point's audit (and optional attack) outcome."""
+
+    label: str
+    claimed_epsilon: float
+    audit: AuditResult
+    attack: AttackResult | None = None
+
+    @property
+    def violates_claim(self) -> bool:
+        if self.audit.violates_claim:
+            return True
+        return self.attack is not None and self.attack.violates_claim
+
+
+@dataclass(frozen=True)
+class ComposedAuditReport:
+    """Every sweep point of one scenario, audited."""
+
+    scenario: str
+    break_mode: str | None
+    trials: int
+    confidence: float
+    points: tuple[ComposedAuditPoint, ...]
+
+    @property
+    def violations(self) -> tuple[ComposedAuditPoint, ...]:
+        return tuple(p for p in self.points if p.violates_claim)
+
+    @property
+    def verdict_ok(self) -> bool:
+        """Honest runs must show no violation; broken runs must be caught."""
+        if self.break_mode is None:
+            return not self.violations
+        return len(self.violations) == len(self.points)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat rows for table rendering and JSON artifacts."""
+        rows: list[dict[str, object]] = []
+        for point in self.points:
+            row: dict[str, object] = {
+                "label": point.label,
+                "claimed_epsilon": point.claimed_epsilon,
+                "epsilon_lower_bound": point.audit.epsilon_lower_bound,
+                "epsilon_point_estimate": point.audit.epsilon_point_estimate,
+                "violates_claim": point.violates_claim,
+            }
+            if point.attack is not None:
+                row["attack_advantage"] = point.attack.advantage
+                row["attack_advantage_lower"] = point.attack.advantage_lower
+                row["attack_auc"] = point.attack.auc
+                row["dp_advantage_bound"] = point.attack.dp_bound
+            rows.append(row)
+        return rows
+
+
+def run_composed_audit(
+    scenario: str | ResolvedScenario,
+    trials: int = 200,
+    shadows: int = 60,
+    challenges: int = 120,
+    confidence: float = 0.95,
+    break_mode: str | None = None,
+    attack: bool | None = None,
+    rng: RngLike = None,
+    workers: int | None = None,
+) -> ComposedAuditReport:
+    """Audit every sweep point of a ``kind="audit"`` scenario.
+
+    ``break_mode`` swaps in one of the deliberately broken pipeline
+    variants (:data:`repro.audit.composed.BREAK_MODES`); ``attack``
+    adds the membership-inference attack per point (default: only on
+    honest runs — broken runs are flagged by the ε bound alone). All
+    sub-seeds derive from ``rng`` (default: the scenario's seed policy)
+    before any point runs, so the report is bit-identical at any
+    ``workers`` value.
+    """
+    resolved = (
+        resolve_scenario(scenario) if isinstance(scenario, str) else scenario
+    )
+    if resolved.spec.kind != "audit":
+        raise ConfigurationError(
+            f"scenario {resolved.name!r} has kind {resolved.spec.kind!r}; "
+            "audits run kind='audit' scenarios"
+        )
+    if break_mode is not None and break_mode not in BREAK_MODES:
+        raise ConfigurationError(
+            f"unknown break_mode {break_mode!r}; expected one of {BREAK_MODES}"
+        )
+    if attack is None:
+        attack = break_mode is None
+    generator = ensure_rng(rng if rng is not None else resolved.spec.seeds.seed)
+    pair_seed = derive_seed(generator)
+    point_seeds = [
+        (derive_seed(generator), derive_seed(generator))
+        for __ in resolved.configs
+    ]
+    cells, dataset, neighbour = audit_pair(resolved.preset, rng=pair_seed)
+
+    points = []
+    for config, label, (audit_seed, attack_seed) in zip(
+        resolved.configs, resolved.labels, point_seeds
+    ):
+        target = ComposedSTPTTarget(
+            config,
+            cells,
+            resolved.preset.grid_shape,
+            break_mode=break_mode,
+        )
+        outcome = audit_epsilon(
+            target,
+            dataset,
+            neighbour,
+            trials=trials,
+            confidence=confidence,
+            claimed_epsilon=config.epsilon_total,
+            rng=audit_seed,
+            workers=workers,
+        )
+        attack_outcome = None
+        if attack:
+            attack_outcome = membership_inference_attack(
+                target,
+                dataset,
+                neighbour,
+                shadows=shadows,
+                challenges=challenges,
+                confidence=confidence,
+                claimed_epsilon=config.epsilon_total,
+                rng=attack_seed,
+                workers=workers,
+            )
+        points.append(
+            ComposedAuditPoint(
+                label=label,
+                claimed_epsilon=config.epsilon_total,
+                audit=outcome,
+                attack=attack_outcome,
+            )
+        )
+    return ComposedAuditReport(
+        scenario=resolved.name,
+        break_mode=break_mode,
+        trials=trials,
+        confidence=confidence,
+        points=tuple(points),
+    )
+
+
+__all__ = [
+    "AUDIT_BACKGROUND_SCALE",
+    "AUDIT_HOUSEHOLDS",
+    "ComposedAuditPoint",
+    "ComposedAuditReport",
+    "audit_pair",
+    "run_composed_audit",
+]

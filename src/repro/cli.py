@@ -23,6 +23,9 @@ Examples::
     python -m repro publish --data ca.npz --grid 16 --t-train 40 \
         --out release.npz --trace --trace-out release-trace.jsonl
     python -m repro trace release-trace.jsonl --top 5
+    python -m repro audit run --scenario audit-composed-stpt
+    python -m repro audit run --break-mode forgot-noise
+    python -m repro audit frontier --out frontier.json
     python -m repro serve run --release cer=release.npz --port 8080
     python -m repro serve loadgen --port 8080 --release cer \
         --requests 100000 --connections 16
@@ -39,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.audit import BREAK_MODES, run_composed_audit, run_frontier
 from repro.baselines.base import get_mechanism
 from repro.core.pattern import PatternConfig
 from repro.core.stpt import STPT, STPTConfig
@@ -278,6 +282,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "newest run regresses past the registered threshold",
     )
     _add_trace_arguments(ben)
+
+    aud = sub.add_parser(
+        "audit",
+        help="adversarial audits: empirical ε bounds, attacks, frontier",
+    )
+    aud_sub = aud.add_subparsers(dest="audit_command", required=True)
+    arun = aud_sub.add_parser(
+        "run",
+        help="audit the composed publish of a kind='audit' scenario "
+        "(exit 1 when the measured privacy contradicts the claimed ε)",
+    )
+    arun.add_argument(
+        "--scenario", default="audit-composed-stpt",
+        help="a registered kind='audit' scenario name",
+    )
+    arun.add_argument(
+        "--trials", type=int, default=200,
+        help="mechanism runs per world for the ε estimator",
+    )
+    arun.add_argument(
+        "--shadows", type=int, default=60,
+        help="attack calibration releases per world",
+    )
+    arun.add_argument(
+        "--challenges", type=int, default=120,
+        help="attack evaluation releases per world",
+    )
+    arun.add_argument("--confidence", type=float, default=0.95)
+    arun.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's seed policy",
+    )
+    arun.add_argument("--workers", type=_workers_argument, default=1)
+    arun.add_argument(
+        "--break-mode", choices=BREAK_MODES, default=None,
+        help="audit a deliberately broken pipeline variant instead; the "
+        "verdict inverts (exit 1 when the bug is NOT flagged). Subtler "
+        "bugs need more --trials: forgotten noise shows in hundreds, "
+        "half-scale noise needs ~700, a double-spend ~1300",
+    )
+    arun.add_argument("--out", help="also write the audit rows as JSON")
+    afr = aud_sub.add_parser(
+        "frontier",
+        help="privacy-utility frontier over a scenario's ε sweep "
+        "(exit 1 when any point's measured privacy contradicts its claim)",
+    )
+    afr.add_argument(
+        "--scenario", default="audit-frontier",
+        help="a registered kind='audit' scenario name (needs an ε sweep)",
+    )
+    afr.add_argument("--trials", type=int, default=200)
+    afr.add_argument("--shadows", type=int, default=60)
+    afr.add_argument("--challenges", type=int, default=120)
+    afr.add_argument("--confidence", type=float, default=0.95)
+    afr.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's seed policy",
+    )
+    afr.add_argument("--workers", type=_workers_argument, default=1)
+    afr.add_argument("--out", help="also write the frontier rows as JSON")
 
     srv = sub.add_parser(
         "serve", help="serve range/derived queries over published releases"
@@ -893,6 +957,68 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    if args.audit_command == "frontier":
+        result = run_frontier(
+            args.scenario,
+            trials=args.trials,
+            shadows=args.shadows,
+            challenges=args.challenges,
+            confidence=args.confidence,
+            rng=args.seed,
+            workers=args.workers,
+        )
+        rows = result.rows()
+        print(format_table(rows))
+        if args.out:
+            Path(args.out).write_text(json.dumps(rows, indent=2) + "\n")
+            print(f"wrote {args.out}")
+        for point in result.violations:
+            print(
+                f"error: {point.label}: measured privacy contradicts the "
+                f"claimed eps={point.claimed_epsilon:g}",
+                file=sys.stderr,
+            )
+        return 1 if result.violations else 0
+
+    report = run_composed_audit(
+        args.scenario,
+        trials=args.trials,
+        shadows=args.shadows,
+        challenges=args.challenges,
+        confidence=args.confidence,
+        break_mode=args.break_mode,
+        rng=args.seed,
+        workers=args.workers,
+    )
+    print(format_table(report.rows()))
+    if args.out:
+        Path(args.out).write_text(json.dumps(report.rows(), indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if report.break_mode is None:
+        for point in report.violations:
+            print(
+                f"error: {point.label}: measured privacy contradicts the "
+                f"claimed eps={point.claimed_epsilon:g}",
+                file=sys.stderr,
+            )
+        if report.violations:
+            return 1
+        print(
+            f"ok: claimed eps never contradicted at {report.trials} trials"
+        )
+        return 0
+    if report.verdict_ok:
+        print(f"ok: {report.break_mode} flagged at {report.trials} trials")
+        return 0
+    print(
+        f"error: {report.break_mode} NOT flagged at {report.trials} "
+        "trials; raise --trials (subtle bugs need more evidence)",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     trace = load_trace(args.file)
     print(render_tree(trace))
@@ -922,6 +1048,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "pipeline": _cmd_pipeline,
         "bench": _cmd_bench,
         "scenarios": _cmd_scenarios,
+        "audit": _cmd_audit,
         "serve": _cmd_serve,
         "trace": _cmd_trace,
     }

@@ -794,6 +794,131 @@ def bench_lint_flow(workers: int | None = None) -> dict:
     }
 
 
+#: Every audit gate must pass; ``gates_passed`` trend-gates this count.
+_AUDIT_GATES = 8
+#: Throughput floor: estimator trials per second across the suite.
+_AUDIT_TRIALS_PER_SECOND_FLOOR = 10.0
+#: Query-error ceiling on the frontier's utility side (tiny geometry).
+_AUDIT_MRE_CEILING = 60.0
+#: Per-bug-class trial counts: the subtler the bug, the more evidence
+#: the Clopper-Pearson bound needs before the claimed ε is contradicted.
+_AUDIT_TRIALS = {
+    "honest": 300,
+    "sharded": 160,
+    "forgot-noise": 200,
+    "half-scale": 700,
+    "double-spend": 1300,
+}
+
+
+@register(
+    "audit_suite",
+    threshold=f"all {_AUDIT_GATES} audit gates pass: honest composed + "
+    f"sharded publishes never contradict the claimed eps, attack "
+    f"advantage within the DP ceiling, all three broken variants "
+    f"flagged, bit-identical across workers, frontier utility <= "
+    f"{_AUDIT_MRE_CEILING:.0f}% MRE; >= "
+    f"{_AUDIT_TRIALS_PER_SECOND_FLOOR:.0f} trials/s",
+    metrics=("gates_passed",),
+    floor=float(_AUDIT_GATES),
+)
+def bench_audit_suite(workers: int = 4) -> dict:
+    """The adversarial audit suite as a single trend-gated verdict.
+
+    Runs the composed-pipeline ε audit over the registered audit
+    scenarios (honest unsharded and sharded), the membership attack,
+    the three deliberately broken variants (which MUST be flagged — the
+    false-negative guard), a serial-vs-parallel determinism check, and
+    one low-trial frontier sweep whose utility column is held under a
+    ceiling. Any failed gate raises; the recorded ``gates_passed``
+    count trend-gates against silent gate removal.
+    """
+    from repro.audit import (
+        ComposedSTPTTarget,
+        audit_pair,
+        collect_scores,
+        run_composed_audit,
+        run_frontier,
+    )
+
+    gates: dict[str, bool] = {}
+    trials_done = 0
+    audit_started = time.perf_counter()
+
+    honest = run_composed_audit(
+        "audit-composed-stpt", trials=_AUDIT_TRIALS["honest"]
+    )
+    trials_done += 2 * _AUDIT_TRIALS["honest"]
+    gates["honest_unsharded_ok"] = not any(
+        point.audit.violates_claim for point in honest.points
+    )
+    gates["attack_within_bound"] = all(
+        point.attack is not None and not point.attack.violates_claim
+        for point in honest.points
+    )
+
+    sharded = run_composed_audit(
+        "audit-composed-sharded", trials=_AUDIT_TRIALS["sharded"], attack=False
+    )
+    trials_done += 2 * _AUDIT_TRIALS["sharded"]
+    gates["honest_sharded_ok"] = sharded.verdict_ok
+
+    for mode in ("forgot-noise", "half-scale", "double-spend"):
+        report = run_composed_audit(
+            "audit-composed-stpt", trials=_AUDIT_TRIALS[mode], break_mode=mode
+        )
+        trials_done += 2 * _AUDIT_TRIALS[mode]
+        gates[f"{mode.replace('-', '_')}_flagged"] = report.verdict_ok
+
+    resolved = resolve_scenario("audit-composed-stpt")
+    cells, dataset, neighbour = audit_pair(resolved.preset, rng=3)
+    target = ComposedSTPTTarget(
+        resolved.configs[0], cells, resolved.preset.grid_shape
+    )
+    serial = collect_scores(target, (dataset, neighbour), (48, 48), rng=4)
+    fanned = collect_scores(
+        target, (dataset, neighbour), (48, 48), rng=4,
+        workers=max(2, min(workers, 4)),
+    )
+    trials_done += 192
+    gates["deterministic_across_workers"] = all(
+        np.array_equal(one, other) for one, other in zip(serial, fanned)
+    )
+
+    frontier = run_frontier(
+        "audit-frontier", trials=60, shadows=20, challenges=40
+    )
+    trials_done += len(frontier.points) * 2 * (60 + 20 + 40)
+    gates["frontier_ok"] = not frontier.violations and all(
+        point.mre_percent <= _AUDIT_MRE_CEILING for point in frontier.points
+    )
+
+    audit_seconds = time.perf_counter() - audit_started
+    trials_per_second = trials_done / audit_seconds
+    failed = sorted(name for name, passed in gates.items() if not passed)
+    if failed:
+        raise AssertionError(f"audit gate(s) failed: {', '.join(failed)}")
+    if trials_per_second < _AUDIT_TRIALS_PER_SECOND_FLOOR:
+        raise AssertionError(
+            f"audit throughput {trials_per_second:.1f} trials/s is below "
+            f"the {_AUDIT_TRIALS_PER_SECOND_FLOOR:.0f}/s floor"
+        )
+    return {
+        "benchmark": "audit_suite",
+        "cpu_count": os.cpu_count() or 1,
+        "gates": gates,
+        "gates_passed": sum(gates.values()),
+        "trials": trials_done,
+        "audit_seconds": round(audit_seconds, 3),
+        "trials_per_second": round(trials_per_second, 1),
+        "epsilon_lower_bounds": {
+            "honest": [p.audit.epsilon_lower_bound for p in honest.points],
+            "sharded": [p.audit.epsilon_lower_bound for p in sharded.points],
+        },
+        "frontier": frontier.rows(),
+    }
+
+
 def _git_commit() -> str | None:
     try:
         completed = subprocess.run(
@@ -824,6 +949,7 @@ __all__: Sequence[str] = [
     "BENCHMARKS",
     "THRESHOLDS",
     "TREND_THRESHOLDS",
+    "bench_audit_suite",
     "bench_lint_flow",
     "bench_nn_kernels",
     "bench_parallel_sweep",

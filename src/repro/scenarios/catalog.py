@@ -277,6 +277,104 @@ BENCH_SERVING = register_scenario(
     )
 )
 
+# -- adversarial audits ----------------------------------------------
+
+#: ``repro audit run``: empirical ε lower bound on the full staged
+#: publish. The single-cell grid puts every partition over the
+#: distinguished household's pillar, so the whole sanitize budget bears
+#: on the audit statistic (maximum audit power at a given trial count);
+#: the tiny geometry keeps one mechanism trial in the low milliseconds.
+AUDIT_COMPOSED_STPT = register_scenario(
+    ScenarioSpec(
+        name="audit-composed-stpt",
+        description="adversarial audit: composed STPT publish on the "
+        "single-cell maximum-leverage geometry",
+        kind="audit",
+        dataset=DatasetRef("CA"),
+        scale="bench",
+        geometry=GeometryOverrides(
+            grid_shape=(1, 1),
+            n_days=12,
+            t_train=8,
+            query_count=20,
+            epochs=1,
+            embed_dim=8,
+            hidden_dim=8,
+            window=3,
+        ),
+        mechanism=MechanismSpec(
+            epsilons=EpsilonSchedule(pattern=0.1, sanitize=(1.6,)),
+            overrides=(("quantization_levels", 4),),
+        ),
+        seeds=SeedPolicy(seed=5),
+        tags=("audit",),
+    )
+)
+
+#: ``repro audit run``: the sharded variant — a 2x2 grid at shard depth
+#: 1 splits the publish into four single-cell shards, each with the
+#: full per-shard leverage of the unsharded audit geometry, so the
+#: parallel composition argument behind sharding is itself audited.
+AUDIT_COMPOSED_SHARDED = register_scenario(
+    ScenarioSpec(
+        name="audit-composed-sharded",
+        description="adversarial audit: sharded composed publish "
+        "(2x2 grid, shard depth 1: four single-cell shards)",
+        kind="audit",
+        dataset=DatasetRef("CA"),
+        scale="bench",
+        geometry=GeometryOverrides(
+            grid_shape=(2, 2),
+            n_days=12,
+            t_train=8,
+            query_count=20,
+            epochs=1,
+            embed_dim=8,
+            hidden_dim=8,
+            window=3,
+        ),
+        mechanism=MechanismSpec(
+            epsilons=EpsilonSchedule(pattern=0.1, sanitize=(1.6,)),
+            overrides=(
+                ("quantization_levels", 4),
+                ("shard_depth", 1),
+            ),
+        ),
+        seeds=SeedPolicy(seed=5),
+        tags=("audit", "sharded"),
+    )
+)
+
+#: ``repro audit frontier``: the ε sweep behind the privacy-utility
+#: frontier table — each point is audited (ε lower bound + membership
+#: attack) and scored (workload MRE/MAE) at the same configuration.
+AUDIT_FRONTIER = register_scenario(
+    ScenarioSpec(
+        name="audit-frontier",
+        description="privacy-utility frontier: audited ε sweep with "
+        "workload utility at every point",
+        kind="audit",
+        dataset=DatasetRef("CA"),
+        scale="bench",
+        geometry=GeometryOverrides(
+            grid_shape=(2, 2),
+            n_days=12,
+            t_train=8,
+            query_count=20,
+            epochs=1,
+            embed_dim=8,
+            hidden_dim=8,
+            window=3,
+        ),
+        mechanism=MechanismSpec(
+            overrides=(("quantization_levels", 4),),
+        ),
+        sweep=Sweep("epsilon_total", (0.75, 1.5, 3.0, 6.0)),
+        seeds=SeedPolicy(seed=5),
+        tags=("audit", "frontier"),
+    )
+)
+
 __all__ = [
     "ABLATION_ALLOCATION",
     "ABLATION_ATTENTION",
@@ -285,6 +383,9 @@ __all__ = [
     "ABLATION_REFINEMENT",
     "ABLATION_ROLLOUT",
     "ABLATION_SEEDS",
+    "AUDIT_COMPOSED_SHARDED",
+    "AUDIT_COMPOSED_STPT",
+    "AUDIT_FRONTIER",
     "BENCH_DEFAULT",
     "BENCH_SERVING",
     "BENCH_SHARDED_PUBLISH",

@@ -39,9 +39,10 @@ from repro.obs import get_tracer
 from repro.pipeline.fingerprint import fingerprint
 from repro.scenarios.presets import SCALE_PRESETS, ScalePreset, active_preset
 
-#: Scenario kinds. ``stream`` and ``serve`` are reserved for the
-#: ROADMAP's continual-observation and query-serving workloads, which
-#: become new scenario kinds rather than new CLI surfaces.
+#: Scenario kinds. ``stream`` is reserved for the ROADMAP's
+#: continual-observation workload, which becomes a new scenario kind
+#: rather than a new CLI surface; ``audit`` scenarios drive the
+#: adversarial evaluation suite (``repro audit run|frontier``).
 SCENARIO_KINDS = (
     "publish",
     "figure",
@@ -50,6 +51,7 @@ SCENARIO_KINDS = (
     "pattern",
     "stream",
     "serve",
+    "audit",
 )
 
 #: Query classes a workload may name (mirrors the harness vocabulary).

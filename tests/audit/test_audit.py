@@ -11,8 +11,8 @@ from repro.audit import (
     stpt_target,
 )
 from repro.audit.estimator import (
-    _clopper_pearson_lower,
-    _clopper_pearson_upper,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
 )
 from repro.baselines.identity import Identity
 from repro.core.pattern import PatternConfig
@@ -35,20 +35,20 @@ def neighbours():
 
 class TestClopperPearson:
     def test_upper_bound_contains_proportion(self):
-        upper = _clopper_pearson_upper(50, 100, alpha=0.05)
+        upper = clopper_pearson_upper(50, 100, alpha=0.05)
         assert upper > 0.5
 
     def test_lower_bound_below_proportion(self):
-        lower = _clopper_pearson_lower(50, 100, alpha=0.05)
+        lower = clopper_pearson_lower(50, 100, alpha=0.05)
         assert lower < 0.5
 
     def test_edge_cases(self):
-        assert _clopper_pearson_upper(100, 100, 0.05) == 1.0
-        assert _clopper_pearson_lower(0, 100, 0.05) == 0.0
+        assert clopper_pearson_upper(100, 100, 0.05) == 1.0
+        assert clopper_pearson_lower(0, 100, 0.05) == 0.0
 
     def test_bounds_tighten_with_trials(self):
-        loose = _clopper_pearson_upper(5, 10, 0.05)
-        tight = _clopper_pearson_upper(500, 1000, 0.05)
+        loose = clopper_pearson_upper(5, 10, 0.05)
+        tight = clopper_pearson_upper(500, 1000, 0.05)
         assert tight < loose
 
 

@@ -1,0 +1,147 @@
+"""Property tests for the audit estimator's statistical core.
+
+Three families, each over a few hundred seeded randomized cases:
+
+- Clopper-Pearson bounds sandwich the observed proportion and tighten
+  monotonically as the trial count grows at a fixed success ratio;
+- the estimator's sound ε lower bound never exceeds its plug-in point
+  estimate (soundness would be meaningless otherwise);
+- on the analytically-known scalar Laplace mechanism the stated
+  confidence holds: audits of an honest ε-DP mechanism contradict the
+  true ε at most at the configured error rate.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    audit_epsilon,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+)
+
+
+@dataclass(frozen=True, eq=False)
+class LaplaceTarget:
+    """The textbook scalar Laplace mechanism on a sum query.
+
+    For the audit pair ``d = [1]``, ``d' = [0]`` the query sensitivity
+    is 1, so scale ``1/ε`` makes the mechanism exactly ε-DP — the one
+    case where the audited bound has a known analytic ceiling.
+    """
+
+    epsilon: float
+
+    def __call__(self, data: np.ndarray, rng: np.random.Generator) -> float:
+        return float(data.sum() + rng.laplace(0.0, 1.0 / self.epsilon))  # lint: disable=DP001 -- the analytically-known mechanism the audit is calibrated against
+
+
+DATASET = np.array([1.0])
+NEIGHBOUR = np.array([0.0])
+
+
+class TestClopperPearsonProperties:
+    def test_bounds_sandwich_the_proportion(self):
+        rng = np.random.default_rng(11)
+        for __ in range(100):
+            trials = int(rng.integers(10, 400))
+            successes = int(rng.integers(0, trials + 1))
+            alpha = float(rng.uniform(0.001, 0.2))
+            lower = clopper_pearson_lower(successes, trials, alpha)
+            upper = clopper_pearson_upper(successes, trials, alpha)
+            assert 0.0 <= lower <= successes / trials <= upper <= 1.0
+
+    def test_lower_bound_monotone_in_trial_count(self):
+        """More evidence at the same ratio never loosens the bound."""
+        rng = np.random.default_rng(12)
+        for __ in range(100):
+            trials = int(rng.integers(10, 400))
+            successes = int(rng.integers(1, trials))
+            alpha = float(rng.uniform(0.001, 0.2))
+            factor = int(rng.integers(2, 8))
+            small = clopper_pearson_lower(successes, trials, alpha)
+            large = clopper_pearson_lower(
+                factor * successes, factor * trials, alpha
+            )
+            assert large >= small - 1e-12
+            small_up = clopper_pearson_upper(successes, trials, alpha)
+            large_up = clopper_pearson_upper(
+                factor * successes, factor * trials, alpha
+            )
+            assert large_up <= small_up + 1e-12
+
+    def test_stricter_alpha_widens_the_interval(self):
+        rng = np.random.default_rng(13)
+        for __ in range(50):
+            trials = int(rng.integers(10, 400))
+            successes = int(rng.integers(1, trials))
+            loose = float(rng.uniform(0.05, 0.2))
+            strict = loose / float(rng.uniform(2.0, 20.0))
+            assert clopper_pearson_lower(
+                successes, trials, strict
+            ) <= clopper_pearson_lower(successes, trials, loose)
+            assert clopper_pearson_upper(
+                successes, trials, strict
+            ) >= clopper_pearson_upper(successes, trials, loose)
+
+
+class TestSoundBoundVsPointEstimate:
+    def test_bound_never_exceeds_point_estimate(self):
+        """The corrected bound cannot land above what it corrects."""
+        rng = np.random.default_rng(14)
+        for case in range(60):
+            epsilon = float(rng.uniform(0.3, 3.0))
+            trials = int(rng.integers(50, 300))
+            result = audit_epsilon(
+                LaplaceTarget(epsilon),
+                DATASET,
+                NEIGHBOUR,
+                trials=trials,
+                rng=case,
+            )
+            assert (
+                result.epsilon_lower_bound
+                <= result.epsilon_point_estimate + 1e-9
+            ), f"case {case}: eps={epsilon}, trials={trials}"
+            assert result.epsilon_lower_bound >= 0.0
+
+
+class TestLaplaceCoverage:
+    def test_honest_mechanism_rarely_contradicted(self):
+        """At 95% confidence, an exactly-ε-DP mechanism audited against
+        its true ε must be flagged in well under 5% of audits (the
+        Bonferroni correction makes the test conservative)."""
+        epsilon = 0.5
+        audits = 40
+        violations = 0
+        for seed in range(audits):
+            result = audit_epsilon(
+                LaplaceTarget(epsilon),
+                DATASET,
+                NEIGHBOUR,
+                trials=150,
+                claimed_epsilon=epsilon,
+                rng=1000 + seed,
+            )
+            violations += int(result.violates_claim)
+        assert violations <= 4, f"{violations}/{audits} false alarms"
+
+    def test_bound_informative_with_enough_trials(self):
+        """The bound climbs toward (but never past) the true ε."""
+        result = audit_epsilon(
+            LaplaceTarget(2.0), DATASET, NEIGHBOUR, trials=1500, rng=2
+        )
+        assert 0.5 < result.epsilon_lower_bound <= 2.0
+
+    @pytest.mark.parametrize("epsilon_pair", [(0.5, 2.0), (1.0, 4.0)])
+    def test_bound_monotone_in_true_epsilon(self, epsilon_pair):
+        tight_eps, loose_eps = epsilon_pair
+        tight = audit_epsilon(
+            LaplaceTarget(tight_eps), DATASET, NEIGHBOUR, trials=800, rng=3
+        )
+        loose = audit_epsilon(
+            LaplaceTarget(loose_eps), DATASET, NEIGHBOUR, trials=800, rng=3
+        )
+        assert loose.epsilon_lower_bound >= tight.epsilon_lower_bound

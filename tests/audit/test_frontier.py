@@ -1,0 +1,70 @@
+"""Tests for the privacy-utility frontier runner."""
+
+import pytest
+
+from repro.audit import FrontierResult, run_frontier
+from repro.exceptions import ConfigurationError
+
+ROW_KEYS = {
+    "label",
+    "claimed_epsilon",
+    "epsilon_lower_bound",
+    "attack_advantage",
+    "attack_advantage_lower",
+    "attack_auc",
+    "dp_advantage_bound",
+    "mre_percent",
+    "mae",
+    "rmse",
+    "violates_claim",
+}
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    """One low-trial frontier run shared by every assertion here."""
+    return run_frontier(
+        "audit-frontier", trials=20, shadows=10, challenges=20, rng=1
+    )
+
+
+class TestRunFrontier:
+    def test_one_point_per_sweep_value(self, frontier):
+        assert isinstance(frontier, FrontierResult)
+        assert frontier.scenario == "audit-frontier"
+        assert len(frontier.points) == 4  # the registered ε sweep
+
+    def test_rows_are_flat_and_complete(self, frontier):
+        rows = frontier.rows()
+        assert len(rows) == len(frontier.points)
+        for row in rows:
+            assert set(row) == ROW_KEYS
+
+    def test_claimed_epsilons_follow_the_sweep(self, frontier):
+        claimed = [point.claimed_epsilon for point in frontier.points]
+        assert claimed == sorted(claimed)
+        assert claimed[0] == pytest.approx(0.75)
+        assert claimed[-1] == pytest.approx(6.0)
+
+    def test_honest_pipeline_not_contradicted(self, frontier):
+        assert not frontier.violations
+
+    def test_utility_metrics_are_positive(self, frontier):
+        for point in frontier.points:
+            assert point.mre_percent > 0
+            assert point.mae > 0
+            assert point.rmse >= point.mae
+
+    def test_dp_ceiling_grows_with_claimed_epsilon(self, frontier):
+        bounds = [point.attack.dp_bound for point in frontier.points]
+        assert bounds == sorted(bounds)
+
+    def test_reproducible_at_fixed_seed(self, frontier):
+        again = run_frontier(
+            "audit-frontier", trials=20, shadows=10, challenges=20, rng=1
+        )
+        assert again.rows() == frontier.rows()
+
+    def test_non_audit_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_frontier("fig6-cer", trials=20)

@@ -55,6 +55,20 @@ def test_trend_thresholds_name_registered_benchmarks():
     )
 
 
+def test_audit_suite_is_trend_gated_on_all_gates():
+    """The adversarial audit suite is a CI gate: it must stay registered
+    with a ``gates_passed`` trend metric floored at the full gate count,
+    so dropping a gate (or the whole registration) fails tier-1 rather
+    than silently weakening the privacy check."""
+    from repro.experiments.bench import _AUDIT_GATES
+
+    assert "audit_suite" in BENCHMARKS
+    threshold = TREND_THRESHOLDS.get("audit_suite")
+    assert threshold is not None, "audit_suite lost its trend threshold"
+    assert "gates_passed" in threshold.metrics
+    assert threshold.floor is not None and threshold.floor >= _AUDIT_GATES
+
+
 def test_trend_histories_match_their_registered_threshold():
     """A seeded history's newest entry must carry every metric the
     registered threshold enforces, and — when the threshold is gated —

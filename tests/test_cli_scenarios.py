@@ -39,9 +39,21 @@ class TestScenariosList:
         assert "bench-default" in out
         assert "fig6-cer" not in out
 
+    def test_audit_kind_filter(self, capsys):
+        assert main(["scenarios", "list", "--kind", "audit"]) == 0
+        out = capsys.readouterr().out
+        assert "audit-composed-stpt" in out
+        assert "audit-composed-sharded" in out
+        assert "audit-frontier" in out
+        assert "bench-default" not in out
+
 
 class TestScenariosShow:
-    @pytest.mark.parametrize("name", ["fig6-cer", "bench-trace-overhead"])
+    @pytest.mark.parametrize(
+        "name",
+        ["fig6-cer", "bench-trace-overhead", "audit-composed-stpt",
+         "audit-frontier"],
+    )
     def test_show_output_reparses_into_an_equal_spec(self, name, capsys):
         assert main(["scenarios", "show", name]) == 0
         out = capsys.readouterr().out

@@ -59,3 +59,42 @@ class TestPublicSurface:
         )
         result = STPT(config, rng=0).publish(norm, clip_scale=clip)
         assert result.sanitized_kwh.n_steps == norm.n_steps - 16
+
+
+class TestAuditSurface:
+    """The audit subsystem is public API: ``__all__`` is the contract."""
+
+    def test_all_names_resolve(self):
+        import repro.audit
+
+        for name in repro.audit.__all__:
+            assert hasattr(repro.audit, name), name
+
+    def test_submodule_alls_are_subsets_of_package_all(self):
+        """Everything a submodule declares public is re-exported."""
+        import repro.audit
+        from repro.audit import attacks, composed, estimator, frontier, suite
+        from repro.audit import targets
+
+        package = set(repro.audit.__all__)
+        for module in (attacks, composed, estimator, frontier, suite, targets):
+            missing = {
+                name
+                for name in module.__all__
+                if name not in package and not name.isupper()
+                and not hasattr(repro.audit, name)
+            }
+            assert not missing, f"{module.__name__} exports {missing}"
+
+    def test_audit_entry_points_importable_from_package(self):
+        from repro.audit import (
+            audit_epsilon,
+            membership_inference_attack,
+            run_composed_audit,
+            run_frontier,
+        )
+
+        assert callable(audit_epsilon)
+        assert callable(membership_inference_attack)
+        assert callable(run_composed_audit)
+        assert callable(run_frontier)
